@@ -1,0 +1,411 @@
+package repro
+
+// One benchmark per experiment: each regenerates the paper claim's
+// workload under the Go benchmark harness, so `go test -bench=. -benchmem`
+// reproduces every result with timing and allocation profiles. The
+// per-iteration custom metrics report the simulation's own measures
+// (virtual cycles, path lengths, loss counts) rather than wall time alone.
+
+import (
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/boot"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/iosys"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/pagectl"
+	"repro/internal/policy"
+)
+
+func buildKernel(b *testing.B, stage core.Stage) *core.Kernel {
+	b.Helper()
+	k, err := core.New(core.Config{Stage: stage})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(k.Shutdown)
+	return k
+}
+
+// BenchmarkE1GateCount regenerates the E1 table: gate counts before and
+// after the linker removal.
+func BenchmarkE1GateCount(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		k0, err := core.New(core.Config{Stage: core.S0Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k1, err := core.New(core.Config{Stage: core.S1LinkerRemoved})
+		if err != nil {
+			b.Fatal(err)
+		}
+		i0, i1 := k0.Inventory(), k1.Inventory()
+		drop = 100 * float64(i0.Gates-i1.Gates) / float64(i0.Gates)
+		k0.Shutdown()
+		k1.Shutdown()
+	}
+	b.ReportMetric(drop, "%gates-removed")
+}
+
+// BenchmarkE2AddressSpaceCode regenerates the E2 ratio.
+func BenchmarkE2AddressSpaceCode(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		k0, err := core.New(core.Config{Stage: core.S0Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k2, err := core.New(core.Config{Stage: core.S2RefNamesRemoved})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = float64(k0.Inventory().AddressSpaceUnits) / float64(k2.Inventory().AddressSpaceUnits)
+		k0.Shutdown()
+		k2.Shutdown()
+	}
+	b.ReportMetric(ratio, "x-reduction")
+}
+
+// BenchmarkE3SupervisorEntries regenerates the E3 percentage.
+func BenchmarkE3SupervisorEntries(b *testing.B) {
+	var drop float64
+	for i := 0; i < b.N; i++ {
+		k0, err := core.New(core.Config{Stage: core.S0Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k2, err := core.New(core.Config{Stage: core.S2RefNamesRemoved})
+		if err != nil {
+			b.Fatal(err)
+		}
+		i0, i2 := k0.Inventory(), k2.Inventory()
+		drop = 100 * float64(i0.UserGates-i2.UserGates) / float64(i0.UserGates)
+		k0.Shutdown()
+		k2.Shutdown()
+	}
+	b.ReportMetric(drop, "%user-entries-removed")
+}
+
+// benchCalls runs n calls of the given kind on a fresh processor and
+// returns virtual cycles per call.
+func benchCalls(b *testing.B, cost machine.CostModel, crossRing bool) float64 {
+	b.Helper()
+	ds := machine.NewDescriptorSegment(8)
+	clk := machine.NewClock()
+	cpu := machine.NewProcessor(ds, clk, cost, machine.UserRing)
+	echo := &machine.Procedure{Name: "echo", Entries: []machine.EntryFunc{
+		func(_ *machine.ExecContext, a []uint64) ([]uint64, error) { return a, nil },
+	}}
+	brackets := machine.UserBrackets(machine.UserRing)
+	gates := 0
+	if crossRing {
+		brackets = machine.GateBrackets(machine.KernelRing, machine.UserRing)
+		gates = 1
+	}
+	if err := ds.Set(1, machine.SDW{Proc: echo, Mode: machine.ModeExecute, Brackets: brackets, Gates: gates}); err != nil {
+		b.Fatal(err)
+	}
+	start := clk.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Call(1, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(clk.Now()-start) / float64(b.N)
+}
+
+// BenchmarkE4IntraRingCall645 measures intra-ring call cost on the 645.
+func BenchmarkE4IntraRingCall645(b *testing.B) {
+	b.ReportMetric(benchCalls(b, machine.Model645(), false), "vcycles/call")
+}
+
+// BenchmarkE4CrossRingCall645 measures cross-ring call cost on the 645.
+func BenchmarkE4CrossRingCall645(b *testing.B) {
+	b.ReportMetric(benchCalls(b, machine.Model645(), true), "vcycles/call")
+}
+
+// BenchmarkE4IntraRingCall6180 measures intra-ring call cost on the 6180.
+func BenchmarkE4IntraRingCall6180(b *testing.B) {
+	b.ReportMetric(benchCalls(b, machine.Model6180(), false), "vcycles/call")
+}
+
+// BenchmarkE4CrossRingCall6180 measures cross-ring call cost on the 6180.
+func BenchmarkE4CrossRingCall6180(b *testing.B) {
+	b.ReportMetric(benchCalls(b, machine.Model6180(), true), "vcycles/call")
+}
+
+// BenchmarkE5SequentialPager drives the old page-control design through the
+// standard overcommitted trace.
+func BenchmarkE5SequentialPager(b *testing.B) {
+	var st float64
+	for i := 0; i < b.N; i++ {
+		stats, _, _ := experiments.PageFaultWorkload(false, 64, 400)
+		st = float64(stats.FaulterSteps) / float64(stats.Faults)
+	}
+	b.ReportMetric(st, "faulter-ops/fault")
+}
+
+// BenchmarkE5ParallelPager drives the new page-control design through the
+// same trace.
+func BenchmarkE5ParallelPager(b *testing.B) {
+	var st float64
+	for i := 0; i < b.N; i++ {
+		stats, _, _ := experiments.PageFaultWorkload(true, 64, 400)
+		st = float64(stats.FaulterSteps) / float64(stats.Faults)
+	}
+	b.ReportMetric(st, "faulter-ops/fault")
+}
+
+// BenchmarkE6CircularBuffer measures message loss under the overload
+// workload on the old circular buffer.
+func BenchmarkE6CircularBuffer(b *testing.B) {
+	var lost float64
+	for i := 0; i < b.N; i++ {
+		buf, err := iosys.NewCircularBuffer(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, l := experiments.BufferWorkload(buf, 2000, 24, 8)
+		lost = float64(l)
+	}
+	b.ReportMetric(lost, "messages-lost")
+}
+
+// BenchmarkE6InfiniteBuffer measures the same workload on the VM-backed
+// buffer.
+func BenchmarkE6InfiniteBuffer(b *testing.B) {
+	var lost float64
+	for i := 0; i < b.N; i++ {
+		cfg := mem.DefaultConfig()
+		cfg.CoreFrames = 1024
+		store, err := mem.NewStore(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err := iosys.NewInfiniteBuffer(store, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, l := experiments.BufferWorkload(buf, 2000, 24, 8)
+		lost = float64(l)
+	}
+	b.ReportMetric(lost, "messages-lost")
+}
+
+// BenchmarkE7PolicyFaultInjection runs the adversarial policy rounds.
+func BenchmarkE7PolicyFaultInjection(b *testing.B) {
+	var unauthorized float64
+	for i := 0; i < b.N; i++ {
+		rep := experiments.E7PolicyFaultInjection()
+		if !rep.Pass {
+			b.Fatalf("E7 failed: %s", rep.Measured)
+		}
+		unauthorized = 0
+	}
+	b.ReportMetric(unauthorized, "unauthorized-accesses")
+}
+
+// BenchmarkE8BorrowedInterrupts measures cycles stolen from user processes
+// by the old interceptor.
+func BenchmarkE8BorrowedInterrupts(b *testing.B) {
+	var stolen float64
+	for i := 0; i < b.N; i++ {
+		st, _ := experiments.InterruptWorkload(false, 120)
+		stolen = float64(st.StolenCycles)
+	}
+	b.ReportMetric(stolen, "stolen-vcycles")
+}
+
+// BenchmarkE8ProcessInterrupts measures the same workload under the new
+// dedicated-process design.
+func BenchmarkE8ProcessInterrupts(b *testing.B) {
+	var stolen float64
+	for i := 0; i < b.N; i++ {
+		st, _ := experiments.InterruptWorkload(true, 120)
+		stolen = float64(st.StolenCycles)
+	}
+	b.ReportMetric(stolen, "stolen-vcycles")
+}
+
+// BenchmarkE9KernelInventory builds every stage and reports the S0->S6
+// shrinkage.
+func BenchmarkE9KernelInventory(b *testing.B) {
+	var shrink float64
+	for i := 0; i < b.N; i++ {
+		var first, last int
+		for s := core.S0Baseline; s < core.NumStages; s++ {
+			k, err := core.New(core.Config{Stage: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inv := k.Inventory()
+			if s == core.S0Baseline {
+				first = inv.TotalUnits
+			}
+			last = inv.TotalUnits
+			k.Shutdown()
+		}
+		shrink = 100 * float64(first-last) / float64(first)
+	}
+	b.ReportMetric(shrink, "%kernel-shrinkage")
+}
+
+// BenchmarkE10Penetration runs the attack catalog against the S2 kernel and
+// reports supervisor compromises (must be zero).
+func BenchmarkE10Penetration(b *testing.B) {
+	var compromises float64
+	for i := 0; i < b.N; i++ {
+		k := buildKernel(b, core.S2RefNamesRemoved)
+		suite, err := audit.NewSuite(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := audit.Summary(suite.Run())
+		compromises = float64(sum[audit.SupervisorCompromise])
+	}
+	b.ReportMetric(compromises, "compromises")
+}
+
+// BenchmarkE11MLSPartitioning checks the full lattice flow matrix.
+func BenchmarkE11MLSPartitioning(b *testing.B) {
+	var flows float64
+	for i := 0; i < b.N; i++ {
+		rep := experiments.E11MLSPartitioning()
+		if !rep.Pass {
+			b.Fatalf("E11 failed: %s", rep.Measured)
+		}
+		flows = 0
+	}
+	b.ReportMetric(flows, "cross-compartment-flows")
+}
+
+// BenchmarkE12BootstrapInit measures the privileged boot work of the old
+// initialization pattern.
+func BenchmarkE12BootstrapInit(b *testing.B) {
+	var priv float64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := boot.Bootstrap(boot.StandardSteps(), machine.NewClock())
+		if err != nil {
+			b.Fatal(err)
+		}
+		priv = float64(rep.PrivilegedCycles)
+	}
+	b.ReportMetric(priv, "priv-boot-vcycles")
+}
+
+// BenchmarkE12ImageInit measures the privileged boot work of the
+// memory-image pattern.
+func BenchmarkE12ImageInit(b *testing.B) {
+	im, err := boot.BuildImage(boot.StandardSteps(), machine.NewClock())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var priv float64
+	for i := 0; i < b.N; i++ {
+		_, rep, err := boot.LoadImage(im, machine.NewClock(), boot.ImageLoadCycles)
+		if err != nil {
+			b.Fatal(err)
+		}
+		priv = float64(rep.PrivilegedCycles)
+	}
+	b.ReportMetric(priv, "priv-boot-vcycles")
+}
+
+// --- Ablations (the paper's footnote 7: the performance cost of security) ---
+
+// BenchmarkAblationPolicyInKernel measures victim decisions with the clock
+// policy running as ordinary ring-0 code.
+func BenchmarkAblationPolicyInKernel(b *testing.B) {
+	cfg := mem.DefaultConfig()
+	cfg.PageWords = 8
+	cfg.CoreFrames = 16
+	cfg.BulkBlocks = 64
+	store, err := mem.NewStore(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.CreateSegment(1, 12*cfg.PageWords); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := store.PageIn(mem.PageID{SegUID: 1, Index: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pol := pagectl.NewClockPolicy(store)
+	clk := machine.NewClock()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands := make([]mem.Frame, 0, 16)
+		for _, f := range store.Frames() {
+			if !f.Free && !f.Wired {
+				cands = append(cands, f)
+			}
+		}
+		clk.Advance(int64(len(cands)))
+		if _, err := pol.ChooseVictim(cands); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(clk.Now())/float64(b.N), "vcycles/decision")
+}
+
+// BenchmarkAblationPolicyInRing measures the same decisions made by policy
+// code executing in the policy ring through the mechanism gates.
+func BenchmarkAblationPolicyInRing(b *testing.B) {
+	cfg := mem.DefaultConfig()
+	cfg.PageWords = 8
+	cfg.CoreFrames = 16
+	cfg.BulkBlocks = 64
+	store, err := mem.NewStore(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.CreateSegment(1, 12*cfg.PageWords); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := store.PageIn(mem.PageID{SegUID: 1, Index: i}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	clk := machine.NewClock()
+	dom, err := policy.NewDomain(clk, machine.Model6180(), policy.NewMechanism(store), policy.ClockPolicyCode())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dom.Choose(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(clk.Now())/float64(b.N), "vcycles/decision")
+}
+
+// BenchmarkAblationWaterMarks sweeps the parallel pager's free-pool tuning
+// knob over the standard trace (one full trace per iteration).
+func BenchmarkAblationWaterMarks(b *testing.B) {
+	for _, wm := range []struct {
+		name        string
+		low, target int
+	}{
+		{"shallow-1-2", 1, 2},
+		{"default-2-4", 2, 4},
+		{"deep-4-8", 4, 8},
+	} {
+		b.Run(wm.name, func(b *testing.B) {
+			var wait float64
+			for i := 0; i < b.N; i++ {
+				stats, _, _ := experiments.PageFaultWorkloadWithMarks(wm.low, wm.target)
+				wait = float64(stats.WaitCycles) / float64(stats.Faults)
+			}
+			b.ReportMetric(wait, "vcycles-wait/fault")
+		})
+	}
+}

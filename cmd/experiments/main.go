@@ -1,0 +1,81 @@
+// Command experiments regenerates every quantitative claim of the paper's
+// evaluation narrative and prints the measured tables next to the claims.
+//
+// Usage:
+//
+//	experiments           # run all twelve experiments
+//	experiments -run E5   # run one experiment
+//	experiments -list     # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "run only the experiment with this ID (E1..E12, A1, A2)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	ablations := flag.Bool("ablations", false, "also run the A1/A2 ablations in the full sweep")
+	flag.Parse()
+
+	all := map[string]func() experiments.Report{
+		"E1":  experiments.E1GateCount,
+		"E2":  experiments.E2AddressSpaceCode,
+		"E3":  experiments.E3SupervisorEntries,
+		"E4":  experiments.E4CrossRingCall,
+		"E5":  experiments.E5PageFaultPath,
+		"E6":  experiments.E6NetworkBuffer,
+		"E7":  experiments.E7PolicyFaultInjection,
+		"E8":  experiments.E8InterruptHandling,
+		"E9":  experiments.E9KernelInventory,
+		"E10": experiments.E10Penetration,
+		"E11": experiments.E11MLSPartitioning,
+		"E12": experiments.E12BootComplexity,
+		"A1":  experiments.A1SecurityCost,
+		"A2":  experiments.A2WaterMarks,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	if *ablations {
+		order = append(order, "A1", "A2")
+	}
+
+	if *list {
+		for _, id := range order {
+			rep := all[id]()
+			fmt.Printf("%-4s %s\n", rep.ID, rep.Title)
+		}
+		return
+	}
+
+	if *run != "" {
+		fn, ok := all[*run]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E12)\n", *run)
+			os.Exit(2)
+		}
+		rep := fn()
+		fmt.Println(rep.Format())
+		if !rep.Pass {
+			os.Exit(1)
+		}
+		return
+	}
+
+	failures := 0
+	for _, id := range order {
+		rep := all[id]()
+		fmt.Println(rep.Format())
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) did not match the paper's shape\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all 12 experiments match the paper's claimed shapes")
+}

@@ -1,0 +1,104 @@
+// MLS: the MITRE-model subset at the bottom of the kernel. Three sessions
+// of the same user at different labels demonstrate simple security (no read
+// up), the *-property (no write down), and absolute compartment separation
+// — the properties the paper's partitioning section places "at the bottom
+// layer".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/acl"
+	"repro/internal/fs"
+	"repro/internal/mls"
+	"repro/multics"
+)
+
+func main() {
+	sys, err := multics.New(multics.StageRestructured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	if err := sys.AddUser("Analyst", "Mitre", "lattice7", multics.TopSecret); err != nil {
+		log.Fatal(err)
+	}
+
+	low, err := sys.Login("Analyst", "Mitre", "lattice7", multics.Unclassified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	high, err := sys.Login("Analyst", "Mitre", "lattice7", multics.Secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same person, two processes: unclassified and secret")
+
+	// An upgraded segment: created at the low level, labelled secret, with
+	// a wide-open discretionary ACL — only the mandatory rules govern.
+	h := sys.Kernel.Hierarchy()
+	world := acl.New(acl.Entry{
+		Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
+		Mode: acl.ModeRead | acl.ModeWrite,
+	})
+	if _, err := h.Create(low.Proc.Principal, low.Proc.Label, fs.RootUID, "dropbox", fs.CreateOptions{
+		Kind: fs.KindSegment, Label: mls.NewLabel(mls.Secret), Length: 16, ACL: world,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// The unclassified process may write UP into it (blind drop) but can
+	// never read it back.
+	box, err := low.Open(">dropbox", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := box.WriteWord(0, 42); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unclassified: wrote 42 upward into the secret dropbox")
+	if _, err := box.ReadWord(0); err != nil {
+		fmt.Println("unclassified: read back denied (simple security):", err)
+	}
+
+	// The secret process reads it, but can never write anything DOWN to an
+	// unclassified segment — even its own.
+	sbox, err := high.Open(">dropbox", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := sbox.ReadWord(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("secret: read the drop:", v)
+
+	if _, err := h.Create(low.Proc.Principal, low.Proc.Label, fs.RootUID, "public", fs.CreateOptions{
+		Kind: fs.KindSegment, Label: mls.NewLabel(mls.Unclassified), Length: 16, ACL: world,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	pub, err := high.Open(">public", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pub.WriteWord(0, v); err != nil {
+		fmt.Println("secret: cannot leak downward (*-property):", err)
+	} else {
+		log.Fatal("protection failure: write-down permitted")
+	}
+
+	// Compartments: two incomparable labels share no flow in either
+	// direction, no matter the discretionary settings.
+	nato := mls.NewLabel(mls.Secret, "nato")
+	crypto := mls.NewLabel(mls.Secret, "crypto")
+	fmt.Printf("\ncompartments %v and %v:\n", nato, crypto)
+	fmt.Printf("  nato reads crypto:  %v\n", mls.CheckRead(nato, crypto))
+	fmt.Printf("  nato writes crypto: %v\n", mls.CheckWrite(nato, crypto))
+	fmt.Printf("  crypto reads nato:  %v\n", mls.CheckRead(crypto, nato))
+	fmt.Printf("  crypto writes nato: %v\n", mls.CheckWrite(crypto, nato))
+	joint := nato.Join(crypto)
+	fmt.Printf("  a joint analyst needs %v, which dominates both: %v, %v\n",
+		joint, joint.Dominates(nato), joint.Dominates(crypto))
+}

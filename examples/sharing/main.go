@@ -1,0 +1,133 @@
+// Sharing: the paper's four categories of non-kernel software made
+// concrete. Two users share a segment under ACL control; one then borrows a
+// program from the other that turns out to be a trojan horse. Run with the
+// borrower's full authority it leaks (the paper: "a user should only borrow
+// programs from another when the borrower has reason to trust the lender");
+// run inside a protected-subsystem boundary (an outer ring) the ring
+// brackets confine it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/multics"
+)
+
+func main() {
+	sys, err := multics.New(multics.StageRestructured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Shutdown()
+	for _, u := range []struct{ person, pw string }{
+		{"Victor", "trusting1"}, {"Mallory", "malicious"},
+	} {
+		if err := sys.AddUser(u.person, "CSR", u.pw, multics.Secret); err != nil {
+			log.Fatal(err)
+		}
+	}
+	victor, err := sys.Login("Victor", "CSR", "trusting1", multics.Unclassified)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mallory, err := sys.Login("Mallory", "CSR", "malicious", multics.Unclassified)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Controlled sharing, working as designed. ---
+	if err := victor.MakeDir(">victor"); err != nil {
+		log.Fatal(err)
+	}
+	if err := victor.CreateSegment(">victor>report", 64); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := victor.Open(">victor>report", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteWord(0, 1975); err != nil {
+		log.Fatal(err)
+	}
+	if err := victor.SetACL(">victor", "Mallory.*.*", "s"); err != nil {
+		log.Fatal(err)
+	}
+	if err := victor.SetACL(">victor>report", "Mallory.*.*", "r"); err != nil {
+		log.Fatal(err)
+	}
+	shared, err := mallory.Open(">victor>report", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := shared.ReadWord(0)
+	fmt.Println("Mallory reads the shared report:", v)
+	if err := shared.WriteWord(0, 0); err != nil {
+		fmt.Println("Mallory cannot modify it:", err)
+	}
+
+	// --- The trojan horse. ---
+	// Victor's private diary: no ACL entry for Mallory at all.
+	if err := victor.CreateSegment(">victor>diary", 16); err != nil {
+		log.Fatal(err)
+	}
+	diary, err := victor.Open(">victor>diary", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := diary.WriteWord(0, 0x5ec3e7); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mallory.Open(">victor>diary", ""); err != nil {
+		fmt.Println("Mallory cannot open the diary herself:", err)
+	}
+
+	// Mallory writes a "useful utility" that secretly reads whatever
+	// segment its caller can read and stashes the value where Mallory can
+	// see it.
+	var exfiltrated []uint64
+	trojan := &machine.Procedure{Name: "pretty_print", Entries: []machine.EntryFunc{
+		func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			target := machine.SegNo(args[0])
+			v, err := ctx.Load(target, 0)
+			if err != nil {
+				return nil, err
+			}
+			exfiltrated = append(exfiltrated, v) // the covert copy
+			return []uint64{v}, nil
+		},
+	}}
+
+	// Case 1: Victor runs the borrowed program with his FULL authority.
+	seg := victor.Proc.DS.FirstFree(core.FirstUserSegNo)
+	if err := victor.Proc.DS.Set(seg, machine.SDW{
+		Proc: trojan, Mode: machine.ModeExecute,
+		Brackets: machine.UserBrackets(machine.UserRing),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := victor.Proc.CPU.Call(seg, 0, []uint64{uint64(diary.Seg)}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full authority: trojan exfiltrated %#x — the kernel cannot stop this\n", exfiltrated[0])
+
+	// Case 2: Victor runs the same program inside a protected-subsystem
+	// boundary: ring 5, outside the diary's ring brackets.
+	seg5 := victor.Proc.DS.FirstFree(seg + 1)
+	if err := victor.Proc.DS.Set(seg5, machine.SDW{
+		Proc: trojan, Mode: machine.ModeExecute,
+		Brackets: machine.UserBrackets(machine.Ring(5)),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	_, err = victor.Proc.CPU.Call(seg5, 0, []uint64{uint64(diary.Seg)})
+	if err != nil {
+		fmt.Println("confined to ring 5: the hardware stops the same trojan:")
+		fmt.Println("   ", err)
+	} else {
+		log.Fatal("protection failure: confined trojan succeeded")
+	}
+	fmt.Printf("exfiltrated values after both runs: %d (only the full-authority run leaked)\n", len(exfiltrated))
+}

@@ -1,0 +1,265 @@
+// Package acl implements Multics discretionary access control: access
+// control lists that map principal identifiers of the form
+// Person.Project.Tag onto access modes, with component wildcards.
+//
+// ACL checking is a kernel function — it is part of the common mechanism
+// every user relies on — so this package is part of the security kernel in
+// every configuration.
+package acl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Principal identifies an authenticated user process: the person, the
+// project they are logged in under, and an instance tag. The tag
+// distinguishes, e.g., interactive from absentee processes.
+type Principal struct {
+	Person  string
+	Project string
+	Tag     string
+}
+
+// ParsePrincipal parses "Person.Project.Tag" (the tag may be omitted,
+// defaulting to "a" for an interactive process).
+func ParsePrincipal(s string) (Principal, error) {
+	parts := strings.Split(s, ".")
+	switch len(parts) {
+	case 2:
+		parts = append(parts, "a")
+	case 3:
+	default:
+		return Principal{}, fmt.Errorf("acl: malformed principal %q (want Person.Project[.Tag])", s)
+	}
+	for i, p := range parts {
+		if p == "" {
+			return Principal{}, fmt.Errorf("acl: empty component %d in principal %q", i, s)
+		}
+	}
+	return Principal{Person: parts[0], Project: parts[1], Tag: parts[2]}, nil
+}
+
+func (p Principal) String() string {
+	return p.Person + "." + p.Project + "." + p.Tag
+}
+
+// Wildcard is the component that matches anything in an ACL entry pattern.
+const Wildcard = "*"
+
+// Pattern is a principal pattern in an ACL entry; each component may be a
+// literal or the wildcard "*".
+type Pattern struct {
+	Person  string
+	Project string
+	Tag     string
+}
+
+// ParsePattern parses "Person.Project.Tag" where components may be "*".
+// A missing tag means "*".
+func ParsePattern(s string) (Pattern, error) {
+	parts := strings.Split(s, ".")
+	switch len(parts) {
+	case 1:
+		parts = append(parts, Wildcard, Wildcard)
+	case 2:
+		parts = append(parts, Wildcard)
+	case 3:
+	default:
+		return Pattern{}, fmt.Errorf("acl: malformed pattern %q", s)
+	}
+	for i, p := range parts {
+		if p == "" {
+			return Pattern{}, fmt.Errorf("acl: empty component %d in pattern %q", i, s)
+		}
+	}
+	return Pattern{Person: parts[0], Project: parts[1], Tag: parts[2]}, nil
+}
+
+func (p Pattern) String() string {
+	return p.Person + "." + p.Project + "." + p.Tag
+}
+
+// Matches reports whether the pattern matches the principal.
+func (p Pattern) Matches(who Principal) bool {
+	return (p.Person == Wildcard || p.Person == who.Person) &&
+		(p.Project == Wildcard || p.Project == who.Project) &&
+		(p.Tag == Wildcard || p.Tag == who.Tag)
+}
+
+// specificity orders patterns: literal person beats wildcard person, then
+// project, then tag — the Multics rule that the most specific matching entry
+// governs.
+func (p Pattern) specificity() int {
+	s := 0
+	if p.Person != Wildcard {
+		s += 4
+	}
+	if p.Project != Wildcard {
+		s += 2
+	}
+	if p.Tag != Wildcard {
+		s += 1
+	}
+	return s
+}
+
+// Mode is a discretionary access mode set. Segments use Read/Execute/Write;
+// directories use Status/Modify/Append.
+type Mode uint8
+
+// Mode bits.
+const (
+	ModeRead Mode = 1 << iota
+	ModeExecute
+	ModeWrite
+	ModeStatus
+	ModeModify
+	ModeAppend
+)
+
+// Has reports whether m includes every bit of want.
+func (m Mode) Has(want Mode) bool { return m&want == want }
+
+func (m Mode) String() string {
+	if m == 0 {
+		return "null"
+	}
+	var b strings.Builder
+	for _, part := range []struct {
+		bit Mode
+		c   byte
+	}{
+		{ModeRead, 'r'}, {ModeExecute, 'e'}, {ModeWrite, 'w'},
+		{ModeStatus, 's'}, {ModeModify, 'm'}, {ModeAppend, 'a'},
+	} {
+		if m.Has(part.bit) {
+			b.WriteByte(part.c)
+		}
+	}
+	return b.String()
+}
+
+// ParseMode parses a mode string such as "rw", "rew", "sma", or "null".
+func ParseMode(s string) (Mode, error) {
+	if s == "null" || s == "" || s == "n" {
+		return 0, nil
+	}
+	var m Mode
+	for _, c := range s {
+		switch c {
+		case 'r':
+			m |= ModeRead
+		case 'e', 'x':
+			m |= ModeExecute
+		case 'w':
+			m |= ModeWrite
+		case 's':
+			m |= ModeStatus
+		case 'm':
+			m |= ModeModify
+		case 'a':
+			m |= ModeAppend
+		default:
+			return 0, fmt.Errorf("acl: invalid mode character %q in %q", c, s)
+		}
+	}
+	return m, nil
+}
+
+// Entry pairs a principal pattern with a mode.
+type Entry struct {
+	Who  Pattern
+	Mode Mode
+}
+
+func (e Entry) String() string { return fmt.Sprintf("%v %v", e.Mode, e.Who) }
+
+// ACL is an access control list. The zero value is an empty list that
+// grants nothing.
+type ACL struct {
+	entries []Entry
+}
+
+// New returns an ACL with the given entries.
+func New(entries ...Entry) *ACL {
+	a := &ACL{}
+	for _, e := range entries {
+		a.Set(e.Who, e.Mode)
+	}
+	return a
+}
+
+// Set adds or replaces the entry for pattern who.
+func (a *ACL) Set(who Pattern, mode Mode) {
+	for i := range a.entries {
+		if a.entries[i].Who == who {
+			a.entries[i].Mode = mode
+			return
+		}
+	}
+	a.entries = append(a.entries, Entry{Who: who, Mode: mode})
+}
+
+// Remove deletes the entry for pattern who, reporting whether it existed.
+func (a *ACL) Remove(who Pattern) bool {
+	for i := range a.entries {
+		if a.entries[i].Who == who {
+			a.entries = append(a.entries[:i], a.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns a copy of the entries, most specific first (the order in
+// which they are consulted).
+func (a *ACL) Entries() []Entry {
+	out := make([]Entry, len(a.entries))
+	copy(out, a.entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Who.specificity() > out[j].Who.specificity()
+	})
+	return out
+}
+
+// ModeFor computes the mode granted to who: the mode of the most specific
+// matching entry, or zero if no entry matches. An explicit "null" entry
+// therefore denies access to a specific principal even when a broader entry
+// would grant it.
+func (a *ACL) ModeFor(who Principal) Mode {
+	best := -1
+	var mode Mode
+	for _, e := range a.entries {
+		if !e.Who.Matches(who) {
+			continue
+		}
+		if s := e.Who.specificity(); s > best {
+			best = s
+			mode = e.Mode
+		}
+	}
+	return mode
+}
+
+// Check returns nil if who holds every bit of want, else a descriptive
+// error.
+func (a *ACL) Check(who Principal, want Mode) error {
+	got := a.ModeFor(who)
+	if got.Has(want) {
+		return nil
+	}
+	return &DeniedError{Who: who, Want: want, Got: got}
+}
+
+// DeniedError reports a discretionary access denial.
+type DeniedError struct {
+	Who  Principal
+	Want Mode
+	Got  Mode
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("acl: %v denied: wants %v, has %v", e.Who, e.Want, e.Got)
+}

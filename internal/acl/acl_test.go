@@ -1,0 +1,193 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrincipal(t *testing.T) {
+	p, err := ParsePrincipal("Schroeder.CSR.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Person != "Schroeder" || p.Project != "CSR" || p.Tag != "a" {
+		t.Errorf("parsed %+v", p)
+	}
+	p, err = ParsePrincipal("Saltzer.CSR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Tag != "a" {
+		t.Errorf("default tag = %q, want a", p.Tag)
+	}
+	for _, bad := range []string{"", "one", "a.b.c.d", "..", "a..c"} {
+		if _, err := ParsePrincipal(bad); err == nil {
+			t.Errorf("ParsePrincipal(%q) should fail", bad)
+		}
+	}
+	if got := p.String(); got != "Saltzer.CSR.a" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	pat, err := ParsePattern("Schroeder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pat.Project != Wildcard || pat.Tag != Wildcard {
+		t.Errorf("pattern = %+v", pat)
+	}
+	pat, err = ParsePattern("*.CSR.*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	who := Principal{Person: "Janson", Project: "CSR", Tag: "a"}
+	if !pat.Matches(who) {
+		t.Errorf("%v should match %v", pat, who)
+	}
+	if pat.Matches(Principal{Person: "Janson", Project: "Mitre", Tag: "a"}) {
+		t.Error("project mismatch should not match")
+	}
+	if _, err := ParsePattern("a.b.c.d"); err == nil {
+		t.Error("too many components should fail")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	m, err := ParseMode("rew")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(ModeRead | ModeExecute | ModeWrite) {
+		t.Errorf("mode = %v", m)
+	}
+	if m.Has(ModeStatus) {
+		t.Error("rew should not include s")
+	}
+	m, err = ParseMode("sma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Has(ModeStatus | ModeModify | ModeAppend) {
+		t.Errorf("mode = %v", m)
+	}
+	if m2, err := ParseMode("null"); err != nil || m2 != 0 {
+		t.Errorf("null mode = %v, %v", m2, err)
+	}
+	if _, err := ParseMode("rq"); err == nil {
+		t.Error("invalid char should fail")
+	}
+	if got := (ModeRead | ModeWrite).String(); got != "rw" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Mode(0).String(); got != "null" {
+		t.Errorf("zero mode String = %q", got)
+	}
+}
+
+func mustPattern(t *testing.T, s string) Pattern {
+	t.Helper()
+	p, err := ParsePattern(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustPrincipal(t *testing.T, s string) Principal {
+	t.Helper()
+	p, err := ParsePrincipal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestACLMostSpecificWins(t *testing.T) {
+	a := New()
+	a.Set(mustPattern(t, "*.*.*"), ModeRead)
+	a.Set(mustPattern(t, "*.CSR.*"), ModeRead|ModeWrite)
+	a.Set(mustPattern(t, "Schroeder.CSR.*"), 0) // explicit null: denial
+
+	anyone := mustPrincipal(t, "Linde.SDC.a")
+	if got := a.ModeFor(anyone); got != ModeRead {
+		t.Errorf("anyone mode = %v, want r", got)
+	}
+	csr := mustPrincipal(t, "Janson.CSR.a")
+	if got := a.ModeFor(csr); got != ModeRead|ModeWrite {
+		t.Errorf("CSR mode = %v, want rw", got)
+	}
+	denied := mustPrincipal(t, "Schroeder.CSR.a")
+	if got := a.ModeFor(denied); got != 0 {
+		t.Errorf("explicitly nulled principal mode = %v, want null", got)
+	}
+}
+
+func TestACLCheck(t *testing.T) {
+	a := New(Entry{Who: mustPattern(t, "*.CSR.*"), Mode: ModeRead})
+	who := mustPrincipal(t, "Bratt.CSR.a")
+	if err := a.Check(who, ModeRead); err != nil {
+		t.Errorf("Check read: %v", err)
+	}
+	err := a.Check(who, ModeWrite)
+	var de *DeniedError
+	if !errors.As(err, &de) {
+		t.Fatalf("Check write = %v, want DeniedError", err)
+	}
+	if de.Who != who || de.Want != ModeWrite || de.Got != ModeRead {
+		t.Errorf("denial = %+v", de)
+	}
+}
+
+func TestACLSetReplacesAndRemove(t *testing.T) {
+	a := New()
+	pat := mustPattern(t, "X.Y.*")
+	a.Set(pat, ModeRead)
+	a.Set(pat, ModeRead|ModeWrite)
+	if len(a.Entries()) != 1 {
+		t.Fatalf("entries = %v", a.Entries())
+	}
+	if a.Entries()[0].Mode != ModeRead|ModeWrite {
+		t.Errorf("replaced mode = %v", a.Entries()[0].Mode)
+	}
+	if !a.Remove(pat) {
+		t.Error("Remove existing should be true")
+	}
+	if a.Remove(pat) {
+		t.Error("Remove missing should be false")
+	}
+	if a.ModeFor(mustPrincipal(t, "X.Y.a")) != 0 {
+		t.Error("after removal, no access")
+	}
+}
+
+func TestEntriesSortedBySpecificity(t *testing.T) {
+	a := New()
+	a.Set(mustPattern(t, "*.*.*"), ModeRead)
+	a.Set(mustPattern(t, "A.B.c"), ModeWrite)
+	a.Set(mustPattern(t, "A.*.*"), ModeExecute)
+	es := a.Entries()
+	if es[0].Who.String() != "A.B.c" || es[2].Who.String() != "*.*.*" {
+		t.Errorf("order = %v", es)
+	}
+}
+
+// Property: ModeFor never grants bits that no matching entry holds, and an
+// exact-match entry always governs.
+func TestQuickMostSpecific(t *testing.T) {
+	f := func(grantWild, grantExact uint8) bool {
+		wild := Mode(grantWild) & (ModeRead | ModeWrite | ModeExecute)
+		exact := Mode(grantExact) & (ModeRead | ModeWrite | ModeExecute)
+		a := New()
+		a.Set(Pattern{Person: Wildcard, Project: Wildcard, Tag: Wildcard}, wild)
+		a.Set(Pattern{Person: "P", Project: "J", Tag: "a"}, exact)
+		who := Principal{Person: "P", Project: "J", Tag: "a"}
+		other := Principal{Person: "Q", Project: "K", Tag: "a"}
+		return a.ModeFor(who) == exact && a.ModeFor(other) == wild
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func runSuite(t *testing.T, stage core.Stage) []Result {
+	t.Helper()
+	k, err := core.New(core.Config{Stage: stage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(k.Shutdown)
+	s, err := NewSuite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func find(t *testing.T, results []Result, name string) Result {
+	t.Helper()
+	for _, r := range results {
+		if r.Attack == name {
+			return r
+		}
+	}
+	t.Fatalf("no result for attack %q", name)
+	return Result{}
+}
+
+func TestBaselineKernelCompromisedByLinkerAttack(t *testing.T) {
+	results := runSuite(t, core.S0Baseline)
+	r := find(t, results, "malformed-linker-input")
+	if r.Outcome != SupervisorCompromise {
+		t.Errorf("S0 linker attack = %v (%s), want supervisor compromise", r.Outcome, r.Detail)
+	}
+}
+
+func TestPostRemovalKernelsContainLinkerAttack(t *testing.T) {
+	for _, stage := range []core.Stage{core.S1LinkerRemoved, core.S2RefNamesRemoved, core.S6Restructured} {
+		results := runSuite(t, stage)
+		r := find(t, results, "malformed-linker-input")
+		if r.Outcome != Contained {
+			t.Errorf("%v linker attack = %v (%s), want contained", stage, r.Outcome, r.Detail)
+		}
+	}
+}
+
+func TestProtectionAttacksBlockedAtEveryStage(t *testing.T) {
+	blockedAttacks := []string{
+		"direct-ring-violation",
+		"non-gate-entry-probe",
+		"privileged-gate-probe",
+		"acl-bypass-probe",
+		"mls-read-up-probe",
+		"event-channel-abuse",
+		"descriptor-forgery",
+		"trojan-horse-confined",
+	}
+	for _, stage := range []core.Stage{core.S0Baseline, core.S2RefNamesRemoved, core.S6Restructured} {
+		results := runSuite(t, stage)
+		for _, name := range blockedAttacks {
+			r := find(t, results, name)
+			if r.Outcome != Blocked {
+				t.Errorf("%v: %s = %v (%s), want blocked", stage, name, r.Outcome, r.Detail)
+			}
+		}
+	}
+}
+
+func TestGateArgumentAbuseByStage(t *testing.T) {
+	// At S0, the linker gates accept raw segment numbers and parse the
+	// segments in ring 0: garbage arguments make privileged code
+	// malfunction — the paper's "numerous accidents". Once the linker
+	// leaves the kernel, the same abuse is rejected cleanly everywhere.
+	r0 := find(t, runSuite(t, core.S0Baseline), "gate-argument-abuse")
+	if r0.Outcome != SupervisorCompromise {
+		t.Errorf("S0 argument abuse = %v (%s), want supervisor compromise", r0.Outcome, r0.Detail)
+	}
+	for _, stage := range []core.Stage{core.S1LinkerRemoved, core.S2RefNamesRemoved, core.S6Restructured} {
+		r := find(t, runSuite(t, stage), "gate-argument-abuse")
+		if r.Outcome != Blocked {
+			t.Errorf("%v argument abuse = %v (%s), want blocked", stage, r.Outcome, r.Detail)
+		}
+	}
+}
+
+func TestTrojanWithFullAuthorityLeaksEverywhere(t *testing.T) {
+	// The paper's concession: no kernel stops a borrowed program running
+	// with the borrower's own authority.
+	for _, stage := range []core.Stage{core.S0Baseline, core.S6Restructured} {
+		results := runSuite(t, stage)
+		r := find(t, results, "trojan-horse-full-authority")
+		if r.Outcome != AuthorizedLeak {
+			t.Errorf("%v: full-authority trojan = %v (%s), want authorized leak", stage, r.Outcome, r.Detail)
+		}
+	}
+}
+
+func TestSummaryAndFormat(t *testing.T) {
+	results := runSuite(t, core.S2RefNamesRemoved)
+	sum := Summary(results)
+	if sum[SupervisorCompromise] != 0 {
+		t.Errorf("S2 compromises = %d, want 0", sum[SupervisorCompromise])
+	}
+	if sum[Blocked] == 0 || sum[AuthorizedLeak] != 1 || sum[Contained] != 1 {
+		t.Errorf("summary = %v", sum)
+	}
+	out := Format(results)
+	if out == "" || len(results) != 11 {
+		t.Errorf("format/len = %d results", len(results))
+	}
+}

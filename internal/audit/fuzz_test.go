@@ -1,0 +1,168 @@
+package audit
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/machine"
+)
+
+// TestFuzzGateSurface fires deterministic pseudo-random calls — random
+// gates, random arities, random argument words, random raw machine
+// operations — at kernels of three stages. The invariants: the kernel
+// never panics, ring-0 state stays consistent enough to keep serving valid
+// calls, and supervisor malfunctions occur only where the paper says they
+// could (the baseline's privileged parsing paths).
+func TestFuzzGateSurface(t *testing.T) {
+	for _, stage := range []core.Stage{core.S0Baseline, core.S2RefNamesRemoved, core.S6Restructured} {
+		t.Run(stage.String(), func(t *testing.T) {
+			k, err := core.New(core.Config{Stage: stage})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer k.Shutdown()
+			s, err := NewSuite(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := s.attacker
+			rng := rand.New(rand.NewSource(1975))
+			names := k.UserGates().Names()
+
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("kernel panicked under fuzzing: %v", r)
+				}
+			}()
+			const rounds = 3000
+			for i := 0; i < rounds; i++ {
+				switch rng.Intn(4) {
+				case 0, 1: // random gate, random args
+					name := names[rng.Intn(len(names))]
+					args := make([]uint64, rng.Intn(9))
+					for j := range args {
+						args[j] = rng.Uint64() >> uint(rng.Intn(64))
+					}
+					_, _ = p.CallGate(name, args...)
+				case 2: // random raw load/store
+					seg := machine.SegNo(rng.Intn(64))
+					off := rng.Intn(4096) - 8
+					if rng.Intn(2) == 0 {
+						_, _ = p.CPU.Load(seg, off)
+					} else {
+						_ = p.CPU.Store(seg, off, rng.Uint64())
+					}
+				case 3: // random call (entry may be out of range, non-gate)
+					seg := machine.SegNo(rng.Intn(16))
+					_, _ = p.CPU.Call(seg, rng.Intn(80), []uint64{rng.Uint64()})
+				}
+			}
+
+			// After the storm, the kernel must still serve a legitimate
+			// workload end to end.
+			dOff, dLen, err := p.GateString("postfuzz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var uid uint64
+			if stage < core.S2RefNamesRemoved {
+				rOff, rLen, _ := p.GateString(">")
+				out, err := p.CallGate("hcs_$append_branch", rOff, rLen, dOff, dLen, 0)
+				if err != nil {
+					t.Fatalf("post-fuzz create: %v", err)
+				}
+				uid = out[0]
+			} else {
+				out, err := p.CallGate("hcs_$root_dir")
+				if err != nil {
+					t.Fatalf("post-fuzz root: %v", err)
+				}
+				out2, err := p.CallGate("hcs_$append_branch", out[0], dOff, dLen, 0)
+				if err != nil {
+					t.Fatalf("post-fuzz create: %v", err)
+				}
+				uid = out2[0]
+			}
+			if _, err := k.Hierarchy().Object(uid); err != nil {
+				t.Fatalf("post-fuzz object: %v", err)
+			}
+
+			// Malfunction policy: only the baseline's privileged parsing
+			// paths may have crashed the supervisor.
+			if stage != core.S0Baseline && k.SystemCrashes != 0 {
+				t.Errorf("%v: %d supervisor malfunctions under fuzzing, want 0", stage, k.SystemCrashes)
+			}
+		})
+	}
+}
+
+// TestFuzzSymtabThroughKernelLinker hammers the S0 kernel linker with
+// random symbol-table bytes: each failure must be a classified error, and
+// the count of supervisor malfunctions must equal the count of corrupt
+// tables the privileged parser swallowed — nothing silently succeeds.
+func TestFuzzSymtabThroughKernelLinker(t *testing.T) {
+	k, err := core.New(core.Config{Stage: core.S0Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Shutdown()
+	s, err := NewSuite(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.attacker
+	h := k.Hierarchy()
+	lib, err := h.Create(attackerID, unc, 1, "fuzzlib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := &machine.Procedure{Name: "victim", Entries: []machine.EntryFunc{
+		func(_ *machine.ExecContext, a []uint64) ([]uint64, error) { return a, nil },
+	}}
+	uid, err := k.InstallProgram(attackerID, unc, lib, "victim", proc, nil, fs.CreateOptions{Label: unc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lOff, lLen, _ := p.GateString(">fuzzlib")
+	if _, err := p.CallGate("hcs_$add_search_rule", lOff, lLen); err != nil {
+		t.Fatal(err)
+	}
+	sOff, sLen, _ := p.GateString("victim")
+	eOff, eLen, _ := p.GateString("main")
+
+	rng := rand.New(rand.NewSource(80))
+	crashes := int64(0)
+	for i := 0; i < 200; i++ {
+		words := make([]uint64, rng.Intn(24)+1)
+		for j := range words {
+			words[j] = rng.Uint64() >> uint(rng.Intn(60))
+		}
+		if rng.Intn(3) == 0 {
+			words[0] = 0x4C4E4B // valid magic, garbage body
+		}
+		if err := k.SmashSegmentWords(uid, words); err != nil {
+			t.Fatal(err)
+		}
+		before := k.SystemCrashes
+		_, err := p.CallGate("hcs_$link_snap", sOff, sLen, eOff, eLen)
+		if err == nil {
+			t.Fatalf("random words %v accepted as a symbol table", words[:min(4, len(words))])
+		}
+		if k.SystemCrashes > before {
+			crashes++
+		}
+	}
+	if crashes == 0 {
+		t.Error("fuzzing never malfunctioned the privileged linker — the S0 vulnerability should be reachable")
+	}
+	t.Logf("S0 kernel linker: %d supervisor malfunctions across 200 random tables", crashes)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+// Package boot implements system initialization both ways the paper
+// compares:
+//
+// Bootstrap is the old pattern: every time the system starts it executes a
+// long sequence of initialization steps inside the supervisor, bootstrapping
+// "itself in a complex way each time it is loaded from a tape containing
+// the separate pieces".
+//
+// Image is the removal project's pattern: run the same steps ONCE "in a
+// user environment of a previous system" to produce "on a system tape a bit
+// pattern which, when loaded into memory, manifests a fully initialized
+// system". At boot, the only privileged act is loading and validating that
+// image. The privileged-step and privileged-cycle counts of the two
+// patterns are what experiment E12 reports.
+package boot
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// State is the initialized-system state the steps build: a set of named
+// words (table addresses, device counts, root UIDs — whatever each step
+// contributes).
+type State struct {
+	values map[string]uint64
+}
+
+// NewState returns an empty state.
+func NewState() *State { return &State{values: make(map[string]uint64)} }
+
+// Set records a named value.
+func (s *State) Set(name string, v uint64) { s.values[name] = v }
+
+// Get fetches a named value.
+func (s *State) Get(name string) (uint64, bool) {
+	v, ok := s.values[name]
+	return v, ok
+}
+
+// Len returns the number of recorded values.
+func (s *State) Len() int { return len(s.values) }
+
+// Step is one initialization action.
+type Step struct {
+	// Name identifies the step.
+	Name string
+	// Privileged marks steps that must run in ring 0 when executed at
+	// boot time.
+	Privileged bool
+	// Cycles is the virtual time the step consumes.
+	Cycles int64
+	// Run performs the step against the accumulating state.
+	Run func(st *State) error
+}
+
+// Report summarizes one system start.
+type Report struct {
+	// Pattern names the initialization pattern used.
+	Pattern string
+	// StepsRun is the number of steps executed at boot time.
+	StepsRun int
+	// PrivilegedSteps is how many of them ran with ring-0 privilege.
+	PrivilegedSteps int
+	// PrivilegedCycles is the virtual time spent privileged at boot.
+	PrivilegedCycles int64
+	// TotalCycles is all boot-time virtual time.
+	TotalCycles int64
+}
+
+// Bootstrap runs every step at boot, the old pattern.
+func Bootstrap(steps []Step, clock *machine.Clock) (*State, Report, error) {
+	st := NewState()
+	rep := Report{Pattern: "bootstrap"}
+	for _, s := range steps {
+		if s.Run != nil {
+			if err := s.Run(st); err != nil {
+				return nil, rep, fmt.Errorf("boot: step %q: %w", s.Name, err)
+			}
+		}
+		clock.Advance(s.Cycles)
+		rep.StepsRun++
+		rep.TotalCycles += s.Cycles
+		if s.Privileged {
+			rep.PrivilegedSteps++
+			rep.PrivilegedCycles += s.Cycles
+		}
+	}
+	return st, rep, nil
+}
+
+// Image is the generated "bit pattern which, when loaded into memory,
+// manifests a fully initialized system".
+type Image struct {
+	words []uint64
+}
+
+// Words exposes the raw image (the "system tape" content).
+func (im *Image) Words() []uint64 { return im.words }
+
+// imageMagic marks a valid image header.
+const imageMagic uint64 = 0x4D4B5349 // "MKSI"
+
+// BuildImage runs every step in a user environment (no privilege, not at
+// boot time) and serializes the resulting state. The cycles it consumes
+// are charged to the generating environment's clock, not to any boot.
+func BuildImage(steps []Step, clock *machine.Clock) (*Image, error) {
+	st := NewState()
+	for _, s := range steps {
+		if s.Run != nil {
+			if err := s.Run(st); err != nil {
+				return nil, fmt.Errorf("boot: generating image at step %q: %w", s.Name, err)
+			}
+		}
+		clock.Advance(s.Cycles)
+	}
+	return encodeImage(st)
+}
+
+// encodeImage packs the state: header, count, then sorted (name, value)
+// records, then a checksum word.
+func encodeImage(st *State) (*Image, error) {
+	names := make([]string, 0, len(st.values))
+	for n := range st.values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	words := []uint64{imageMagic, uint64(len(names))}
+	for _, n := range names {
+		if len(n) > 255 {
+			return nil, fmt.Errorf("boot: state name %q too long", n)
+		}
+		words = append(words, uint64(len(n)))
+		packed := make([]uint64, (len(n)+7)/8)
+		for i := 0; i < len(n); i++ {
+			packed[i/8] |= uint64(n[i]) << uint(56-8*(i%8))
+		}
+		words = append(words, packed...)
+		words = append(words, st.values[n])
+	}
+	words = append(words, checksum(words))
+	return &Image{words: words}, nil
+}
+
+func checksum(words []uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, w := range words {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> uint(56-8*i))
+		}
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ErrCorruptImage is returned when a loaded image fails validation.
+var ErrCorruptImage = errors.New("boot: corrupt system image")
+
+// LoadImage is the new boot path: a single privileged step that validates
+// the image and installs its state. loadCycles is the cost of reading the
+// image into memory.
+func LoadImage(im *Image, clock *machine.Clock, loadCycles int64) (*State, Report, error) {
+	rep := Report{Pattern: "memory-image", StepsRun: 1, PrivilegedSteps: 1,
+		PrivilegedCycles: loadCycles, TotalCycles: loadCycles}
+	clock.Advance(loadCycles)
+	st, err := decodeImage(im)
+	if err != nil {
+		return nil, rep, err
+	}
+	return st, rep, nil
+}
+
+func decodeImage(im *Image) (*State, error) {
+	w := im.words
+	if len(w) < 3 {
+		return nil, fmt.Errorf("%w: too short", ErrCorruptImage)
+	}
+	if w[0] != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorruptImage, w[0])
+	}
+	body, sum := w[:len(w)-1], w[len(w)-1]
+	if checksum(body) != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorruptImage)
+	}
+	st := NewState()
+	count := w[1]
+	off := 2
+	for i := uint64(0); i < count; i++ {
+		if off >= len(body) {
+			return nil, fmt.Errorf("%w: truncated at record %d", ErrCorruptImage, i)
+		}
+		nameLen := w[off]
+		off++
+		if nameLen == 0 || nameLen > 255 {
+			return nil, fmt.Errorf("%w: record %d name length %d", ErrCorruptImage, i, nameLen)
+		}
+		nWords := int(nameLen+7) / 8
+		if off+nWords+1 > len(body) {
+			return nil, fmt.Errorf("%w: truncated name at record %d", ErrCorruptImage, i)
+		}
+		name := make([]byte, nameLen)
+		for j := 0; j < int(nameLen); j++ {
+			name[j] = byte(w[off+j/8] >> uint(56-8*(j%8)))
+		}
+		off += nWords
+		st.Set(string(name), w[off])
+		off++
+	}
+	if off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing words", ErrCorruptImage, len(body)-off)
+	}
+	return st, nil
+}
+
+// StandardSteps returns the canonical Multics initialization sequence used
+// by the experiments: the steps the old pattern runs privileged at every
+// boot, and the new pattern runs once in a user environment.
+func StandardSteps() []Step {
+	mk := func(name string, priv bool, cycles int64, vals map[string]uint64) Step {
+		return Step{Name: name, Privileged: priv, Cycles: cycles, Run: func(st *State) error {
+			for k, v := range vals {
+				st.Set(k, v)
+			}
+			return nil
+		}}
+	}
+	return []Step{
+		mk("read-system-tape-header", true, 500, map[string]uint64{"tape.format": 2}),
+		mk("build-descriptor-tables", true, 800, map[string]uint64{"dseg.size": 512}),
+		mk("init-page-control", true, 1200, map[string]uint64{"pc.core_frames": 256, "pc.bulk_blocks": 2048}),
+		mk("init-segment-control", true, 900, map[string]uint64{"sc.kst_size": 4096}),
+		mk("init-directory-control", true, 1100, map[string]uint64{"fs.root_uid": 1}),
+		mk("init-io-system", true, 700, map[string]uint64{"io.channels": 8}),
+		mk("init-interrupt-vectors", true, 300, map[string]uint64{"int.sources": 6}),
+		mk("init-traffic-control", true, 600, map[string]uint64{"tc.vps": 8}),
+		mk("load-answering-service", true, 400, map[string]uint64{"as.ready": 1}),
+		mk("salvage-check-hierarchy", true, 1500, map[string]uint64{"fs.salvaged": 1}),
+		mk("format-config-deck", false, 200, map[string]uint64{"cfg.cards": 40}),
+		mk("compute-scheduler-tables", false, 350, map[string]uint64{"tc.quantum": 2000}),
+	}
+}
+
+// ImageLoadCycles is the cost of the single privileged load step in the
+// new pattern (reading the prebuilt image from tape into memory).
+const ImageLoadCycles int64 = 600

@@ -1,0 +1,163 @@
+package boot
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestBootstrapRunsAllSteps(t *testing.T) {
+	clk := machine.NewClock()
+	st, rep, err := Bootstrap(StandardSteps(), clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StepsRun != len(StandardSteps()) {
+		t.Errorf("steps run = %d", rep.StepsRun)
+	}
+	if rep.PrivilegedSteps != 10 {
+		t.Errorf("privileged steps = %d, want 10", rep.PrivilegedSteps)
+	}
+	if rep.PrivilegedCycles == 0 || rep.TotalCycles < rep.PrivilegedCycles {
+		t.Errorf("cycles = %+v", rep)
+	}
+	if clk.Now() != rep.TotalCycles {
+		t.Errorf("clock = %d, report = %d", clk.Now(), rep.TotalCycles)
+	}
+	if v, ok := st.Get("fs.root_uid"); !ok || v != 1 {
+		t.Errorf("state fs.root_uid = %d, %v", v, ok)
+	}
+}
+
+func TestBootstrapStepFailure(t *testing.T) {
+	steps := []Step{
+		{Name: "ok", Cycles: 1, Run: func(st *State) error { st.Set("a", 1); return nil }},
+		{Name: "boom", Cycles: 1, Run: func(*State) error { return errors.New("tape parity") }},
+	}
+	if _, _, err := Bootstrap(steps, machine.NewClock()); err == nil {
+		t.Error("failing step should abort boot")
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	gen := machine.NewClock()
+	im, err := BuildImage(StandardSteps(), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Now() == 0 {
+		t.Error("generation cost should be charged to the generating clock")
+	}
+	bootClk := machine.NewClock()
+	st, rep, err := LoadImage(im, bootClk, ImageLoadCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PrivilegedSteps != 1 || rep.StepsRun != 1 {
+		t.Errorf("image boot report = %+v", rep)
+	}
+	// Same resulting state as a bootstrap.
+	ref, _, err := Bootstrap(StandardSteps(), machine.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != ref.Len() {
+		t.Fatalf("state sizes differ: %d vs %d", st.Len(), ref.Len())
+	}
+	for _, name := range []string{"fs.root_uid", "pc.core_frames", "tc.quantum", "cfg.cards"} {
+		a, okA := st.Get(name)
+		b, okB := ref.Get(name)
+		if !okA || !okB || a != b {
+			t.Errorf("state %q: image=%d(%v) bootstrap=%d(%v)", name, a, okA, b, okB)
+		}
+	}
+}
+
+func TestImageBootIsDrasticallyLessPrivileged(t *testing.T) {
+	_, bRep, err := Bootstrap(StandardSteps(), machine.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := BuildImage(StandardSteps(), machine.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, iRep, err := LoadImage(im, machine.NewClock(), ImageLoadCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iRep.PrivilegedSteps >= bRep.PrivilegedSteps {
+		t.Errorf("image privileged steps (%d) should be far below bootstrap (%d)", iRep.PrivilegedSteps, bRep.PrivilegedSteps)
+	}
+	if iRep.PrivilegedCycles >= bRep.PrivilegedCycles {
+		t.Errorf("image privileged cycles (%d) should be below bootstrap (%d)", iRep.PrivilegedCycles, bRep.PrivilegedCycles)
+	}
+}
+
+func TestCorruptImagesRejected(t *testing.T) {
+	im, err := BuildImage(StandardSteps(), machine.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(w []uint64)) error {
+		cp := make([]uint64, len(im.Words()))
+		copy(cp, im.Words())
+		mutate(cp)
+		_, _, err := LoadImage(&Image{words: cp}, machine.NewClock(), 1)
+		return err
+	}
+	cases := map[string]func([]uint64){
+		"bad magic":       func(w []uint64) { w[0] = 0xBAD },
+		"flipped value":   func(w []uint64) { w[5] ^= 1 },
+		"flipped sum":     func(w []uint64) { w[len(w)-1] ^= 1 },
+		"truncated count": func(w []uint64) { w[1] += 5 },
+	}
+	for label, m := range cases {
+		if err := corrupt(m); !errors.Is(err, ErrCorruptImage) {
+			t.Errorf("%s: %v, want ErrCorruptImage", label, err)
+		}
+	}
+	if _, _, err := LoadImage(&Image{words: []uint64{imageMagic}}, machine.NewClock(), 1); !errors.Is(err, ErrCorruptImage) {
+		t.Errorf("short image = %v", err)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary state maps.
+func TestQuickImageRoundTrip(t *testing.T) {
+	f := func(keys []string, vals []uint64) bool {
+		st := NewState()
+		for i, k := range keys {
+			if k == "" || len(k) > 255 {
+				continue
+			}
+			var v uint64
+			if i < len(vals) {
+				v = vals[i]
+			}
+			st.Set(k, v)
+		}
+		im, err := encodeImage(st)
+		if err != nil {
+			return false
+		}
+		got, err := decodeImage(im)
+		if err != nil {
+			return false
+		}
+		if got.Len() != st.Len() {
+			return false
+		}
+		for k, v := range st.values {
+			gv, ok := got.Get(k)
+			if !ok || gv != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

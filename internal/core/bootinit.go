@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/boot"
+	"repro/internal/machine"
+)
+
+// initialize brings the kernel up using the stage-appropriate pattern:
+// full privileged bootstrap before S3, generated-memory-image load after.
+func (k *Kernel) initialize() error {
+	steps := boot.StandardSteps()
+	if k.cfg.Stage < S3InitRemoved {
+		_, rep, err := boot.Bootstrap(steps, k.clock)
+		if err != nil {
+			return err
+		}
+		k.BootReport = rep.Pattern
+		k.PrivilegedBootSteps = rep.PrivilegedSteps
+		k.PrivilegedBootCycles = rep.PrivilegedCycles
+		return nil
+	}
+	// The image is generated "in a user environment of a previous system":
+	// its cost lands on a separate clock, not on this boot.
+	previousSystem := machine.NewClock()
+	im, err := boot.BuildImage(steps, previousSystem)
+	if err != nil {
+		return fmt.Errorf("generating system image: %w", err)
+	}
+	_, rep, err := boot.LoadImage(im, k.clock, boot.ImageLoadCycles)
+	if err != nil {
+		return fmt.Errorf("loading system image: %w", err)
+	}
+	k.BootReport = rep.Pattern
+	k.PrivilegedBootSteps = rep.PrivilegedSteps
+	k.PrivilegedBootCycles = rep.PrivilegedCycles
+	return nil
+}

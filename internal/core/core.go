@@ -1,0 +1,284 @@
+// Package core implements the paper's contribution: the Multics security
+// kernel, built at each stage of the review / removal / simplification /
+// partitioning programme so the structural and behavioural consequences of
+// every step can be measured.
+//
+// A Kernel owns the whole simulated system — memory hierarchy, file system,
+// scheduler, page control, I/O, answering service — and exposes it to
+// simulated user processes exclusively through two gate segments:
+//
+//	hcs_   user-available gates (callable from the user ring)
+//	phcs_  privileged gates (callable only from inner non-kernel rings)
+//
+// Which mechanisms sit behind gates in ring 0, and which run unprivileged
+// in the user ring, is exactly what changes from stage to stage.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/auth"
+	"repro/internal/fs"
+	"repro/internal/gate"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mls"
+	"repro/internal/pagectl"
+	"repro/internal/sched"
+)
+
+// Stage identifies one configuration of the kernel-reduction programme.
+type Stage int
+
+// The stages, in the order the paper's projects land.
+const (
+	// S0Baseline: the full 645-era supervisor — linker, reference names,
+	// login, per-device I/O, bootstrap initialization, sequential page
+	// control all inside ring 0.
+	S0Baseline Stage = iota
+	// S1LinkerRemoved: the Janson project — dynamic linking runs in the
+	// user ring; the linker gates are gone.
+	S1LinkerRemoved
+	// S2RefNamesRemoved: the Bratt project — reference names and tree-name
+	// resolution run in the user ring; the kernel's file-system interface
+	// is keyed by segment numbers.
+	S2RefNamesRemoved
+	// S3InitRemoved: system initialization becomes "load a generated
+	// memory image"; only the image loader stays privileged.
+	S3InitRemoved
+	// S4LoginDemoted: the answering service becomes an unprivileged
+	// protected subsystem; the kernel keeps only a create-process gate.
+	S4LoginDemoted
+	// S5IOConsolidated: the ARPA network attachment replaces the
+	// per-device I/O drivers; input buffering moves to the infinite
+	// VM-backed buffer.
+	S5IOConsolidated
+	// S6Restructured: the simplification and partitioning stage — parallel
+	// page control with dedicated kernel processes, interrupts as
+	// processes, page-replacement policy split into the policy ring.
+	S6Restructured
+	// NumStages is the number of configurations.
+	NumStages
+)
+
+func (s Stage) String() string {
+	switch s {
+	case S0Baseline:
+		return "S0-baseline"
+	case S1LinkerRemoved:
+		return "S1-linker-removed"
+	case S2RefNamesRemoved:
+		return "S2-refnames-removed"
+	case S3InitRemoved:
+		return "S3-init-removed"
+	case S4LoginDemoted:
+		return "S4-login-demoted"
+	case S5IOConsolidated:
+		return "S5-io-consolidated"
+	case S6Restructured:
+		return "S6-restructured"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Config parameterizes kernel construction.
+type Config struct {
+	// Stage selects the kernel configuration.
+	Stage Stage
+	// Cost is the machine cost model. The zero value selects the paper's
+	// hardware history: the 645 for S0, the 6180 from S1 on.
+	Cost *machine.CostModel
+	// Mem sizes the memory hierarchy; zero value = mem.DefaultConfig
+	// scaled up for multi-process workloads.
+	Mem *mem.Config
+	// DescriptorSlots is the per-process descriptor-segment size.
+	DescriptorSlots int
+	// RootLabel is the mandatory label of the file-system root.
+	RootLabel mls.Label
+}
+
+// Well-known per-process segment numbers.
+const (
+	// SegHCS is the user-available gate segment.
+	SegHCS machine.SegNo = 1
+	// SegArgs is the per-process argument-passing segment.
+	SegArgs machine.SegNo = 2
+	// SegPHCS is the privileged gate segment.
+	SegPHCS machine.SegNo = 3
+	// FirstUserSegNo is where the KST starts assigning segment numbers.
+	FirstUserSegNo machine.SegNo = 8
+)
+
+// ArgSegWords is the size of the argument segment.
+const ArgSegWords = 2048
+
+// Kernel is one configured instance of the system.
+type Kernel struct {
+	cfg   Config
+	clock *machine.Clock
+	cost  machine.CostModel
+
+	store *mem.Store
+	hier  *fs.Hierarchy
+	sch   *sched.Scheduler
+	pager pagectl.Pager
+
+	regUser  *gate.Registry
+	regPriv  *gate.Registry
+	hcsProc  *machine.Procedure
+	phcsProc *machine.Procedure
+
+	registry *auth.Registry
+	answer   *auth.Service
+
+	// programs maps segment UID -> executable body for initiated
+	// procedure segments.
+	programs map[uint64]*programInfo
+
+	// procs tracks live processes; byCPU lets gate implementations find
+	// the calling process.
+	procs []*Proc
+	byCPU map[*machine.Processor]*Proc
+
+	// channels is the kernel event-channel table.
+	channels map[uint64]*kernelChannel
+	nextChn  uint64
+
+	// devices is the I/O attachment table.
+	devices *deviceTable
+
+	// modules is the non-gate kernel code inventory for this stage.
+	modules []Module
+
+	// BootReport records how this kernel instance was initialized.
+	BootReport string
+	// PrivilegedBootSteps and PrivilegedBootCycles summarize boot
+	// privilege for the inventory.
+	PrivilegedBootSteps  int
+	PrivilegedBootCycles int64
+
+	// SystemCrashes counts faults taken by ring-0 code — the paper's
+	// "malfunction while executing in the supervisor". User-ring faults
+	// are the affected process's problem and are not counted here.
+	SystemCrashes int64
+}
+
+// New constructs and boots a kernel at the configured stage.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Stage < 0 || cfg.Stage >= NumStages {
+		return nil, fmt.Errorf("core: invalid stage %d", int(cfg.Stage))
+	}
+	if cfg.DescriptorSlots == 0 {
+		cfg.DescriptorSlots = 128
+	}
+	if cfg.DescriptorSlots < int(FirstUserSegNo)+1 {
+		return nil, fmt.Errorf("core: descriptor slots %d too small", cfg.DescriptorSlots)
+	}
+	k := &Kernel{
+		cfg:      cfg,
+		clock:    machine.NewClock(),
+		programs: make(map[uint64]*programInfo),
+		byCPU:    make(map[*machine.Processor]*Proc),
+		channels: make(map[uint64]*kernelChannel),
+		nextChn:  1,
+	}
+	if cfg.Cost != nil {
+		k.cost = *cfg.Cost
+	} else if cfg.Stage == S0Baseline {
+		k.cost = machine.Model645()
+	} else {
+		k.cost = machine.Model6180()
+	}
+
+	memCfg := mem.DefaultConfig()
+	memCfg.CoreFrames = 512
+	memCfg.BulkBlocks = 2048
+	if cfg.Mem != nil {
+		memCfg = *cfg.Mem
+	}
+	var err error
+	k.store, err = mem.NewStore(memCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building memory hierarchy: %w", err)
+	}
+	k.hier, err = fs.New(k.store, cfg.RootLabel)
+	if err != nil {
+		return nil, fmt.Errorf("core: building file hierarchy: %w", err)
+	}
+	k.sch = sched.New(k.clock)
+	// Layer 1: a fixed set of virtual processors. Two pooled VPs serve the
+	// layer-2 Multics processes at every stage; the restructured kernel
+	// adds dedicated VPs for its kernel processes below.
+	k.sch.AddVP("cpu-a", false)
+	k.sch.AddVP("cpu-b", false)
+
+	if cfg.Stage >= S6Restructured {
+		pcfg := pagectl.DefaultParallelConfig(memCfg)
+		pp, err := pagectl.NewParallelPager(k.store, k.sch, pcfg, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: building parallel page control: %w", err)
+		}
+		k.pager = pp
+	} else {
+		k.pager = pagectl.NewSequentialPager(k.store, nil)
+	}
+
+	k.registry = auth.NewRegistry()
+	placement := auth.Privileged
+	if cfg.Stage >= S4LoginDemoted {
+		placement = auth.Subsystem
+	}
+	k.answer = auth.NewService(placement, k.registry, nil)
+
+	k.devices = newDeviceTable(cfg.Stage, k.store)
+
+	if err := k.buildGates(); err != nil {
+		return nil, fmt.Errorf("core: building gate segments: %w", err)
+	}
+	k.modules = stageModules(cfg.Stage)
+
+	if err := k.initialize(); err != nil {
+		return nil, fmt.Errorf("core: initializing: %w", err)
+	}
+	return k, nil
+}
+
+// Accessors used by experiments, examples, and the facade.
+
+// Stage returns the kernel's configuration stage.
+func (k *Kernel) Stage() Stage { return k.cfg.Stage }
+
+// Clock returns the system virtual clock.
+func (k *Kernel) Clock() *machine.Clock { return k.clock }
+
+// Cost returns the machine cost model in use.
+func (k *Kernel) Cost() machine.CostModel { return k.cost }
+
+// Store returns the memory hierarchy.
+func (k *Kernel) Store() *mem.Store { return k.store }
+
+// Hierarchy returns the file hierarchy. It is exported for examples and
+// experiments; simulated user code must go through the gates.
+func (k *Kernel) Hierarchy() *fs.Hierarchy { return k.hier }
+
+// Scheduler returns the process scheduler.
+func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
+
+// Pager returns the active page-control implementation.
+func (k *Kernel) Pager() pagectl.Pager { return k.pager }
+
+// UserRegistry returns the answering service's user data base.
+func (k *Kernel) UserRegistry() *auth.Registry { return k.registry }
+
+// AnsweringService returns the login service.
+func (k *Kernel) AnsweringService() *auth.Service { return k.answer }
+
+// UserGates returns the user-available gate registry.
+func (k *Kernel) UserGates() *gate.Registry { return k.regUser }
+
+// PrivGates returns the privileged gate registry.
+func (k *Kernel) PrivGates() *gate.Registry { return k.regPriv }
+
+// Shutdown stops kernel processes; the kernel is unusable afterwards.
+func (k *Kernel) Shutdown() { k.sch.Shutdown() }

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fs"
+	"repro/internal/gate"
+	"repro/internal/linker"
+	"repro/internal/machine"
+)
+
+// buildGates constructs the stage's two gate registries and compiles them
+// into the shared gate procedure segments.
+func (k *Kernel) buildGates() error {
+	k.regUser = gate.NewRegistry()
+	k.regPriv = gate.NewRegistry()
+
+	k.registerAddressSpaceGates()
+	if k.cfg.Stage < S1LinkerRemoved {
+		k.registerLinkerGates()
+	}
+	k.registerFileSystemGates()
+	k.registerProcessGates()
+	k.registerIOGates()
+	if k.cfg.Stage < S4LoginDemoted {
+		k.registerLoginGates()
+	}
+	k.registerMiscGates()
+	k.registerPrivilegedGates()
+
+	k.hcsProc = k.regUser.BuildProcedure()
+	k.phcsProc = k.regPriv.BuildProcedure()
+	return nil
+}
+
+// caller recovers the calling process of a gate invocation.
+func (k *Kernel) caller(ctx *machine.ExecContext) (*Proc, error) {
+	return k.procFor(ctx.Processor())
+}
+
+// kernelMalfunction records a malfunction of ring-0 code — the event the
+// paper's removal projects shrink the opportunity for. It returns the error
+// that aborts the gate call; in the real system this class of event crashed
+// or corrupted the supervisor.
+func (k *Kernel) kernelMalfunction(op string, err error) error {
+	k.SystemCrashes++
+	return fmt.Errorf("core: SUPERVISOR MALFUNCTION in %s: %w", op, err)
+}
+
+// registerAddressSpaceGates installs the address-space and reference-name
+// interface. Before the Bratt removal it is the wide, path-and-name-keyed
+// family whose implementation drags tree-name resolution and the reference
+// name manager into ring 0; afterwards it is two narrow entries.
+func (k *Kernel) registerAddressSpaceGates() {
+	if k.cfg.Stage >= S2RefNamesRemoved {
+		k.regUser.MustRegister(gate.Def{
+			Name: "hcs_$initiate_uid", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 2,
+			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				p, err := k.caller(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if err := gate.NeedArgs("hcs_$initiate_uid", args, 1); err != nil {
+					return nil, err
+				}
+				seg, err := k.initiateUID(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(seg)}, nil
+			},
+		})
+		k.regUser.MustRegister(gate.Def{
+			Name: "hcs_$terminate_seg", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 2,
+			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				p, err := k.caller(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if err := gate.NeedArgs("hcs_$terminate_seg", args, 1); err != nil {
+					return nil, err
+				}
+				return nil, p.KST.Terminate(machine.SegNo(args[0]))
+			},
+		})
+		return
+	}
+
+	// --- Baseline (S0/S1): the kernel-resident naming interface. ---
+
+	// initiateByPath resolves, initiates, and optionally binds a reference
+	// name, all inside ring 0.
+	initiateByPath := func(name string, ctx *machine.ExecContext, args []uint64) (*Proc, machine.SegNo, error) {
+		p, err := k.caller(ctx)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := gate.NeedArgs(name, args, 4); err != nil {
+			return nil, 0, err
+		}
+		path, err := k.readUserString(ctx, args[0], args[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		uid, err := k.resolvePathKernel(p, path)
+		if err != nil {
+			return nil, 0, err
+		}
+		seg, err := k.initiateUID(p, uid)
+		if err != nil {
+			return nil, 0, err
+		}
+		if args[3] > 0 {
+			ref, err := k.readUserString(ctx, args[2], args[3])
+			if err != nil {
+				return nil, 0, err
+			}
+			if _, bound := p.kernelNames.Resolve(ref); !bound {
+				if err := p.kernelNames.Bind(ref, seg); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		return p, seg, nil
+	}
+
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$initiate", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 8,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			_, seg, err := initiateByPath("hcs_$initiate", ctx, args)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(seg)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$initiate_count", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 6,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, seg, err := initiateByPath("hcs_$initiate_count", ctx, args)
+			if err != nil {
+				return nil, err
+			}
+			uid, _ := p.KST.UIDForSegNo(seg)
+			obj, err := k.hier.Object(uid)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(seg), uint64(obj.BitCount)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$terminate_name", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$terminate_name", args, 2); err != nil {
+				return nil, err
+			}
+			ref, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			seg, ok := p.kernelNames.Resolve(ref)
+			if !ok {
+				return nil, fmt.Errorf("core: reference name %q not bound", ref)
+			}
+			p.kernelNames.UnbindSegno(seg)
+			return nil, p.KST.Terminate(seg)
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$terminate_seg", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$terminate_seg", args, 1); err != nil {
+				return nil, err
+			}
+			seg := machine.SegNo(args[0])
+			p.kernelNames.UnbindSegno(seg)
+			return nil, p.KST.Terminate(seg)
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$terminate_noname", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$terminate_noname", args, 1); err != nil {
+				return nil, err
+			}
+			p.kernelNames.UnbindSegno(machine.SegNo(args[0]))
+			return nil, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$make_ptr", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 4,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$make_ptr", args, 2); err != nil {
+				return nil, err
+			}
+			ref, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			if seg, ok := p.kernelNames.Resolve(ref); ok {
+				return []uint64{uint64(seg)}, nil
+			}
+			env := &kernelLinkEnv{k: k, p: p}
+			uid, err := env.LookupSegment(ref)
+			if err != nil {
+				return nil, err
+			}
+			seg, err := k.initiateUID(p, uid)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.kernelNames.Bind(ref, seg); err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(seg)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$fs_get_path_name", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$fs_get_path_name", args, 1); err != nil {
+				return nil, err
+			}
+			uid, ok := p.KST.UIDForSegNo(machine.SegNo(args[0]))
+			if !ok {
+				return nil, fmt.Errorf("core: segment %d not known", args[0])
+			}
+			path, err := k.hier.PathOf(uid)
+			if err != nil {
+				return nil, err
+			}
+			off, length, err := k.writeUserString(ctx, path)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{off, length}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$fs_get_ref_name", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$fs_get_ref_name", args, 1); err != nil {
+				return nil, err
+			}
+			names := p.kernelNames.NamesFor(machine.SegNo(args[0]))
+			if len(names) == 0 {
+				return nil, fmt.Errorf("core: no reference names for segment %d", args[0])
+			}
+			off, length, err := k.writeUserString(ctx, names[0])
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{off, length}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$fs_get_seg_ptr", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$fs_get_seg_ptr", args, 2); err != nil {
+				return nil, err
+			}
+			ref, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			seg, ok := p.kernelNames.Resolve(ref)
+			if !ok {
+				return nil, fmt.Errorf("core: reference name %q not bound", ref)
+			}
+			return []uint64{uint64(seg)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$fs_get_mode", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$fs_get_mode", args, 2); err != nil {
+				return nil, err
+			}
+			ref, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			seg, ok := p.kernelNames.Resolve(ref)
+			if !ok {
+				return nil, fmt.Errorf("core: reference name %q not bound", ref)
+			}
+			e, ok := p.KST.Entry(seg)
+			if !ok {
+				return nil, fmt.Errorf("core: segment %d not known", seg)
+			}
+			return []uint64{uint64(e.Mode)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$set_wdir", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$set_wdir", args, 2); err != nil {
+				return nil, err
+			}
+			path, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			uid, err := k.resolvePathKernel(p, path)
+			if err != nil {
+				return nil, err
+			}
+			obj, err := k.hier.Object(uid)
+			if err != nil {
+				return nil, err
+			}
+			if obj.Kind != fs.KindDirectory {
+				return nil, fs.ErrNotDirectory
+			}
+			p.workingDir = uid
+			return nil, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$get_wdir", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if p.workingDir == 0 {
+				p.workingDir = fs.RootUID
+			}
+			path, err := k.hier.PathOf(p.workingDir)
+			if err != nil {
+				return nil, err
+			}
+			off, length, err := k.writeUserString(ctx, path)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{off, length}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$terminate_file", Category: gate.CatRefName, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$terminate_file", args, 2); err != nil {
+				return nil, err
+			}
+			path, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			uid, err := k.resolvePathKernel(p, path)
+			if err != nil {
+				return nil, err
+			}
+			seg, ok := p.KST.SegNoForUID(uid)
+			if !ok {
+				return nil, fmt.Errorf("core: %q is not initiated", path)
+			}
+			p.kernelNames.UnbindSegno(seg)
+			return nil, p.KST.Terminate(seg)
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$high_low_seg_count", Category: gate.CatAddressSpace, UserAvailable: true, CodeUnits: 1,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(p.KST.Len()), uint64(FirstUserSegNo)}, nil
+		},
+	})
+}
+
+// registerLinkerGates installs the in-kernel dynamic linker interface of
+// the baseline system — the gates the Janson removal deletes.
+func (k *Kernel) registerLinkerGates() {
+	snap := func(gateName string, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+		p, err := k.caller(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := gate.NeedArgs(gateName, args, 4); err != nil {
+			return nil, err
+		}
+		segName, err := k.readUserString(ctx, args[0], args[1])
+		if err != nil {
+			return nil, err
+		}
+		entryName, err := k.readUserString(ctx, args[2], args[3])
+		if err != nil {
+			return nil, err
+		}
+		kl := linker.New(&kernelLinkEnv{k: k, p: p}, machine.KernelRing)
+		target, err := kl.HandleLinkageFault(ctx, machine.LinkRef{SegName: segName, EntryName: entryName})
+		if err != nil {
+			// A malstructured symbol table just made privileged code
+			// malfunction — the event the paper's review catalogued.
+			if errors.Is(err, linker.ErrCorruptSymtab) || errors.Is(err, linker.ErrBadMagic) {
+				return nil, k.kernelMalfunction(gateName, err)
+			}
+			return nil, err
+		}
+		return []uint64{uint64(target.Seg), uint64(target.Entry)}, nil
+	}
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$link_snap", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 8,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			return snap("hcs_$link_snap", ctx, args)
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$link_force", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 4,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			return snap("hcs_$link_force", ctx, args)
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$get_entry_point", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 5,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			if _, err := k.caller(ctx); err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$get_entry_point", args, 3); err != nil {
+				return nil, err
+			}
+			name, err := k.readUserString(ctx, args[1], args[2])
+			if err != nil {
+				return nil, err
+			}
+			seg := machine.SegNo(args[0])
+			entry, err := linker.FindEntry(func(off int) (uint64, error) { return ctx.Load(seg, off) }, name)
+			if err != nil {
+				if errors.Is(err, linker.ErrCorruptSymtab) || errors.Is(err, linker.ErrBadMagic) {
+					return nil, k.kernelMalfunction("hcs_$get_entry_point", err)
+				}
+				return nil, err
+			}
+			return []uint64{uint64(entry)}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$get_defname", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 5,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			if _, err := k.caller(ctx); err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$get_defname", args, 2); err != nil {
+				return nil, err
+			}
+			seg := machine.SegNo(args[0])
+			syms, err := linker.ListSymbols(func(off int) (uint64, error) { return ctx.Load(seg, off) })
+			if err != nil {
+				if errors.Is(err, linker.ErrCorruptSymtab) || errors.Is(err, linker.ErrBadMagic) {
+					return nil, k.kernelMalfunction("hcs_$get_defname", err)
+				}
+				return nil, err
+			}
+			for _, s := range syms {
+				if s.Entry == int(args[1]) {
+					off, length, err := k.writeUserString(ctx, s.Name)
+					if err != nil {
+						return nil, err
+					}
+					return []uint64{off, length}, nil
+				}
+			}
+			return nil, fmt.Errorf("core: no symbol for entry %d of segment %d", args[1], args[0])
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$add_search_rule", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 3,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if err := gate.NeedArgs("hcs_$add_search_rule", args, 2); err != nil {
+				return nil, err
+			}
+			path, err := k.readUserString(ctx, args[0], args[1])
+			if err != nil {
+				return nil, err
+			}
+			uid, err := k.resolvePathKernel(p, path)
+			if err != nil {
+				return nil, err
+			}
+			p.searchDirs = append(p.searchDirs, uid)
+			return nil, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$get_search_rules", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return []uint64{uint64(len(p.searchDirs))}, nil
+		},
+	})
+	k.regUser.MustRegister(gate.Def{
+		Name: "hcs_$reset_search_rules", Category: gate.CatLinker, UserAvailable: true, CodeUnits: 2,
+		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+			p, err := k.caller(ctx)
+			if err != nil {
+				return nil, err
+			}
+			p.searchDirs = nil
+			return nil, nil
+		},
+	})
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/gate"
+)
+
+// Module is one body of non-gate kernel-resident code in the inventory.
+type Module struct {
+	Name string
+	// Units approximates the module's protected code size, in the same
+	// arbitrary units as gate.Def.CodeUnits. The per-module figures are
+	// calibrated to the relative subsystem sizes the paper and its
+	// companion technical reports describe; the *differences between
+	// stages* are the paper's removal claims made mechanical.
+	Units int
+}
+
+// stageModules returns the non-gate kernel module inventory of a stage.
+func stageModules(stage Stage) []Module {
+	mods := []Module{
+		{Name: "virtual-memory-core", Units: 12},
+		{Name: "segment-control (KST core)", Units: 4},
+		{Name: "directory-control", Units: 30},
+		{Name: "mandatory-access (MLS bottom layer)", Units: 6},
+	}
+	// Traffic control: the two-layer reimplementation simplifies it.
+	if stage >= S6Restructured {
+		mods = append(mods, Module{Name: "traffic-control (two-layer)", Units: 10})
+	} else {
+		mods = append(mods, Module{Name: "traffic-control", Units: 16})
+	}
+	// Page control: sequential in-fault-path cascade vs parallel dedicated
+	// processes with the policy component evicted to the policy ring.
+	if stage >= S6Restructured {
+		mods = append(mods, Module{Name: "page-control mechanism (parallel)", Units: 8})
+	} else {
+		mods = append(mods, Module{Name: "page-control (sequential, policy embedded)", Units: 18})
+	}
+	// Interrupt handling: borrowed-process interceptor vs wakeup-only
+	// interceptor (handlers are ordinary processes).
+	if stage >= S6Restructured {
+		mods = append(mods, Module{Name: "interrupt-interceptor (wakeup only)", Units: 4})
+	} else {
+		mods = append(mods, Module{Name: "interrupt-interceptor (borrowed process)", Units: 10})
+	}
+	// The dynamic linker resides in the kernel only at S0.
+	if stage < S1LinkerRemoved {
+		mods = append(mods, Module{Name: "dynamic-linker", Units: 25})
+	}
+	// Reference names and tree-name resolution reside in the kernel before
+	// the Bratt removal.
+	if stage < S2RefNamesRemoved {
+		mods = append(mods, Module{Name: "reference-names+tree-resolution", Units: 35})
+	}
+	// Initialization: the full bootstrap vs the image loader.
+	if stage < S3InitRemoved {
+		mods = append(mods, Module{Name: "initialization (bootstrap)", Units: 40})
+	} else {
+		mods = append(mods, Module{Name: "initialization (image loader)", Units: 4})
+	}
+	// The answering service's authentication machinery.
+	if stage < S4LoginDemoted {
+		mods = append(mods, Module{Name: "answering-service (privileged)", Units: 30})
+	}
+	// I/O drivers.
+	if stage >= S5IOConsolidated {
+		mods = append(mods, Module{Name: "io (network attachment)", Units: 12})
+	} else {
+		mods = append(mods, Module{Name: "io (per-device drivers)", Units: 44})
+	}
+	sort.Slice(mods, func(i, j int) bool { return mods[i].Name < mods[j].Name })
+	return mods
+}
+
+// Inventory is the structural summary of one kernel configuration — the
+// measurements behind experiments E1, E2, E3, and E9.
+type Inventory struct {
+	Stage Stage
+	// Gates counts all gate entry points (user-available + privileged).
+	Gates int
+	// UserGates counts the user-available supervisor entries.
+	UserGates int
+	// GateUnits is protected code behind gates.
+	GateUnits int
+	// ModuleUnits is non-gate kernel-resident code.
+	ModuleUnits int
+	// TotalUnits is the whole kernel's protected code size.
+	TotalUnits int
+	// AddressSpaceUnits is the protected code devoted to managing the
+	// address space (the E2 numerator/denominator): the address-space and
+	// reference-name gate categories plus the resident naming module and
+	// the KST core.
+	AddressSpaceUnits int
+	// Categories summarizes gates per functional area.
+	Categories []gate.CategoryCount
+	// Modules lists the non-gate kernel modules.
+	Modules []Module
+	// PrivilegedBootSteps is privilege exercised at boot (E12).
+	PrivilegedBootSteps int
+}
+
+// Inventory computes the kernel's structural summary.
+func (k *Kernel) Inventory() Inventory {
+	inv := Inventory{
+		Stage:               k.cfg.Stage,
+		Gates:               k.regUser.Count() + k.regPriv.Count(),
+		UserGates:           k.regUser.UserAvailableCount(),
+		GateUnits:           k.regUser.CodeUnits() + k.regPriv.CodeUnits(),
+		Modules:             k.modules,
+		PrivilegedBootSteps: k.PrivilegedBootSteps,
+	}
+	for _, m := range k.modules {
+		inv.ModuleUnits += m.Units
+	}
+	inv.TotalUnits = inv.GateUnits + inv.ModuleUnits
+
+	cats := map[gate.Category]*gate.CategoryCount{}
+	for _, reg := range []*gate.Registry{k.regUser, k.regPriv} {
+		for _, c := range reg.ByCategory() {
+			if have := cats[c.Category]; have != nil {
+				have.Gates += c.Gates
+				have.Units += c.Units
+			} else {
+				cc := c
+				cats[c.Category] = &cc
+			}
+		}
+	}
+	for _, c := range cats {
+		inv.Categories = append(inv.Categories, *c)
+	}
+	sort.Slice(inv.Categories, func(i, j int) bool { return inv.Categories[i].Category < inv.Categories[j].Category })
+
+	for _, c := range inv.Categories {
+		if c.Category == gate.CatAddressSpace || c.Category == gate.CatRefName {
+			inv.AddressSpaceUnits += c.Units
+		}
+	}
+	for _, m := range k.modules {
+		if m.Name == "reference-names+tree-resolution" || m.Name == "segment-control (KST core)" {
+			inv.AddressSpaceUnits += m.Units
+		}
+	}
+	return inv
+}

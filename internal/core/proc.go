@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/kst"
+	"repro/internal/linker"
+	"repro/internal/machine"
+	"repro/internal/mls"
+	"repro/internal/pagectl"
+	"repro/internal/refname"
+	"repro/internal/sched"
+)
+
+// Proc is one Multics process: a descriptor segment, a processor, a known
+// segment table, and — depending on the kernel stage — kernel- or user-ring
+// resident naming and linking machinery.
+type Proc struct {
+	Name      string
+	Principal acl.Principal
+	Label     mls.Label
+
+	DS  *machine.DescriptorSegment
+	CPU *machine.Processor
+	KST *kst.Table
+
+	// kernelNames is the KERNEL-resident reference-name space, present
+	// only before the Bratt removal (stage < S2). After S2 the name space
+	// is private user-ring state (see internal/userspace).
+	kernelNames *refname.Manager
+
+	// searchDirs is the process's search rules: directory UIDs consulted
+	// in order by the linker. Before S1 these live in the kernel (set via
+	// gates); after S1 the user-ring linker keeps its own copy, but the
+	// kernel copy remains for the S0 gate implementations.
+	searchDirs []uint64
+
+	// workingDir is the kernel-resident working directory (part of the
+	// pre-S2 naming machinery).
+	workingDir uint64
+
+	// argTop is the bump allocator over the argument segment.
+	argTop int
+
+	k *Kernel
+	// pc is the scheduler context while the process body runs.
+	pc *sched.ProcCtx
+	// sched is the layer-2 process when running under the scheduler.
+	sched *sched.Process
+}
+
+// CreateProcess builds a process for the given identity. It is the kernel
+// function that remains privileged at every stage.
+func (k *Kernel) CreateProcess(name string, who acl.Principal, label mls.Label, ring machine.Ring) (*Proc, error) {
+	if !ring.Valid() {
+		return nil, fmt.Errorf("core: invalid ring %d", int(ring))
+	}
+	ds := machine.NewDescriptorSegment(k.cfg.DescriptorSlots)
+	cpu := machine.NewProcessor(ds, k.clock, k.cost, ring)
+	p := &Proc{
+		Name:      name,
+		Principal: who,
+		Label:     label,
+		DS:        ds,
+		CPU:       cpu,
+		KST:       kst.New(ds, FirstUserSegNo),
+		k:         k,
+	}
+	if k.cfg.Stage < S2RefNamesRemoved {
+		p.kernelNames = refname.New()
+	}
+
+	// The user-available gate segment: callable from any ring via its
+	// declared gates, executing in ring 0.
+	if err := ds.Set(SegHCS, machine.SDW{
+		Proc:     k.hcsProc,
+		Mode:     machine.ModeExecute,
+		Brackets: machine.Brackets{R1: machine.KernelRing, R2: machine.KernelRing, R3: machine.Ring(machine.NumRings - 1)},
+		Gates:    len(k.hcsProc.Entries),
+	}); err != nil {
+		return nil, err
+	}
+	// The privileged gate segment: callable only from rings <= 2.
+	if err := ds.Set(SegPHCS, machine.SDW{
+		Proc:     k.phcsProc,
+		Mode:     machine.ModeExecute,
+		Brackets: machine.Brackets{R1: machine.KernelRing, R2: machine.KernelRing, R3: machine.SupervisorRing},
+		Gates:    len(k.phcsProc.Entries),
+	}); err != nil {
+		return nil, err
+	}
+	// The argument segment: read/write in the process's own ring.
+	if err := ds.Set(SegArgs, machine.SDW{
+		Backing:  machine.NewCoreBacking(ArgSegWords),
+		Mode:     machine.ModeRead | machine.ModeWrite,
+		Brackets: machine.Brackets{R1: ring, R2: ring, R3: ring},
+	}); err != nil {
+		return nil, err
+	}
+
+	// Page faults taken by this process go to the kernel's page control.
+	// Until the process runs under the scheduler, a direct context stands
+	// in (synchronous waits).
+	direct := k.sch.NewDirectCtx(name + ".direct")
+	cpu.Pager = pagectl.ForProcess(k.pager, direct)
+
+	// Before the Janson removal the kernel linker handles linkage faults;
+	// afterwards the process installs its own user-ring linker (see
+	// internal/userspace), and a fresh process simply has no linker until
+	// its user environment initializes one.
+	if k.cfg.Stage < S1LinkerRemoved {
+		cpu.Linker = linker.New(&kernelLinkEnv{k: k, p: p}, machine.KernelRing)
+	}
+
+	k.procs = append(k.procs, p)
+	k.byCPU[cpu] = p
+	return p, nil
+}
+
+// Stage returns the configuration stage of the owning kernel.
+func (p *Proc) Stage() Stage { return p.k.cfg.Stage }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// procFor finds the process owning cpu; gate implementations use it to
+// recover the caller's identity.
+func (k *Kernel) procFor(cpu *machine.Processor) (*Proc, error) {
+	p, ok := k.byCPU[cpu]
+	if !ok {
+		return nil, fmt.Errorf("core: no process for processor (unregistered caller)")
+	}
+	return p, nil
+}
+
+// Processes returns all processes created on this kernel.
+func (k *Kernel) Processes() []*Proc { return k.procs }
+
+// Run executes body as this process's program under the scheduler,
+// returning the layer-2 process. While the body runs, page faults block
+// properly in the scheduler.
+func (p *Proc) Run(body func(pc *sched.ProcCtx)) *sched.Process {
+	sp := p.k.sch.Spawn(p.Name, func(pc *sched.ProcCtx) {
+		p.pc = pc
+		p.CPU.Pager = pagectl.ForProcess(p.k.pager, pc)
+		defer func() {
+			p.pc = nil
+			direct := p.k.sch.NewDirectCtx(p.Name + ".direct")
+			p.CPU.Pager = pagectl.ForProcess(p.k.pager, direct)
+		}()
+		body(pc)
+	})
+	p.sched = sp
+	return sp
+}
+
+// WriteArgBytes copies b into the process's argument segment through the
+// processor's checked stores, returning the (offset, length) pair to pass
+// through a gate. Bytes are packed one per word for simplicity of kernel
+// validation.
+func (p *Proc) WriteArgBytes(b []byte) (off, length uint64, err error) {
+	if p.argTop+len(b) > ArgSegWords {
+		p.argTop = 0 // wrap: argument area is transient
+		if len(b) > ArgSegWords {
+			return 0, 0, fmt.Errorf("core: argument of %d bytes exceeds argument segment", len(b))
+		}
+	}
+	start := p.argTop
+	for i, c := range b {
+		if err := p.CPU.Store(SegArgs, start+i, uint64(c)); err != nil {
+			return 0, 0, fmt.Errorf("core: writing argument byte %d: %w", i, err)
+		}
+	}
+	p.argTop += len(b)
+	return uint64(start), uint64(len(b)), nil
+}
+
+// WriteArgString is WriteArgBytes for a string.
+func (p *Proc) WriteArgString(s string) (off, length uint64, err error) {
+	return p.WriteArgBytes([]byte(s))
+}
+
+// ReadArgString reads a string the kernel wrote back into the argument
+// segment at (off, length).
+func (p *Proc) ReadArgString(off, length uint64) (string, error) {
+	if length > ArgSegWords {
+		return "", fmt.Errorf("core: result length %d implausible", length)
+	}
+	buf := make([]byte, length)
+	for i := range buf {
+		w, err := p.CPU.Load(SegArgs, int(off)+i)
+		if err != nil {
+			return "", err
+		}
+		buf[i] = byte(w)
+	}
+	return string(buf), nil
+}
+
+// CallGate invokes the named gate through the machine: the call crosses
+// into ring 0 through the gate segment, so every protection check applies.
+func (p *Proc) CallGate(name string, args ...uint64) ([]uint64, error) {
+	if idx, err := p.k.regUser.EntryIndex(name); err == nil {
+		return p.CPU.Call(SegHCS, idx, args)
+	}
+	idx, err := p.k.regPriv.EntryIndex(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: no gate named %q", name)
+	}
+	return p.CPU.Call(SegPHCS, idx, args)
+}
+
+// GateString passes a string argument: it writes s into the argument
+// segment and returns the two words for the gate call.
+func (p *Proc) GateString(s string) (uint64, uint64, error) {
+	return p.WriteArgString(s)
+}
+
+// readUserString is the kernel-side helper: gate implementations use it to
+// fetch a string argument from the caller's argument segment, reading
+// through the machine (and therefore through the access checks) in ring 0.
+func (k *Kernel) readUserString(ctx *machine.ExecContext, off, length uint64) (string, error) {
+	if length == 0 {
+		return "", nil
+	}
+	if length > ArgSegWords {
+		return "", fmt.Errorf("core: string argument length %d exceeds argument segment", length)
+	}
+	buf := make([]byte, length)
+	for i := uint64(0); i < length; i++ {
+		w, err := ctx.Load(SegArgs, int(off+i))
+		if err != nil {
+			return "", fmt.Errorf("core: reading string argument: %w", err)
+		}
+		if w > 0xff {
+			return "", fmt.Errorf("core: malformed string argument word %#x", w)
+		}
+		buf[i] = byte(w)
+	}
+	return string(buf), nil
+}
+
+// writeUserString writes s into the caller's argument segment at a fixed
+// result area (the top quarter), returning (off, len).
+func (k *Kernel) writeUserString(ctx *machine.ExecContext, s string) (uint64, uint64, error) {
+	resultBase := ArgSegWords * 3 / 4
+	if len(s) > ArgSegWords/4 {
+		return 0, 0, fmt.Errorf("core: result string of %d bytes too large", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if err := ctx.Store(SegArgs, resultBase+i, uint64(s[i])); err != nil {
+			return 0, 0, fmt.Errorf("core: writing result string: %w", err)
+		}
+	}
+	return uint64(resultBase), uint64(len(s)), nil
+}

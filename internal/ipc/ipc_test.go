@@ -1,0 +1,202 @@
+package ipc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+func newSched() *sched.Scheduler {
+	s := sched.New(machine.NewClock())
+	s.AddVP("cpu-a", false)
+	s.AddVP("cpu-b", false)
+	return s
+}
+
+func TestSignalThenAwait(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	var got Event
+	s.Spawn("producer", func(pc *sched.ProcCtx) {
+		pc.Consume(10)
+		if err := ch.Signal(pc.Process(), Event{Data: 42}); err != nil {
+			t.Errorf("Signal: %v", err)
+		}
+	})
+	s.Spawn("consumer", func(pc *sched.ProcCtx) {
+		ev, err := ch.Await(pc)
+		if err != nil {
+			t.Errorf("Await: %v", err)
+		}
+		got = ev
+	})
+	s.Run(0)
+	if got.Data != 42 || got.From != "producer" {
+		t.Errorf("event = %+v", got)
+	}
+	if ch.Signals != 1 || ch.Waits != 1 {
+		t.Errorf("counters = %d/%d", ch.Signals, ch.Waits)
+	}
+}
+
+func TestAwaitBlocksUntilSignal(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	var wakeTime int64
+	s.Spawn("consumer", func(pc *sched.ProcCtx) {
+		if _, err := ch.Await(pc); err != nil {
+			t.Errorf("Await: %v", err)
+		}
+		wakeTime = pc.Now()
+	})
+	s.Spawn("producer", func(pc *sched.ProcCtx) {
+		pc.Sleep(500)
+		if err := ch.Signal(pc.Process(), Event{}); err != nil {
+			t.Errorf("Signal: %v", err)
+		}
+	})
+	s.Run(0)
+	if wakeTime < 500 {
+		t.Errorf("consumer woke at %d, want >= 500", wakeTime)
+	}
+}
+
+func TestEventsQueueWithoutWaiter(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	var got []uint64
+	s.Spawn("producer", func(pc *sched.ProcCtx) {
+		for i := uint64(1); i <= 3; i++ {
+			if err := ch.Signal(pc.Process(), Event{Data: i}); err != nil {
+				t.Errorf("Signal: %v", err)
+			}
+		}
+	})
+	s.Run(0)
+	if ch.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", ch.Pending())
+	}
+	s.Spawn("consumer", func(pc *sched.ProcCtx) {
+		for i := 0; i < 3; i++ {
+			ev, err := ch.Await(pc)
+			if err != nil {
+				t.Errorf("Await: %v", err)
+				return
+			}
+			got = append(got, ev.Data)
+		}
+	})
+	s.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events = %v, want FIFO 1,2,3", got)
+	}
+}
+
+func TestTryAwait(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	s.Spawn("p", func(pc *sched.ProcCtx) {
+		if _, ok, err := ch.TryAwait(pc); ok || err != nil {
+			t.Errorf("TryAwait on empty = %v, %v", ok, err)
+		}
+		if err := ch.Signal(pc.Process(), Event{Data: 5}); err != nil {
+			t.Error(err)
+		}
+		ev, ok, err := ch.TryAwait(pc)
+		if !ok || err != nil || ev.Data != 5 {
+			t.Errorf("TryAwait = %+v, %v, %v", ev, ok, err)
+		}
+	})
+	s.Run(0)
+}
+
+func TestGuardDeniesUse(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	denied := errors.New("no access")
+	guard := func(op Op, p *sched.Process) error {
+		if p != nil && p.Name == "intruder" {
+			return denied
+		}
+		return nil
+	}
+	ch := NewChannel("guarded", s, guard)
+	s.Spawn("intruder", func(pc *sched.ProcCtx) {
+		if err := ch.Signal(pc.Process(), Event{}); !errors.Is(err, denied) {
+			t.Errorf("intruder signal: %v, want guard denial", err)
+		}
+		if _, err := ch.Await(pc); !errors.Is(err, denied) {
+			t.Errorf("intruder await: %v, want guard denial", err)
+		}
+		if _, _, err := ch.TryAwait(pc); !errors.Is(err, denied) {
+			t.Errorf("intruder tryawait: %v, want guard denial", err)
+		}
+	})
+	s.Spawn("legit", func(pc *sched.ProcCtx) {
+		if err := ch.Signal(pc.Process(), Event{}); err != nil {
+			t.Errorf("legit signal: %v", err)
+		}
+	})
+	s.Run(0)
+	if ch.Signals != 1 {
+		t.Errorf("signals = %d, want 1 (intruder excluded)", ch.Signals)
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	var gotErr error
+	s.Spawn("consumer", func(pc *sched.ProcCtx) {
+		_, gotErr = ch.Await(pc)
+	})
+	s.Spawn("closer", func(pc *sched.ProcCtx) {
+		pc.Consume(10)
+		ch.Close()
+	})
+	s.Run(0)
+	if !errors.Is(gotErr, ErrChannelClosed) {
+		t.Errorf("await on closed channel = %v, want ErrChannelClosed", gotErr)
+	}
+	if err := ch.Signal(nil, Event{}); !errors.Is(err, ErrChannelClosed) {
+		t.Errorf("signal on closed channel = %v", err)
+	}
+}
+
+func TestMultipleWaitersServedFIFO(t *testing.T) {
+	s := newSched()
+	defer s.Shutdown()
+	ch := NewChannel("ev", s, nil)
+	var order []string
+	mkConsumer := func(name string) {
+		s.Spawn(name, func(pc *sched.ProcCtx) {
+			if _, err := ch.Await(pc); err != nil {
+				t.Errorf("%s await: %v", name, err)
+				return
+			}
+			order = append(order, name)
+		})
+	}
+	mkConsumer("c1")
+	mkConsumer("c2")
+	s.Run(0) // both block
+	s.Spawn("producer", func(pc *sched.ProcCtx) {
+		if err := ch.Signal(pc.Process(), Event{}); err != nil {
+			t.Error(err)
+		}
+		if err := ch.Signal(pc.Process(), Event{}); err != nil {
+			t.Error(err)
+		}
+	})
+	s.Run(0)
+	if len(order) != 2 || order[0] != "c1" || order[1] != "c2" {
+		t.Errorf("wake order = %v, want [c1 c2]", order)
+	}
+}

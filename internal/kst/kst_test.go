@@ -1,0 +1,159 @@
+package kst
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func sdwFor(uid uint64) machine.SDW {
+	return machine.SDW{
+		Backing:  machine.NewCoreBacking(4),
+		Mode:     machine.ModeRead | machine.ModeWrite,
+		Brackets: machine.UserBrackets(machine.UserRing),
+	}
+}
+
+func TestInitiateAssignsAscendingNumbers(t *testing.T) {
+	ds := machine.NewDescriptorSegment(16)
+	tab := New(ds, 8)
+	s1, fresh, err := tab.Initiate(100, sdwFor(100))
+	if err != nil || !fresh || s1 != 8 {
+		t.Fatalf("first initiate = %d, %v, %v", s1, fresh, err)
+	}
+	s2, fresh, err := tab.Initiate(200, sdwFor(200))
+	if err != nil || !fresh || s2 != 9 {
+		t.Fatalf("second initiate = %d, %v, %v", s2, fresh, err)
+	}
+	if !ds.SDW(s1).InUse() || !ds.SDW(s2).InUse() {
+		t.Error("descriptors not installed")
+	}
+}
+
+func TestInitiateIdempotentPerUID(t *testing.T) {
+	ds := machine.NewDescriptorSegment(16)
+	tab := New(ds, 8)
+	s1, _, err := tab.Initiate(100, sdwFor(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, fresh, err := tab.Initiate(100, sdwFor(100))
+	if err != nil || fresh || s2 != s1 {
+		t.Errorf("re-initiate = %d, %v, %v; want %d, false", s2, fresh, err, s1)
+	}
+	if tab.Len() != 1 {
+		t.Errorf("len = %d, want 1", tab.Len())
+	}
+}
+
+func TestTerminateFreesNumberAndDescriptor(t *testing.T) {
+	ds := machine.NewDescriptorSegment(16)
+	tab := New(ds, 8)
+	s1, _, _ := tab.Initiate(100, sdwFor(100))
+	if err := tab.Terminate(s1); err != nil {
+		t.Fatal(err)
+	}
+	if ds.SDW(s1).InUse() {
+		t.Error("descriptor not cleared")
+	}
+	if _, ok := tab.SegNoForUID(100); ok {
+		t.Error("UID mapping not removed")
+	}
+	if err := tab.Terminate(s1); err == nil {
+		t.Error("double terminate should fail")
+	}
+	// The freed number is reused.
+	s2, _, err := tab.Initiate(300, sdwFor(300))
+	if err != nil || s2 != s1 {
+		t.Errorf("reuse = %d, %v; want %d", s2, err, s1)
+	}
+}
+
+func TestLookupsBothWays(t *testing.T) {
+	ds := machine.NewDescriptorSegment(16)
+	tab := New(ds, 8)
+	s, _, _ := tab.Initiate(42, sdwFor(42))
+	if uid, ok := tab.UIDForSegNo(s); !ok || uid != 42 {
+		t.Errorf("UIDForSegNo = %d, %v", uid, ok)
+	}
+	if seg, ok := tab.SegNoForUID(42); !ok || seg != s {
+		t.Errorf("SegNoForUID = %d, %v", seg, ok)
+	}
+	e, ok := tab.Entry(s)
+	if !ok || e.UID != 42 || e.SegNo != s {
+		t.Errorf("Entry = %+v, %v", e, ok)
+	}
+	if _, ok := tab.Entry(99); ok {
+		t.Error("missing entry lookup should fail")
+	}
+}
+
+func TestDescriptorFull(t *testing.T) {
+	ds := machine.NewDescriptorSegment(10)
+	tab := New(ds, 8) // only segnos 8 and 9 available
+	if _, _, err := tab.Initiate(1, sdwFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tab.Initiate(2, sdwFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tab.Initiate(3, sdwFor(3)); err == nil {
+		t.Error("full descriptor segment should fail")
+	}
+}
+
+func TestKnownSorted(t *testing.T) {
+	ds := machine.NewDescriptorSegment(16)
+	tab := New(ds, 8)
+	for _, uid := range []uint64{5, 6, 7} {
+		if _, _, err := tab.Initiate(uid, sdwFor(uid)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	known := tab.Known()
+	if len(known) != 3 {
+		t.Fatalf("known = %v", known)
+	}
+	for i := 1; i < len(known); i++ {
+		if known[i].SegNo <= known[i-1].SegNo {
+			t.Errorf("not sorted: %v", known)
+		}
+	}
+}
+
+// Property: after any sequence of initiates and terminates, the UID<->segno
+// maps are mutually inverse and every entry has an installed descriptor.
+func TestQuickKSTInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		ds := machine.NewDescriptorSegment(64)
+		tab := New(ds, 8)
+		for _, op := range ops {
+			uid := uint64(op%20) + 1
+			if op%3 == 0 {
+				if seg, ok := tab.SegNoForUID(uid); ok {
+					if err := tab.Terminate(seg); err != nil {
+						return false
+					}
+				}
+			} else {
+				if _, _, err := tab.Initiate(uid, sdwFor(uid)); err != nil {
+					return false
+				}
+			}
+		}
+		for _, e := range tab.Known() {
+			seg, ok := tab.SegNoForUID(e.UID)
+			if !ok || seg != e.SegNo {
+				return false
+			}
+			if !ds.SDW(e.SegNo).InUse() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package linker
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestListSymbolsRoundTrip(t *testing.T) {
+	syms := []Symbol{
+		{Name: "alpha", Entry: 0},
+		{Name: "beta", Entry: 3},
+		{Name: "a_very_long_name_that_spans_words", Entry: 17},
+	}
+	words, err := EncodeSymtab(syms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListSymbols(readerOver(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(syms) {
+		t.Fatalf("got %d symbols", len(got))
+	}
+	for i, s := range syms {
+		if got[i] != s {
+			t.Errorf("symbol %d = %+v, want %+v", i, got[i], s)
+		}
+	}
+}
+
+func TestListSymbolsEmptyTable(t *testing.T) {
+	words, err := EncodeSymtab(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListSymbols(readerOver(words))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty table = %v, %v", got, err)
+	}
+}
+
+func TestListSymbolsMalstructured(t *testing.T) {
+	cases := map[string][]uint64{
+		"bad magic":       {0xBAD, 0},
+		"huge count":      {SymtabMagic, MaxSymbols + 1},
+		"truncated":       {SymtabMagic, 2, 3, 0x414243},
+		"zero name len":   {SymtabMagic, 1, 0},
+		"huge entry":      {SymtabMagic, 1, 1, uint64('x') << 56, MaxSymbols + 99},
+		"no words at all": {},
+	}
+	for label, words := range cases {
+		if _, err := ListSymbols(readerOver(words)); err == nil {
+			t.Errorf("%s: accepted", label)
+		} else if !errors.Is(err, ErrCorruptSymtab) && !errors.Is(err, ErrBadMagic) {
+			t.Errorf("%s: unclassified error %v", label, err)
+		}
+	}
+}
+
+// Property: ListSymbols and FindEntry agree — every listed symbol is
+// findable with the same entry index.
+func TestQuickListFindAgreement(t *testing.T) {
+	f := func(names []string, entries []uint16) bool {
+		var syms []Symbol
+		seen := map[string]bool{}
+		for i, n := range names {
+			if n == "" || len(n) > MaxNameLen || seen[n] {
+				continue
+			}
+			seen[n] = true
+			e := 0
+			if i < len(entries) {
+				e = int(entries[i]) % (MaxSymbols + 1)
+			}
+			syms = append(syms, Symbol{Name: n, Entry: e})
+			if len(syms) >= 20 {
+				break
+			}
+		}
+		words, err := EncodeSymtab(syms)
+		if err != nil {
+			return false
+		}
+		listed, err := ListSymbols(readerOver(words))
+		if err != nil || len(listed) != len(syms) {
+			return false
+		}
+		for _, s := range listed {
+			e, err := FindEntry(readerOver(words), s.Name)
+			if err != nil || e != s.Entry {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinkerRingAccessor(t *testing.T) {
+	l := New(&SearchRules{}, 4)
+	if l.Ring() != 4 {
+		t.Errorf("Ring = %v", l.Ring())
+	}
+}

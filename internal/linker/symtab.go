@@ -1,0 +1,198 @@
+// Package linker implements Multics dynamic linking: resolving a symbolic
+// reference (segment name + entry-point name) to a snapped link (segment
+// number + entry index) at first use, driven by linkage faults.
+//
+// This is the mechanism of the Janson removal project. The paper calls the
+// in-kernel linker "an especially vulnerable and complex mechanism ...
+// [that] has to accept user-constructed code segments as input data": a
+// maliciously malstructured symbol table is parsed by privileged code. The
+// same Linker type here can be instantiated as the ring-0 linker of the
+// baseline kernel or as a private user-ring linker; the difference the
+// experiments measure is the blast radius of a malfunction, not the
+// algorithm.
+package linker
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Symbol table layout, stored in the words of an executable segment:
+//
+//	word 0        magic (SymtabMagic)
+//	word 1        symbol count n  (0 <= n <= MaxSymbols)
+//	then, per symbol:
+//	  word        name length in bytes (1..MaxNameLen)
+//	  words       name bytes packed 8 per word, big-endian within the word
+//	  word        entry index
+//
+// The format is deliberately easy to malstructure — oversized counts,
+// truncated records, absurd name lengths — because feeding such tables to
+// the linker is exactly the attack the paper's review activity documented.
+const (
+	// SymtabMagic identifies a symbol table ("LNK" packed).
+	SymtabMagic uint64 = 0x4C4E4B
+	// MaxSymbols bounds the declared symbol count a parser will accept.
+	MaxSymbols = 1024
+	// MaxNameLen bounds an entry-point name.
+	MaxNameLen = 256
+)
+
+// Symbol is one entry-point definition.
+type Symbol struct {
+	Name  string
+	Entry int
+}
+
+// Errors from symbol-table parsing.
+var (
+	ErrBadMagic      = errors.New("linker: segment has no symbol table (bad magic)")
+	ErrCorruptSymtab = errors.New("linker: malstructured symbol table")
+	ErrNoSuchEntry   = errors.New("linker: entry point not defined by segment")
+)
+
+// EncodeSymtab packs symbols into the word format above.
+func EncodeSymtab(symbols []Symbol) ([]uint64, error) {
+	if len(symbols) > MaxSymbols {
+		return nil, fmt.Errorf("linker: %d symbols exceeds maximum %d", len(symbols), MaxSymbols)
+	}
+	words := []uint64{SymtabMagic, uint64(len(symbols))}
+	for _, s := range symbols {
+		if len(s.Name) == 0 || len(s.Name) > MaxNameLen {
+			return nil, fmt.Errorf("linker: symbol name length %d out of range", len(s.Name))
+		}
+		if s.Entry < 0 {
+			return nil, fmt.Errorf("linker: negative entry index for %q", s.Name)
+		}
+		words = append(words, uint64(len(s.Name)))
+		words = append(words, packName(s.Name)...)
+		words = append(words, uint64(s.Entry))
+	}
+	return words, nil
+}
+
+func packName(name string) []uint64 {
+	n := (len(name) + 7) / 8
+	out := make([]uint64, n)
+	for i := 0; i < len(name); i++ {
+		out[i/8] |= uint64(name[i]) << uint(56-8*(i%8))
+	}
+	return out
+}
+
+func unpackName(words []uint64, length int) string {
+	buf := make([]byte, length)
+	for i := 0; i < length; i++ {
+		buf[i] = byte(words[i/8] >> uint(56-8*(i%8)))
+	}
+	return string(buf)
+}
+
+// WordReader reads one word of the segment holding the symbol table. The
+// linker supplies a reader that goes through the machine's protection
+// checks in the ring the linker executes in.
+type WordReader func(off int) (uint64, error)
+
+// ListSymbols parses the whole symbol table via read. It applies the same
+// structural validation as FindEntry.
+func ListSymbols(read WordReader) ([]Symbol, error) {
+	magic, err := read(0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrCorruptSymtab, err)
+	}
+	if magic != SymtabMagic {
+		return nil, ErrBadMagic
+	}
+	count, err := read(1)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading count: %v", ErrCorruptSymtab, err)
+	}
+	if count > MaxSymbols {
+		return nil, fmt.Errorf("%w: declared symbol count %d exceeds maximum %d", ErrCorruptSymtab, count, MaxSymbols)
+	}
+	var out []Symbol
+	off := 2
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := read(off)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated at symbol %d: %v", ErrCorruptSymtab, i, err)
+		}
+		off++
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return nil, fmt.Errorf("%w: symbol %d name length %d out of range", ErrCorruptSymtab, i, nameLen)
+		}
+		nWords := (int(nameLen) + 7) / 8
+		nameWords := make([]uint64, nWords)
+		for j := 0; j < nWords; j++ {
+			w, err := read(off + j)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated name of symbol %d: %v", ErrCorruptSymtab, i, err)
+			}
+			nameWords[j] = w
+		}
+		off += nWords
+		entry, err := read(off)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated entry of symbol %d: %v", ErrCorruptSymtab, i, err)
+		}
+		off++
+		if entry > uint64(MaxSymbols) {
+			return nil, fmt.Errorf("%w: symbol %d entry index %d implausible", ErrCorruptSymtab, i, entry)
+		}
+		out = append(out, Symbol{Name: unpackName(nameWords, int(nameLen)), Entry: int(entry)})
+	}
+	return out, nil
+}
+
+// FindEntry parses the symbol table via read and returns the entry index
+// for name. Every structural check here is a check the original Multics
+// linker had to get right while running with supervisor privilege.
+func FindEntry(read WordReader, name string) (int, error) {
+	magic, err := read(0)
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading magic: %v", ErrCorruptSymtab, err)
+	}
+	if magic != SymtabMagic {
+		return 0, ErrBadMagic
+	}
+	count, err := read(1)
+	if err != nil {
+		return 0, fmt.Errorf("%w: reading count: %v", ErrCorruptSymtab, err)
+	}
+	if count > MaxSymbols {
+		return 0, fmt.Errorf("%w: declared symbol count %d exceeds maximum %d", ErrCorruptSymtab, count, MaxSymbols)
+	}
+	off := 2
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := read(off)
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated at symbol %d: %v", ErrCorruptSymtab, i, err)
+		}
+		off++
+		if nameLen == 0 || nameLen > MaxNameLen {
+			return 0, fmt.Errorf("%w: symbol %d name length %d out of range", ErrCorruptSymtab, i, nameLen)
+		}
+		nWords := (int(nameLen) + 7) / 8
+		nameWords := make([]uint64, nWords)
+		for j := 0; j < nWords; j++ {
+			w, err := read(off + j)
+			if err != nil {
+				return 0, fmt.Errorf("%w: truncated name of symbol %d: %v", ErrCorruptSymtab, i, err)
+			}
+			nameWords[j] = w
+		}
+		off += nWords
+		entry, err := read(off)
+		if err != nil {
+			return 0, fmt.Errorf("%w: truncated entry of symbol %d: %v", ErrCorruptSymtab, i, err)
+		}
+		off++
+		if unpackName(nameWords, int(nameLen)) == name {
+			if entry > uint64(MaxSymbols) {
+				return 0, fmt.Errorf("%w: symbol %q entry index %d implausible", ErrCorruptSymtab, name, entry)
+			}
+			return int(entry), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q", ErrNoSuchEntry, name)
+}

@@ -1,0 +1,37 @@
+package machine
+
+import "fmt"
+
+// CoreBacking is a simple always-resident segment backing, used for kernel
+// data bases that are wired into primary memory and for tests. Paged
+// backings live in the memory subsystem.
+type CoreBacking struct {
+	words []uint64
+}
+
+// NewCoreBacking returns a zeroed resident backing of n words.
+func NewCoreBacking(n int) *CoreBacking { return &CoreBacking{words: make([]uint64, n)} }
+
+// ReadWord returns the word at off.
+func (b *CoreBacking) ReadWord(off int) (uint64, error) {
+	if off < 0 || off >= len(b.words) {
+		return 0, fmt.Errorf("machine: core backing read offset %d out of range [0,%d)", off, len(b.words))
+	}
+	return b.words[off], nil
+}
+
+// WriteWord stores val at off.
+func (b *CoreBacking) WriteWord(off int, val uint64) error {
+	if off < 0 || off >= len(b.words) {
+		return fmt.Errorf("machine: core backing write offset %d out of range [0,%d)", off, len(b.words))
+	}
+	b.words[off] = val
+	return nil
+}
+
+// Length returns the backing size in words.
+func (b *CoreBacking) Length() int { return len(b.words) }
+
+// Words exposes the raw storage for kernel-internal use (never handed to
+// simulated user code, which must go through the processor checks).
+func (b *CoreBacking) Words() []uint64 { return b.words }

@@ -1,0 +1,89 @@
+package machine
+
+// CostModel assigns cycle costs to the primitive operations of the simulated
+// processor. The absolute values are arbitrary; the experiments depend only
+// on the relationships the paper describes — in particular the ratio of a
+// cross-ring call to an intra-ring call on the 645 versus the 6180.
+type CostModel struct {
+	// Name identifies the model in reports.
+	Name string
+	// Load is the cost of a checked word read.
+	Load int64
+	// Store is the cost of a checked word write.
+	Store int64
+	// Call is the cost of an intra-ring procedure call.
+	Call int64
+	// Return is the cost of a procedure return.
+	Return int64
+	// RingCrossExtra is the additional cost imposed on a call or return
+	// that changes rings. On the 645 this covers the software simulation of
+	// rings: faulting into the supervisor, validating the target, copying
+	// arguments, and building the new environment. On the 6180 it is zero.
+	RingCrossExtra int64
+	// GateCheck is the cost of validating a gate entry on a cross-ring
+	// call (performed by hardware on the 6180, by supervisor software on
+	// the 645 — the cost is folded into RingCrossExtra there).
+	GateCheck int64
+	// FaultOverhead is the cost of taking any fault.
+	FaultOverhead int64
+}
+
+// Model6180 returns the cost model of the Honeywell 6180, whose hardware
+// rings make cross-ring calls cost the same as intra-ring calls.
+func Model6180() CostModel {
+	return CostModel{
+		Name:           "Honeywell 6180 (hardware rings)",
+		Load:           1,
+		Store:          1,
+		Call:           8,
+		Return:         8,
+		RingCrossExtra: 0,
+		GateCheck:      2,
+		FaultOverhead:  50,
+	}
+}
+
+// Model645 returns the cost model of the Honeywell 645, where rings were
+// simulated in software and a cross-ring call was roughly two orders of
+// magnitude more expensive than an intra-ring call.
+func Model645() CostModel {
+	return CostModel{
+		Name:           "Honeywell 645 (software-simulated rings)",
+		Load:           1,
+		Store:          1,
+		Call:           8,
+		Return:         8,
+		RingCrossExtra: 800,
+		GateCheck:      40,
+		FaultOverhead:  50,
+	}
+}
+
+// Clock is a monotonically increasing virtual cycle counter shared by every
+// component of a simulated system. All latencies and costs in the
+// reproduction are expressed in these virtual cycles, never wall time.
+type Clock struct {
+	now int64
+}
+
+// NewClock returns a clock at cycle zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual cycle.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves the clock forward by d cycles. Advance panics if d is
+// negative: virtual time never runs backwards.
+func (c *Clock) Advance(d int64) {
+	if d < 0 {
+		panic("machine: clock advanced by negative duration")
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock forward to cycle t if t is in the future.
+func (c *Clock) AdvanceTo(t int64) {
+	if t > c.now {
+		c.now = t
+	}
+}

@@ -1,0 +1,362 @@
+package machine
+
+import (
+	"fmt"
+)
+
+// Procedure is the simulated code body of an executable segment. Each entry
+// point is a Go function that receives the execution context through which
+// every memory reference and call is mediated — simulated code has no other
+// way to touch the machine, so the descriptor-segment checks cannot be
+// bypassed.
+type Procedure struct {
+	// Name identifies the procedure in faults and traces.
+	Name string
+	// Entries are the entry points, indexed by entry number.
+	Entries []EntryFunc
+}
+
+// EntryFunc is one entry point of a simulated procedure.
+type EntryFunc func(ctx *ExecContext, args []uint64) ([]uint64, error)
+
+// MaxCallDepth bounds the simulated call stack, converting runaway recursion
+// in simulated code into a fault rather than a Go stack overflow.
+const MaxCallDepth = 256
+
+// Stats records the event counts a processor accumulates; the experiment
+// harness reads them to report path lengths and fault behaviour.
+type Stats struct {
+	Loads          int64
+	Stores         int64
+	Calls          int64
+	CrossRingCalls int64
+	GateCalls      int64
+	Faults         map[FaultClass]int64
+}
+
+func newStats() Stats { return Stats{Faults: make(map[FaultClass]int64)} }
+
+// Processor simulates one CPU executing within a single process environment:
+// a descriptor segment, a current ring, and the per-process linkage
+// information used by dynamic linking. Simulated code runs by calling entry
+// points through the processor, which applies every protection check the
+// hardware would.
+type Processor struct {
+	// DS is the descriptor segment of the executing process.
+	DS *DescriptorSegment
+	// Clock is the shared virtual clock; costs are charged to it.
+	Clock *Clock
+	// Cost is the machine cost model (645 or 6180).
+	Cost CostModel
+
+	// Pager handles page faults; nil means page faults abort the access.
+	Pager PageFaultHandler
+	// Linker handles linkage faults; nil means unsnapped references fail.
+	Linker LinkageFaultHandler
+
+	ring    Ring
+	depth   int
+	stats   Stats
+	linkage map[SegNo]map[LinkRef]LinkTarget
+	// traceFn, when set, observes every call for the audit subsystem.
+	traceFn func(ev TraceEvent)
+}
+
+// TraceEvent describes one call observed by the processor trace hook.
+type TraceEvent struct {
+	From     Ring
+	To       Ring
+	Seg      SegNo
+	Entry    int
+	Gate     bool
+	CycleNow int64
+}
+
+// NewProcessor returns a processor executing in ring over ds.
+func NewProcessor(ds *DescriptorSegment, clock *Clock, cost CostModel, ring Ring) *Processor {
+	return &Processor{
+		DS:      ds,
+		Clock:   clock,
+		Cost:    cost,
+		ring:    ring,
+		stats:   newStats(),
+		linkage: make(map[SegNo]map[LinkRef]LinkTarget),
+	}
+}
+
+// Ring returns the current ring of execution.
+func (p *Processor) Ring() Ring { return p.ring }
+
+// Stats returns a copy of the accumulated event counts.
+func (p *Processor) Stats() Stats {
+	out := p.stats
+	out.Faults = make(map[FaultClass]int64, len(p.stats.Faults))
+	for k, v := range p.stats.Faults {
+		out.Faults[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the accumulated event counts.
+func (p *Processor) ResetStats() { p.stats = newStats() }
+
+// SetTrace installs fn as the call-trace observer; nil disables tracing.
+func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
+
+// SnapLink records a resolved link so later symbolic calls bypass the
+// linkage fault. It is exposed so a user-ring linker can snap links for the
+// process it runs in.
+func (p *Processor) SnapLink(inSeg SegNo, ref LinkRef, target LinkTarget) {
+	m := p.linkage[inSeg]
+	if m == nil {
+		m = make(map[LinkRef]LinkTarget)
+		p.linkage[inSeg] = m
+	}
+	m[ref] = target
+}
+
+// SnappedLink returns the target previously snapped for ref in inSeg.
+func (p *Processor) SnappedLink(inSeg SegNo, ref LinkRef) (LinkTarget, bool) {
+	t, ok := p.linkage[inSeg][ref]
+	return t, ok
+}
+
+// SnappedLinkCount returns the number of links snapped in inSeg.
+func (p *Processor) SnappedLinkCount(inSeg SegNo) int { return len(p.linkage[inSeg]) }
+
+func (p *Processor) fault(f *Fault) *Fault {
+	p.stats.Faults[f.Class]++
+	p.Clock.Advance(p.Cost.FaultOverhead)
+	return f
+}
+
+// checkData validates a data reference to sdw from ring with the wanted
+// access, returning a fault on violation.
+func (p *Processor) checkData(seg SegNo, sdw *SDW, off int, want AccessMode) *Fault {
+	if !sdw.InUse() {
+		return p.fault(&Fault{Class: FaultSegment, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: ErrNoDescriptor.Error()})
+	}
+	if sdw.Backing == nil {
+		return p.fault(&Fault{Class: FaultAccess, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: "pure procedure segment has no data backing"})
+	}
+	// The SDW checks (mode, then ring brackets) come before the bounds
+	// check, as in the hardware.
+	if !sdw.Mode.Has(want) {
+		return p.fault(&Fault{Class: FaultAccess, Seg: seg, Offset: off, Ring: p.ring, Wanted: want})
+	}
+	switch {
+	case want.Has(ModeWrite):
+		if p.ring > sdw.Brackets.R1 {
+			return p.fault(&Fault{Class: FaultRing, Seg: seg, Offset: off, Ring: p.ring, Wanted: want,
+				Detail: fmt.Sprintf("write bracket %v", sdw.Brackets)})
+		}
+	case want.Has(ModeRead):
+		if p.ring > sdw.Brackets.R2 {
+			return p.fault(&Fault{Class: FaultRing, Seg: seg, Offset: off, Ring: p.ring, Wanted: want,
+				Detail: fmt.Sprintf("read bracket %v", sdw.Brackets)})
+		}
+	}
+	if off < 0 || off >= sdw.Backing.Length() {
+		return p.fault(&Fault{Class: FaultOutOfBounds, Seg: seg, Offset: off, Ring: p.ring, Wanted: want})
+	}
+	return nil
+}
+
+// access performs one checked word reference, retrying once after a
+// successfully handled page fault.
+func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val uint64) (uint64, error) {
+	sdw := p.DS.SDW(seg)
+	if sdw == nil {
+		return 0, p.fault(&Fault{Class: FaultSegment, Seg: seg, Offset: off, Ring: p.ring, Wanted: want,
+			Detail: "segment number out of descriptor range"})
+	}
+	if f := p.checkData(seg, sdw, off, want); f != nil {
+		return 0, f
+	}
+	for attempt := 0; ; attempt++ {
+		var err error
+		var out uint64
+		if write {
+			p.stats.Stores++
+			p.Clock.Advance(p.Cost.Store)
+			err = sdw.Backing.WriteWord(off, val)
+		} else {
+			p.stats.Loads++
+			p.Clock.Advance(p.Cost.Load)
+			out, err = sdw.Backing.ReadWord(off)
+		}
+		if err == nil {
+			return out, nil
+		}
+		pf, ok := err.(*PageFault)
+		if !ok {
+			return 0, err
+		}
+		p.stats.Faults[FaultPage]++
+		p.Clock.Advance(p.Cost.FaultOverhead)
+		if p.Pager == nil || attempt > 0 {
+			return 0, &Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()}
+		}
+		if herr := p.Pager.HandlePageFault(pf); herr != nil {
+			return 0, fmt.Errorf("page fault on segment %d offset %d: %w", seg, off, herr)
+		}
+	}
+}
+
+// Load performs a checked read of one word.
+func (p *Processor) Load(seg SegNo, off int) (uint64, error) {
+	return p.access(seg, off, ModeRead, false, 0)
+}
+
+// Store performs a checked write of one word.
+func (p *Processor) Store(seg SegNo, off int, val uint64) error {
+	_, err := p.access(seg, off, ModeWrite, true, val)
+	return err
+}
+
+// resolveCall applies the ring-bracket call rules, returning the ring the
+// callee will execute in and whether the call passes through a gate.
+func (p *Processor) resolveCall(seg SegNo, sdw *SDW, entry int) (Ring, bool, *Fault) {
+	if !sdw.InUse() {
+		return 0, false, p.fault(&Fault{Class: FaultSegment, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: ErrNoDescriptor.Error()})
+	}
+	if sdw.Proc == nil {
+		return 0, false, p.fault(&Fault{Class: FaultAccess, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: "segment is not executable (no procedure body)"})
+	}
+	if !sdw.Mode.Has(ModeExecute) {
+		return 0, false, p.fault(&Fault{Class: FaultAccess, Seg: seg, Ring: p.ring, Wanted: ModeExecute})
+	}
+	if entry < 0 || entry >= len(sdw.Proc.Entries) {
+		return 0, false, p.fault(&Fault{Class: FaultGate, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: fmt.Sprintf("entry %d out of range [0,%d)", entry, len(sdw.Proc.Entries))})
+	}
+	b := sdw.Brackets
+	switch {
+	case p.ring >= b.R1 && p.ring <= b.R2:
+		// Within the execute bracket: call without ring change.
+		return p.ring, false, nil
+	case p.ring > b.R2 && p.ring <= b.R3:
+		// Outside the execute bracket but within the gate extension:
+		// permitted only through a declared gate entry, switching to R2.
+		if entry >= sdw.Gates {
+			return 0, false, p.fault(&Fault{Class: FaultGate, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+				Detail: fmt.Sprintf("entry %d is not a gate (segment has %d gates)", entry, sdw.Gates)})
+		}
+		return b.R2, true, nil
+	case p.ring < b.R1:
+		// Outward call: execution moves to the less privileged R1.
+		return b.R1, false, nil
+	default:
+		return 0, false, p.fault(&Fault{Class: FaultRing, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: fmt.Sprintf("caller outside call bracket %v", b)})
+	}
+}
+
+// Call invokes entry of the procedure segment seg with args, applying the
+// ring-bracket call rules, charging the appropriate costs, and restoring the
+// caller's ring when the callee returns.
+func (p *Processor) Call(seg SegNo, entry int, args []uint64) ([]uint64, error) {
+	sdw := p.DS.SDW(seg)
+	if sdw == nil {
+		return nil, p.fault(&Fault{Class: FaultSegment, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: "segment number out of descriptor range"})
+	}
+	target, viaGate, f := p.resolveCall(seg, sdw, entry)
+	if f != nil {
+		return nil, f
+	}
+	if p.depth >= MaxCallDepth {
+		return nil, p.fault(&Fault{Class: FaultAccess, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+			Detail: "call stack overflow"})
+	}
+
+	p.stats.Calls++
+	p.Clock.Advance(p.Cost.Call)
+	crossed := target != p.ring
+	if crossed {
+		p.stats.CrossRingCalls++
+		p.Clock.Advance(p.Cost.RingCrossExtra)
+	}
+	if viaGate {
+		p.stats.GateCalls++
+		p.Clock.Advance(p.Cost.GateCheck)
+	}
+	if p.traceFn != nil {
+		p.traceFn(TraceEvent{From: p.ring, To: target, Seg: seg, Entry: entry, Gate: viaGate, CycleNow: p.Clock.Now()})
+	}
+
+	caller := p.ring
+	p.ring = target
+	p.depth++
+	ctx := &ExecContext{proc: p, seg: seg, entry: entry}
+	out, err := sdw.Proc.Entries[entry](ctx, args)
+	p.depth--
+	p.ring = caller
+	p.Clock.Advance(p.Cost.Return)
+	if crossed {
+		p.Clock.Advance(p.Cost.RingCrossExtra)
+	}
+	return out, err
+}
+
+// CallSym invokes a symbolic reference from within segment inSeg: if the
+// link has been snapped the call proceeds directly; otherwise a linkage
+// fault is taken and the registered linker resolves the reference.
+func (p *Processor) CallSym(inSeg SegNo, ref LinkRef, args []uint64) ([]uint64, error) {
+	if t, ok := p.SnappedLink(inSeg, ref); ok {
+		return p.Call(t.Seg, t.Entry, args)
+	}
+	p.stats.Faults[FaultLinkage]++
+	p.Clock.Advance(p.Cost.FaultOverhead)
+	if p.Linker == nil {
+		return nil, &Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring,
+			Detail: fmt.Sprintf("no linker registered to resolve %v", ref)}
+	}
+	ctx := &ExecContext{proc: p, seg: inSeg}
+	target, err := p.Linker.HandleLinkageFault(ctx, ref)
+	if err != nil {
+		return nil, fmt.Errorf("linkage fault for %v: %w", ref, err)
+	}
+	p.SnapLink(inSeg, ref, target)
+	return p.Call(target.Seg, target.Entry, args)
+}
+
+// ExecContext is the only interface simulated code has to the machine. All
+// loads, stores, and calls pass through the owning processor's protection
+// checks in the ring the code is executing in.
+type ExecContext struct {
+	proc  *Processor
+	seg   SegNo
+	entry int
+}
+
+// Ring returns the ring this code is executing in.
+func (c *ExecContext) Ring() Ring { return c.proc.ring }
+
+// Segment returns the segment number of the executing procedure.
+func (c *ExecContext) Segment() SegNo { return c.seg }
+
+// Processor exposes the underlying processor. Kernel-resident simulated code
+// uses it to manipulate descriptor segments; code in outer rings can hold it
+// too, but every operation it performs remains subject to ring checks.
+func (c *ExecContext) Processor() *Processor { return c.proc }
+
+// Load reads one word through the protection checks.
+func (c *ExecContext) Load(seg SegNo, off int) (uint64, error) { return c.proc.Load(seg, off) }
+
+// Store writes one word through the protection checks.
+func (c *ExecContext) Store(seg SegNo, off int, val uint64) error {
+	return c.proc.Store(seg, off, val)
+}
+
+// Call invokes another procedure segment through the ring-bracket rules.
+func (c *ExecContext) Call(seg SegNo, entry int, args []uint64) ([]uint64, error) {
+	return c.proc.Call(seg, entry, args)
+}
+
+// CallSym invokes a symbolic reference, taking a linkage fault on first use.
+func (c *ExecContext) CallSym(ref LinkRef, args []uint64) ([]uint64, error) {
+	return c.proc.CallSym(c.seg, ref, args)
+}

@@ -1,0 +1,76 @@
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// PagedBacking adapts one segment of the Store to the machine.Backing
+// interface. References to core-resident pages succeed directly; references
+// to absent pages return *machine.PageFault so the processor can invoke page
+// control and retry.
+type PagedBacking struct {
+	store *Store
+	uid   uint64
+}
+
+var _ machine.Backing = (*PagedBacking)(nil)
+
+// NewPagedBacking returns a backing for the segment uid, which must exist.
+func NewPagedBacking(store *Store, uid uint64) (*PagedBacking, error) {
+	if _, ok := store.Segment(uid); !ok {
+		return nil, fmt.Errorf("mem: no segment %#x", uid)
+	}
+	return &PagedBacking{store: store, uid: uid}, nil
+}
+
+// UID returns the segment unique ID this backing serves.
+func (b *PagedBacking) UID() uint64 { return b.uid }
+
+func (b *PagedBacking) locate(off int) (FrameID, int, error) {
+	sp, ok := b.store.Segment(b.uid)
+	if !ok {
+		return 0, 0, fmt.Errorf("mem: segment %#x deleted", b.uid)
+	}
+	if off < 0 || off >= sp.Length {
+		return 0, 0, fmt.Errorf("mem: offset %d outside segment %#x length %d", off, b.uid, sp.Length)
+	}
+	page := off / b.store.cfg.PageWords
+	pid := PageID{SegUID: b.uid, Index: page}
+	loc, err := b.store.Locate(pid)
+	if err != nil {
+		return 0, 0, err
+	}
+	if loc.Level != LevelCore {
+		return 0, 0, &machine.PageFault{Page: page, SegTag: b.uid}
+	}
+	return loc.Frame, off % b.store.cfg.PageWords, nil
+}
+
+// ReadWord implements machine.Backing.
+func (b *PagedBacking) ReadWord(off int) (uint64, error) {
+	f, rel, err := b.locate(off)
+	if err != nil {
+		return 0, err
+	}
+	return b.store.ReadWord(f, rel)
+}
+
+// WriteWord implements machine.Backing.
+func (b *PagedBacking) WriteWord(off int, val uint64) error {
+	f, rel, err := b.locate(off)
+	if err != nil {
+		return err
+	}
+	return b.store.WriteWord(f, rel, val)
+}
+
+// Length implements machine.Backing.
+func (b *PagedBacking) Length() int {
+	sp, ok := b.store.Segment(b.uid)
+	if !ok {
+		return 0
+	}
+	return sp.Length
+}

@@ -1,0 +1,541 @@
+// Package mem simulates the three-level Multics memory hierarchy the paper's
+// page-control redesign moves pages among: primary memory (core), the bulk
+// store (paging drum), and disk. The package is passive storage with latency
+// accounting; process structure — who performs a transfer and who waits for
+// it — belongs to the page-control implementations in internal/pagectl.
+package mem
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level identifies one level of the memory hierarchy.
+type Level int
+
+// Hierarchy levels. LevelNone marks a page that has never been referenced:
+// it materializes zero-filled on first use.
+const (
+	LevelNone Level = iota
+	LevelCore
+	LevelBulk
+	LevelDisk
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "unmaterialized"
+	case LevelCore:
+		return "core"
+	case LevelBulk:
+		return "bulk"
+	case LevelDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// PageID names one page of one segment, globally: the segment's unique ID
+// plus the page index within the segment.
+type PageID struct {
+	SegUID uint64
+	Index  int
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%#x.%d", p.SegUID, p.Index) }
+
+// FrameID indexes a primary-memory frame.
+type FrameID int
+
+// BlockID indexes a bulk-store block.
+type BlockID int
+
+// Location records where a page currently lives. Pages live at exactly one
+// level at a time in this model.
+type Location struct {
+	Level Level
+	Frame FrameID // valid when Level == LevelCore
+	Block BlockID // valid when Level == LevelBulk
+}
+
+// Config sizes the hierarchy and sets transfer latencies in virtual cycles.
+type Config struct {
+	// PageWords is the page size in words.
+	PageWords int
+	// CoreFrames is the number of primary-memory page frames.
+	CoreFrames int
+	// BulkBlocks is the number of bulk-store blocks.
+	BulkBlocks int
+	// BulkRead/BulkWrite are bulk-store transfer latencies.
+	BulkRead, BulkWrite int64
+	// DiskRead/DiskWrite are disk transfer latencies.
+	DiskRead, DiskWrite int64
+}
+
+// DefaultConfig returns a hierarchy sized for the experiments: a small core
+// over a larger bulk store over unbounded disk, with disk roughly 20x slower
+// than the bulk store.
+func DefaultConfig() Config {
+	return Config{
+		PageWords:  64,
+		CoreFrames: 32,
+		BulkBlocks: 128,
+		BulkRead:   100,
+		BulkWrite:  100,
+		DiskRead:   2000,
+		DiskWrite:  2000,
+	}
+}
+
+func (c Config) validate() error {
+	if c.PageWords <= 0 {
+		return errors.New("mem: PageWords must be positive")
+	}
+	if c.CoreFrames <= 0 {
+		return errors.New("mem: CoreFrames must be positive")
+	}
+	if c.BulkBlocks <= 0 {
+		return errors.New("mem: BulkBlocks must be positive")
+	}
+	if c.BulkRead < 0 || c.BulkWrite < 0 || c.DiskRead < 0 || c.DiskWrite < 0 {
+		return errors.New("mem: latencies must be non-negative")
+	}
+	return nil
+}
+
+// TransferStats counts page movements between levels.
+type TransferStats struct {
+	BulkToCore int64
+	DiskToCore int64
+	CoreToBulk int64
+	CoreToDisk int64
+	BulkToDisk int64
+	DiskToBulk int64
+	ZeroFills  int64
+}
+
+type frame struct {
+	free     bool
+	pid      PageID
+	data     []uint64
+	used     bool // referenced since last usage reset
+	modified bool
+	wired    bool // never evictable (kernel pages)
+}
+
+type block struct {
+	free bool
+	pid  PageID
+	data []uint64
+}
+
+// Store is the whole simulated memory hierarchy plus the page tables of all
+// segments. It is not safe for concurrent use; the simulated system is
+// serialized by its scheduler.
+type Store struct {
+	cfg    Config
+	frames []frame
+	blocks []block
+	disk   map[PageID][]uint64
+	// segs maps segment UID -> page table.
+	segs  map[uint64]*SegmentPages
+	stats TransferStats
+
+	freeFrames []FrameID
+	freeBlocks []BlockID
+}
+
+// SegmentPages is the page table of one segment.
+type SegmentPages struct {
+	UID    uint64
+	Length int // length in words
+	pages  map[int]Location
+}
+
+// NumPages returns how many pages the segment spans.
+func (s *SegmentPages) NumPages(pageWords int) int {
+	return (s.Length + pageWords - 1) / pageWords
+}
+
+// NewStore returns an empty hierarchy.
+func NewStore(cfg Config) (*Store, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		cfg:    cfg,
+		frames: make([]frame, cfg.CoreFrames),
+		blocks: make([]block, cfg.BulkBlocks),
+		disk:   make(map[PageID][]uint64),
+		segs:   make(map[uint64]*SegmentPages),
+	}
+	for i := range st.frames {
+		st.frames[i].free = true
+		st.freeFrames = append(st.freeFrames, FrameID(i))
+	}
+	for i := range st.blocks {
+		st.blocks[i].free = true
+		st.freeBlocks = append(st.freeBlocks, BlockID(i))
+	}
+	return st, nil
+}
+
+// Config returns the hierarchy configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns the transfer counts so far.
+func (s *Store) Stats() TransferStats { return s.stats }
+
+// CreateSegment registers a segment of length words, with all pages
+// unmaterialized. It fails if the UID is already in use.
+func (s *Store) CreateSegment(uid uint64, length int) (*SegmentPages, error) {
+	if length < 0 {
+		return nil, fmt.Errorf("mem: negative segment length %d", length)
+	}
+	if _, ok := s.segs[uid]; ok {
+		return nil, fmt.Errorf("mem: segment %#x already exists", uid)
+	}
+	sp := &SegmentPages{UID: uid, Length: length, pages: make(map[int]Location)}
+	s.segs[uid] = sp
+	return sp, nil
+}
+
+// Segment returns the page table for uid.
+func (s *Store) Segment(uid uint64) (*SegmentPages, bool) {
+	sp, ok := s.segs[uid]
+	return sp, ok
+}
+
+// DeleteSegment releases every page of uid at every level.
+func (s *Store) DeleteSegment(uid uint64) error {
+	sp, ok := s.segs[uid]
+	if !ok {
+		return fmt.Errorf("mem: segment %#x does not exist", uid)
+	}
+	for idx, loc := range sp.pages {
+		pid := PageID{SegUID: uid, Index: idx}
+		switch loc.Level {
+		case LevelCore:
+			s.releaseFrame(loc.Frame)
+		case LevelBulk:
+			s.releaseBlock(loc.Block)
+		case LevelDisk:
+			delete(s.disk, pid)
+		}
+	}
+	delete(s.segs, uid)
+	return nil
+}
+
+// SetLength grows or shrinks a segment. Shrinking releases pages beyond the
+// new length.
+func (s *Store) SetLength(uid uint64, length int) error {
+	sp, ok := s.segs[uid]
+	if !ok {
+		return fmt.Errorf("mem: segment %#x does not exist", uid)
+	}
+	if length < 0 {
+		return fmt.Errorf("mem: negative segment length %d", length)
+	}
+	lastPage := (length + s.cfg.PageWords - 1) / s.cfg.PageWords
+	for idx, loc := range sp.pages {
+		if idx < lastPage {
+			continue
+		}
+		pid := PageID{SegUID: uid, Index: idx}
+		switch loc.Level {
+		case LevelCore:
+			s.releaseFrame(loc.Frame)
+		case LevelBulk:
+			s.releaseBlock(loc.Block)
+		case LevelDisk:
+			delete(s.disk, pid)
+		}
+		delete(sp.pages, idx)
+	}
+	sp.Length = length
+	return nil
+}
+
+// Locate returns where a page of uid currently lives.
+func (s *Store) Locate(pid PageID) (Location, error) {
+	sp, ok := s.segs[pid.SegUID]
+	if !ok {
+		return Location{}, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	loc, ok := sp.pages[pid.Index]
+	if !ok {
+		return Location{Level: LevelNone}, nil
+	}
+	return loc, nil
+}
+
+// FreeFrameCount returns the number of free primary-memory frames.
+func (s *Store) FreeFrameCount() int { return len(s.freeFrames) }
+
+// FreeBlockCount returns the number of free bulk-store blocks.
+func (s *Store) FreeBlockCount() int { return len(s.freeBlocks) }
+
+func (s *Store) releaseFrame(f FrameID) {
+	fr := &s.frames[f]
+	if fr.free {
+		return
+	}
+	*fr = frame{free: true}
+	s.freeFrames = append(s.freeFrames, f)
+}
+
+func (s *Store) releaseBlock(b BlockID) {
+	bl := &s.blocks[b]
+	if bl.free {
+		return
+	}
+	*bl = block{free: true}
+	s.freeBlocks = append(s.freeBlocks, b)
+}
+
+func (s *Store) takeFrame() (FrameID, bool) {
+	if len(s.freeFrames) == 0 {
+		return 0, false
+	}
+	f := s.freeFrames[len(s.freeFrames)-1]
+	s.freeFrames = s.freeFrames[:len(s.freeFrames)-1]
+	return f, true
+}
+
+func (s *Store) takeBlock() (BlockID, bool) {
+	if len(s.freeBlocks) == 0 {
+		return 0, false
+	}
+	b := s.freeBlocks[len(s.freeBlocks)-1]
+	s.freeBlocks = s.freeBlocks[:len(s.freeBlocks)-1]
+	return b, true
+}
+
+// ErrNoFreeFrame is returned when a page-in needs a core frame and none is
+// free. Page control reacts by freeing one (the design under test).
+var ErrNoFreeFrame = errors.New("mem: no free primary memory frame")
+
+// ErrNoFreeBlock is the bulk-store analogue of ErrNoFreeFrame.
+var ErrNoFreeBlock = errors.New("mem: no free bulk store block")
+
+// MaterializeZero brings an unmaterialized page into core as zeros. It
+// consumes a free frame and charges no transfer latency (zero-fill is a
+// core-speed operation).
+func (s *Store) MaterializeZero(pid PageID) (FrameID, error) {
+	sp, ok := s.segs[pid.SegUID]
+	if !ok {
+		return 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	if loc, ok := sp.pages[pid.Index]; ok {
+		return 0, fmt.Errorf("mem: page %v already materialized at %v", pid, loc.Level)
+	}
+	f, ok := s.takeFrame()
+	if !ok {
+		return 0, ErrNoFreeFrame
+	}
+	s.frames[f] = frame{pid: pid, data: make([]uint64, s.cfg.PageWords), used: true}
+	sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
+	s.stats.ZeroFills++
+	return f, nil
+}
+
+// PageIn transfers a page from bulk or disk into a free core frame and
+// returns the frame plus the transfer latency charged to whoever waited.
+func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
+	sp, ok := s.segs[pid.SegUID]
+	if !ok {
+		return 0, 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	loc, ok := sp.pages[pid.Index]
+	if !ok {
+		f, err := s.MaterializeZero(pid)
+		return f, 0, err
+	}
+	switch loc.Level {
+	case LevelCore:
+		return loc.Frame, 0, nil
+	case LevelBulk:
+		f, ok := s.takeFrame()
+		if !ok {
+			return 0, 0, ErrNoFreeFrame
+		}
+		bl := &s.blocks[loc.Block]
+		s.frames[f] = frame{pid: pid, data: bl.data, used: true}
+		s.releaseBlock(loc.Block)
+		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
+		s.stats.BulkToCore++
+		return f, s.cfg.BulkRead, nil
+	case LevelDisk:
+		f, ok := s.takeFrame()
+		if !ok {
+			return 0, 0, ErrNoFreeFrame
+		}
+		data := s.disk[pid]
+		delete(s.disk, pid)
+		s.frames[f] = frame{pid: pid, data: data, used: true}
+		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
+		s.stats.DiskToCore++
+		return f, s.cfg.DiskRead, nil
+	default:
+		return 0, 0, fmt.Errorf("mem: page %v in unexpected state %v", pid, loc.Level)
+	}
+}
+
+// EvictToBulk moves the page in frame f to a free bulk-store block,
+// returning the block and the latency.
+func (s *Store) EvictToBulk(f FrameID) (BlockID, int64, error) {
+	if int(f) < 0 || int(f) >= len(s.frames) {
+		return 0, 0, fmt.Errorf("mem: frame %d out of range", f)
+	}
+	fr := &s.frames[f]
+	if fr.free {
+		return 0, 0, fmt.Errorf("mem: frame %d is free", f)
+	}
+	if fr.wired {
+		return 0, 0, fmt.Errorf("mem: frame %d is wired", f)
+	}
+	b, ok := s.takeBlock()
+	if !ok {
+		return 0, 0, ErrNoFreeBlock
+	}
+	s.blocks[b] = block{pid: fr.pid, data: fr.data}
+	s.segs[fr.pid.SegUID].pages[fr.pid.Index] = Location{Level: LevelBulk, Block: b}
+	s.releaseFrame(f)
+	s.stats.CoreToBulk++
+	return b, s.cfg.BulkWrite, nil
+}
+
+// EvictToDisk moves the page in frame f directly to disk.
+func (s *Store) EvictToDisk(f FrameID) (int64, error) {
+	if int(f) < 0 || int(f) >= len(s.frames) {
+		return 0, fmt.Errorf("mem: frame %d out of range", f)
+	}
+	fr := &s.frames[f]
+	if fr.free {
+		return 0, fmt.Errorf("mem: frame %d is free", f)
+	}
+	if fr.wired {
+		return 0, fmt.Errorf("mem: frame %d is wired", f)
+	}
+	s.disk[fr.pid] = fr.data
+	s.segs[fr.pid.SegUID].pages[fr.pid.Index] = Location{Level: LevelDisk}
+	s.releaseFrame(f)
+	s.stats.CoreToDisk++
+	return s.cfg.DiskWrite, nil
+}
+
+// BulkToDisk moves the page in bulk block b to disk. In the real system
+// this passed through primary memory; the latency charged reflects a bulk
+// read plus a disk write.
+func (s *Store) BulkToDisk(b BlockID) (int64, error) {
+	if int(b) < 0 || int(b) >= len(s.blocks) {
+		return 0, fmt.Errorf("mem: block %d out of range", b)
+	}
+	bl := &s.blocks[b]
+	if bl.free {
+		return 0, fmt.Errorf("mem: block %d is free", b)
+	}
+	s.disk[bl.pid] = bl.data
+	s.segs[bl.pid.SegUID].pages[bl.pid.Index] = Location{Level: LevelDisk}
+	s.releaseBlock(b)
+	s.stats.BulkToDisk++
+	return s.cfg.BulkRead + s.cfg.DiskWrite, nil
+}
+
+// Frame gives page-control read access to frame metadata.
+type Frame struct {
+	ID       FrameID
+	Free     bool
+	PID      PageID
+	Used     bool
+	Modified bool
+	Wired    bool
+}
+
+// FrameInfo returns the metadata of frame f.
+func (s *Store) FrameInfo(f FrameID) (Frame, error) {
+	if int(f) < 0 || int(f) >= len(s.frames) {
+		return Frame{}, fmt.Errorf("mem: frame %d out of range", f)
+	}
+	fr := &s.frames[f]
+	return Frame{ID: f, Free: fr.free, PID: fr.pid, Used: fr.used, Modified: fr.modified, Wired: fr.wired}, nil
+}
+
+// Frames returns metadata for every frame, for replacement policies.
+func (s *Store) Frames() []Frame {
+	out := make([]Frame, len(s.frames))
+	for i := range s.frames {
+		fr := &s.frames[i]
+		out[i] = Frame{ID: FrameID(i), Free: fr.free, PID: fr.pid, Used: fr.used, Modified: fr.modified, Wired: fr.wired}
+	}
+	return out
+}
+
+// Block gives page-control read access to bulk-store block metadata.
+type Block struct {
+	ID   BlockID
+	Free bool
+	PID  PageID
+}
+
+// Blocks returns metadata for every bulk-store block.
+func (s *Store) Blocks() []Block {
+	out := make([]Block, len(s.blocks))
+	for i := range s.blocks {
+		bl := &s.blocks[i]
+		out[i] = Block{ID: BlockID(i), Free: bl.free, PID: bl.pid}
+	}
+	return out
+}
+
+// ResetUsage clears the referenced bit of frame f (clock-algorithm support).
+func (s *Store) ResetUsage(f FrameID) error {
+	if int(f) < 0 || int(f) >= len(s.frames) {
+		return fmt.Errorf("mem: frame %d out of range", f)
+	}
+	s.frames[f].used = false
+	return nil
+}
+
+// Wire pins the page in frame f into core (kernel pages).
+func (s *Store) Wire(f FrameID, wired bool) error {
+	if int(f) < 0 || int(f) >= len(s.frames) {
+		return fmt.Errorf("mem: frame %d out of range", f)
+	}
+	if s.frames[f].free {
+		return fmt.Errorf("mem: cannot wire free frame %d", f)
+	}
+	s.frames[f].wired = wired
+	return nil
+}
+
+// ReadWord reads a word from a core-resident page.
+func (s *Store) ReadWord(f FrameID, off int) (uint64, error) {
+	if int(f) < 0 || int(f) >= len(s.frames) || s.frames[f].free {
+		return 0, fmt.Errorf("mem: read of invalid frame %d", f)
+	}
+	fr := &s.frames[f]
+	if off < 0 || off >= len(fr.data) {
+		return 0, fmt.Errorf("mem: frame offset %d out of range", off)
+	}
+	fr.used = true
+	return fr.data[off], nil
+}
+
+// WriteWord writes a word to a core-resident page.
+func (s *Store) WriteWord(f FrameID, off int, val uint64) error {
+	if int(f) < 0 || int(f) >= len(s.frames) || s.frames[f].free {
+		return fmt.Errorf("mem: write of invalid frame %d", f)
+	}
+	fr := &s.frames[f]
+	if off < 0 || off >= len(fr.data) {
+		return fmt.Errorf("mem: frame offset %d out of range", off)
+	}
+	fr.used = true
+	fr.modified = true
+	fr.data[off] = val
+	return nil
+}

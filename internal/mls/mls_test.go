@@ -1,0 +1,201 @@
+package mls
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"u": Unclassified, "unclassified": Unclassified,
+		"c": Confidential, "s": Secret, "ts": TopSecret, "top-secret": TopSecret,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("zebra"); err == nil {
+		t.Error("unknown level should fail")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	sNato := NewLabel(Secret, "nato")
+	tsNato := NewLabel(TopSecret, "nato")
+	sNatoCrypto := NewLabel(Secret, "nato", "crypto")
+	u := NewLabel(Unclassified)
+
+	if !tsNato.Dominates(sNato) {
+		t.Error("ts{nato} should dominate s{nato}")
+	}
+	if sNato.Dominates(tsNato) {
+		t.Error("s{nato} should not dominate ts{nato}")
+	}
+	if !sNatoCrypto.Dominates(sNato) {
+		t.Error("superset compartments should dominate")
+	}
+	if sNato.Dominates(sNatoCrypto) {
+		t.Error("subset compartments should not dominate")
+	}
+	if !sNato.Dominates(u) {
+		t.Error("anything dominates unclassified{}")
+	}
+	// Incomparable: disjoint compartments at same level.
+	a, b := NewLabel(Secret, "a"), NewLabel(Secret, "b")
+	if a.Comparable(b) {
+		t.Error("s{a} and s{b} should be incomparable")
+	}
+	if !a.Equal(NewLabel(Secret, "a")) {
+		t.Error("identical labels should be equal")
+	}
+	if a.Equal(b) {
+		t.Error("different labels should not be equal")
+	}
+}
+
+func TestJoinMeet(t *testing.T) {
+	a := NewLabel(Secret, "nato")
+	b := NewLabel(Confidential, "crypto")
+	j := a.Join(b)
+	if j.Level != Secret || !j.HasCompartment("nato") || !j.HasCompartment("crypto") {
+		t.Errorf("join = %v", j)
+	}
+	m := a.Meet(b)
+	if m.Level != Confidential || len(m.Compartments()) != 0 {
+		t.Errorf("meet = %v", m)
+	}
+}
+
+func TestSimpleSecurity(t *testing.T) {
+	subj := NewLabel(Secret, "nato")
+	if err := CheckRead(subj, NewLabel(Confidential, "nato")); err != nil {
+		t.Errorf("read down should be allowed: %v", err)
+	}
+	err := CheckRead(subj, NewLabel(TopSecret, "nato"))
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != ReadUp {
+		t.Errorf("read up = %v, want ReadUp violation", err)
+	}
+	if err := CheckRead(subj, NewLabel(Secret, "crypto")); err == nil {
+		t.Error("read across compartments should be denied")
+	}
+}
+
+func TestStarProperty(t *testing.T) {
+	subj := NewLabel(Secret, "nato")
+	if err := CheckWrite(subj, NewLabel(TopSecret, "nato")); err != nil {
+		t.Errorf("write up should be allowed: %v", err)
+	}
+	err := CheckWrite(subj, NewLabel(Confidential, "nato"))
+	var v *Violation
+	if !errors.As(err, &v) || v.Kind != WriteDown {
+		t.Errorf("write down = %v, want WriteDown violation", err)
+	}
+}
+
+func TestCheckReadWriteExactLabelOnly(t *testing.T) {
+	subj := NewLabel(Secret, "nato")
+	if err := CheckReadWrite(subj, NewLabel(Secret, "nato")); err != nil {
+		t.Errorf("rw at own label: %v", err)
+	}
+	if err := CheckReadWrite(subj, NewLabel(TopSecret, "nato")); err == nil {
+		t.Error("rw above label should fail simple security")
+	}
+	if err := CheckReadWrite(subj, NewLabel(Confidential, "nato")); err == nil {
+		t.Error("rw below label should fail *-property")
+	}
+}
+
+func TestViolationStrings(t *testing.T) {
+	v := &Violation{Kind: ReadUp, Subject: NewLabel(Secret), Object: NewLabel(TopSecret)}
+	if v.Error() == "" {
+		t.Error("empty violation message")
+	}
+	if NewLabel(Secret, "b", "a").String() != "secret{a,b}" {
+		t.Errorf("label string = %q", NewLabel(Secret, "b", "a").String())
+	}
+}
+
+func genLabel(lvl uint8, comps uint8) Label {
+	names := []string{"nato", "crypto", "nuclear"}
+	var cs []string
+	for i, n := range names {
+		if comps&(1<<i) != 0 {
+			cs = append(cs, n)
+		}
+	}
+	return NewLabel(Level(lvl%4), cs...)
+}
+
+// Property: dominance is a partial order (reflexive, antisymmetric,
+// transitive) over generated labels.
+func TestQuickDominancePartialOrder(t *testing.T) {
+	refl := func(l uint8, c uint8) bool {
+		a := genLabel(l, c)
+		return a.Dominates(a)
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	antisym := func(l1, c1, l2, c2 uint8) bool {
+		a, b := genLabel(l1, c1), genLabel(l2, c2)
+		if a.Dominates(b) && b.Dominates(a) {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(antisym, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	trans := func(l1, c1, l2, c2, l3, c3 uint8) bool {
+		a, b, c := genLabel(l1, c1), genLabel(l2, c2), genLabel(l3, c3)
+		if a.Dominates(b) && b.Dominates(c) {
+			return a.Dominates(c)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+// Property: Join is the least upper bound — it dominates both operands, and
+// any label dominating both operands dominates the join.
+func TestQuickJoinIsLUB(t *testing.T) {
+	f := func(l1, c1, l2, c2, l3, c3 uint8) bool {
+		a, b := genLabel(l1, c1), genLabel(l2, c2)
+		j := a.Join(b)
+		if !j.Dominates(a) || !j.Dominates(b) {
+			return false
+		}
+		u := genLabel(l3, c3)
+		if u.Dominates(a) && u.Dominates(b) && !u.Dominates(j) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the combination of simple security and the *-property forbids
+// any two-step flow from a high object to a low object through one subject:
+// if a subject can read object X and write object Y, then Y dominates X.
+func TestQuickNoDownwardFlow(t *testing.T) {
+	f := func(ls, cs, lx, cx, ly, cy uint8) bool {
+		subj := genLabel(ls, cs)
+		x := genLabel(lx, cx)
+		y := genLabel(ly, cy)
+		if CheckRead(subj, x) == nil && CheckWrite(subj, y) == nil {
+			return y.Dominates(x)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

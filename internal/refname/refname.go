@@ -1,0 +1,112 @@
+// Package refname implements the reference name manager: the association
+// between the symbolic reference names a computation uses and the segment
+// numbers of its address space.
+//
+// This is the mechanism the Bratt project removed from the supervisor. The
+// Manager type is configuration-neutral: the baseline kernel embeds one
+// Manager per process *inside the kernel* and exposes it through gates,
+// while the post-removal system instantiates the same Manager in the user
+// ring, where an error in it can damage only the process that owns it. The
+// paper's point is precisely that nothing in this mechanism needs kernel
+// privilege: it manipulates only per-process, per-ring naming state.
+package refname
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/machine"
+)
+
+// Manager is one ring's reference-name space: a many-to-one mapping from
+// reference names to segment numbers.
+type Manager struct {
+	names map[string]machine.SegNo
+	// bySeg holds the inverse mapping for TerminateSegno and NamesFor.
+	bySeg map[machine.SegNo]map[string]bool
+}
+
+// New returns an empty name space.
+func New() *Manager {
+	return &Manager{
+		names: make(map[string]machine.SegNo),
+		bySeg: make(map[machine.SegNo]map[string]bool),
+	}
+}
+
+// Bind associates name with seg. Binding an already-bound name fails;
+// Multics required an explicit unbind first.
+func (m *Manager) Bind(name string, seg machine.SegNo) error {
+	if name == "" {
+		return fmt.Errorf("refname: empty reference name")
+	}
+	if existing, ok := m.names[name]; ok {
+		return fmt.Errorf("refname: %q already bound to segment %d", name, existing)
+	}
+	m.names[name] = seg
+	set := m.bySeg[seg]
+	if set == nil {
+		set = make(map[string]bool)
+		m.bySeg[seg] = set
+	}
+	set[name] = true
+	return nil
+}
+
+// Resolve returns the segment number bound to name.
+func (m *Manager) Resolve(name string) (machine.SegNo, bool) {
+	seg, ok := m.names[name]
+	return seg, ok
+}
+
+// Unbind removes the binding of name, reporting whether it existed.
+func (m *Manager) Unbind(name string) bool {
+	seg, ok := m.names[name]
+	if !ok {
+		return false
+	}
+	delete(m.names, name)
+	if set := m.bySeg[seg]; set != nil {
+		delete(set, name)
+		if len(set) == 0 {
+			delete(m.bySeg, seg)
+		}
+	}
+	return true
+}
+
+// UnbindSegno removes every name bound to seg, returning how many were
+// removed. Used when a segment is terminated.
+func (m *Manager) UnbindSegno(seg machine.SegNo) int {
+	set := m.bySeg[seg]
+	n := len(set)
+	for name := range set {
+		delete(m.names, name)
+	}
+	delete(m.bySeg, seg)
+	return n
+}
+
+// NamesFor returns the names bound to seg, sorted.
+func (m *Manager) NamesFor(seg machine.SegNo) []string {
+	set := m.bySeg[seg]
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names returns all bound names, sorted.
+func (m *Manager) Names() []string {
+	out := make([]string, 0, len(m.names))
+	for n := range m.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of bindings.
+func (m *Manager) Len() int { return len(m.names) }

@@ -1,0 +1,119 @@
+package refname
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestBindResolveUnbind(t *testing.T) {
+	m := New()
+	if err := m.Bind("sqrt", 10); err != nil {
+		t.Fatal(err)
+	}
+	if seg, ok := m.Resolve("sqrt"); !ok || seg != 10 {
+		t.Errorf("Resolve = %d, %v", seg, ok)
+	}
+	if _, ok := m.Resolve("cos"); ok {
+		t.Error("unbound name should not resolve")
+	}
+	if !m.Unbind("sqrt") {
+		t.Error("Unbind existing should be true")
+	}
+	if m.Unbind("sqrt") {
+		t.Error("Unbind missing should be false")
+	}
+	if _, ok := m.Resolve("sqrt"); ok {
+		t.Error("unbound name still resolves")
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	m := New()
+	if err := m.Bind("", 1); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := m.Bind("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Bind("x", 2); err == nil {
+		t.Error("rebinding without unbind should fail")
+	}
+}
+
+func TestMultipleNamesPerSegment(t *testing.T) {
+	m := New()
+	for _, n := range []string{"sqrt", "square_root", "sqrt_"} {
+		if err := m.Bind(n, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := m.NamesFor(10)
+	if len(names) != 3 || names[0] != "sqrt" && names[0] != "sqrt_" && names[0] != "square_root" {
+		t.Errorf("names = %v", names)
+	}
+	if n := m.UnbindSegno(10); n != 3 {
+		t.Errorf("UnbindSegno = %d, want 3", n)
+	}
+	if m.Len() != 0 {
+		t.Errorf("len = %d, want 0", m.Len())
+	}
+	if len(m.NamesFor(10)) != 0 {
+		t.Error("NamesFor after UnbindSegno should be empty")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	m := New()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := m.Bind(n, machine.SegNo(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := m.Names()
+	if names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+// Property: names and bySeg stay mutually consistent across any sequence of
+// binds/unbinds.
+func TestQuickConsistency(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := New()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			seg := machine.SegNo(op % 5)
+			switch op % 3 {
+			case 0:
+				_ = m.Bind(name, seg) // may fail if bound; fine
+			case 1:
+				m.Unbind(name)
+			case 2:
+				m.UnbindSegno(seg)
+			}
+		}
+		// Every name resolves to a segment that lists it.
+		for _, n := range m.Names() {
+			seg, ok := m.Resolve(n)
+			if !ok {
+				return false
+			}
+			found := false
+			for _, nn := range m.NamesFor(seg) {
+				if nn == n {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

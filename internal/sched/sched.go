@@ -1,0 +1,475 @@
+// Package sched implements the paper's two-layer process structure as a
+// deterministic, cooperatively scheduled discrete-event simulation.
+//
+// Layer 1 multiplexes the physical processor onto a small, fixed set of
+// virtual processors. Because the number of virtual processors is fixed,
+// this layer has no dependence on virtual-memory management — exactly the
+// property the paper's redesign needs, since several virtual processors are
+// permanently dedicated to the kernel processes that *implement* the virtual
+// memory (the core-freeing and bulk-store-freeing processes) and to
+// interrupt-handler processes.
+//
+// Layer 2 multiplexes the remaining (pooled) virtual processors onto any
+// number of full Multics processes.
+//
+// All time is virtual: simulated code charges cycles to the shared
+// machine.Clock and blocks/wakes through explicit scheduler operations, so
+// every run is reproducible.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// ProcState is the scheduling state of a simulated process.
+type ProcState int
+
+// Process states.
+const (
+	StateReady ProcState = iota
+	StateRunning
+	StateBlocked
+	StateDone
+)
+
+func (s ProcState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// ProcFunc is the body of a simulated process.
+type ProcFunc func(pc *ProcCtx)
+
+// errKilled is panicked inside a simulated process goroutine when the
+// scheduler shuts down; the goroutine wrapper recovers it.
+var errKilled = errors.New("sched: process killed by scheduler shutdown")
+
+// VP is a layer-1 virtual processor. Dedicated VPs are permanently bound to
+// one kernel process; pooled VPs are multiplexed among Multics processes by
+// layer 2.
+type VP struct {
+	Name      string
+	Dedicated bool
+	// current is the process currently bound to this VP (nil if idle).
+	current *Process
+	// Busy cycles accumulated, for utilization reporting.
+	busyCycles int64
+}
+
+// Current returns the process bound to the VP, or nil.
+func (v *VP) Current() *Process { return v.current }
+
+// BusyCycles returns the cycles this VP has executed.
+func (v *VP) BusyCycles() int64 { return v.busyCycles }
+
+// Process is a simulated process (layer 2), or a kernel process permanently
+// bound to a dedicated VP (layer 1).
+type Process struct {
+	Name  string
+	state ProcState
+	vp    *VP // non-nil while bound to a virtual processor
+
+	resume chan bool // scheduler -> process; false means "killed"
+	yield  chan struct{}
+
+	blockReason string
+	// Bindings counts how many times layer 2 bound this process to a VP.
+	Bindings int64
+	// CPUCycles is the total cycles this process has consumed.
+	CPUCycles int64
+}
+
+// State returns the process's scheduling state.
+func (p *Process) State() ProcState { return p.state }
+
+// BlockReason returns why the process is blocked (empty if not blocked).
+func (p *Process) BlockReason() string { return p.blockReason }
+
+type timer struct {
+	at   int64
+	seq  int64
+	proc *Process
+	fire func()
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// Scheduler drives the simulation: a single physical processor is
+// multiplexed across virtual processors (layer 1), and Multics processes are
+// multiplexed across the pooled virtual processors (layer 2).
+type Scheduler struct {
+	Clock *machine.Clock
+
+	vps    []*VP
+	pooled []*VP
+
+	ready   []*Process // layer-2 ready queue (FIFO)
+	procs   []*Process
+	timers  timerHeap
+	seq     int64
+	running *Process
+	// dedHand rotates the dedicated-VP scan so no dedicated process can
+	// starve another by staying ready.
+	dedHand int
+
+	shutdown bool
+}
+
+// New returns a scheduler over the given clock.
+func New(clock *machine.Clock) *Scheduler {
+	return &Scheduler{Clock: clock}
+}
+
+// AddVP creates a virtual processor. Dedicated VPs must be claimed by
+// SpawnDedicated; pooled VPs serve the layer-2 ready queue.
+func (s *Scheduler) AddVP(name string, dedicated bool) *VP {
+	vp := &VP{Name: name, Dedicated: dedicated}
+	s.vps = append(s.vps, vp)
+	if !dedicated {
+		s.pooled = append(s.pooled, vp)
+	}
+	return vp
+}
+
+// VPs returns all virtual processors.
+func (s *Scheduler) VPs() []*VP { return s.vps }
+
+// Processes returns all processes ever spawned.
+func (s *Scheduler) Processes() []*Process { return s.procs }
+
+func (s *Scheduler) newProcess(name string, body ProcFunc) *Process {
+	p := &Process{
+		Name:   name,
+		state:  StateReady,
+		resume: make(chan bool),
+		yield:  make(chan struct{}),
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		alive := <-p.resume
+		if alive {
+			func() {
+				defer func() {
+					if r := recover(); r != nil && r != errKilled {
+						panic(r)
+					}
+				}()
+				body(&ProcCtx{s: s, p: p})
+			}()
+		}
+		p.state = StateDone
+		if p.vp != nil {
+			p.vp.current = nil
+			p.vp = nil
+		}
+		p.yield <- struct{}{}
+	}()
+	return p
+}
+
+// SpawnDedicated creates a kernel process permanently bound to the dedicated
+// virtual processor vp. The process never migrates and never competes with
+// layer-2 processes for a VP.
+func (s *Scheduler) SpawnDedicated(vp *VP, name string, body ProcFunc) (*Process, error) {
+	if !vp.Dedicated {
+		return nil, fmt.Errorf("sched: VP %q is not dedicated", vp.Name)
+	}
+	if vp.current != nil {
+		return nil, fmt.Errorf("sched: dedicated VP %q already bound to %q", vp.Name, vp.current.Name)
+	}
+	p := s.newProcess(name, body)
+	p.vp = vp
+	vp.current = p
+	p.Bindings = 1
+	return p, nil
+}
+
+// Spawn creates a layer-2 Multics process; it will run whenever a pooled
+// virtual processor is available.
+func (s *Scheduler) Spawn(name string, body ProcFunc) *Process {
+	p := s.newProcess(name, body)
+	s.ready = append(s.ready, p)
+	return p
+}
+
+// Unblock makes a blocked process ready. It is the primitive beneath every
+// wakeup. Unblocking a ready, running, or finished process is a no-op, so
+// wakeups are naturally idempotent.
+func (s *Scheduler) Unblock(p *Process) {
+	if p.state != StateBlocked {
+		return
+	}
+	p.state = StateReady
+	p.blockReason = ""
+	if p.vp != nil && p.vp.Dedicated {
+		return // dedicated processes stay bound; readiness is enough
+	}
+	s.ready = append(s.ready, p)
+}
+
+// At schedules fn to run at absolute virtual time t (immediately before the
+// next process dispatch at or after t). Used for device-completion events.
+func (s *Scheduler) At(t int64, fn func()) {
+	s.seq++
+	heap.Push(&s.timers, &timer{at: t, seq: s.seq, fire: fn})
+}
+
+// nextRunnable picks the next process to dispatch: dedicated VPs first (the
+// kernel's processes take priority, as the real system's wired supervisor
+// processes did), then the layer-2 ready queue if a pooled VP is idle.
+func (s *Scheduler) nextRunnable() *Process {
+	// Round-robin over the dedicated VPs: start one past where the last
+	// scan stopped, so a dedicated process that yields (remaining ready)
+	// cannot starve its siblings.
+	n := len(s.vps)
+	for i := 0; i < n; i++ {
+		vp := s.vps[(s.dedHand+1+i)%n]
+		if vp.Dedicated && vp.current != nil && vp.current.state == StateReady {
+			s.dedHand = (s.dedHand + 1 + i) % n
+			return vp.current
+		}
+	}
+	for len(s.ready) > 0 {
+		p := s.ready[0]
+		s.ready = s.ready[1:]
+		if p.state != StateReady {
+			continue
+		}
+		if p.vp == nil {
+			vp := s.idlePooledVP()
+			if vp == nil {
+				// No pooled VP free: requeue and report none runnable now.
+				s.ready = append([]*Process{p}, s.ready...)
+				return nil
+			}
+			p.vp = vp
+			vp.current = p
+			p.Bindings++
+		}
+		return p
+	}
+	return nil
+}
+
+func (s *Scheduler) idlePooledVP() *VP {
+	for _, vp := range s.pooled {
+		if vp.current == nil {
+			return vp
+		}
+	}
+	return nil
+}
+
+// dispatch runs p until it yields (blocks, sleeps, exits, or yields).
+func (s *Scheduler) dispatch(p *Process) {
+	p.state = StateRunning
+	s.running = p
+	vp := p.vp
+	before := s.Clock.Now()
+	p.resume <- true
+	<-p.yield
+	elapsed := s.Clock.Now() - before
+	p.CPUCycles += elapsed
+	if vp != nil {
+		vp.busyCycles += elapsed
+	}
+	s.running = nil
+	switch p.state {
+	case StateBlocked:
+		// A layer-2 process that blocked releases its VP for others.
+		if vp != nil && !vp.Dedicated {
+			vp.current = nil
+			p.vp = nil
+		}
+	case StateRunning:
+		// The process yielded voluntarily: it is still ready. A layer-2
+		// process gives up its VP (end of time slice); a dedicated kernel
+		// process stays bound and is found by the dedicated-VP scan.
+		p.state = StateReady
+		if vp != nil && !vp.Dedicated {
+			vp.current = nil
+			p.vp = nil
+		}
+		if vp == nil || !vp.Dedicated {
+			s.ready = append(s.ready, p)
+		}
+	case StateDone:
+		// The goroutine wrapper already released the binding.
+	}
+}
+
+// Step performs one scheduling decision: dispatch a runnable process, or
+// advance the clock to the next timer. It returns false when nothing remains
+// to do (no runnable process and no pending timer).
+func (s *Scheduler) Step() bool {
+	if p := s.nextRunnable(); p != nil {
+		s.dispatch(p)
+		return true
+	}
+	if len(s.timers) > 0 {
+		t := heap.Pop(&s.timers).(*timer)
+		s.Clock.AdvanceTo(t.at)
+		if t.fire != nil {
+			t.fire()
+		}
+		if t.proc != nil {
+			s.Unblock(t.proc)
+		}
+		return true
+	}
+	return false
+}
+
+// Run steps the simulation until nothing remains runnable or the clock
+// passes limit (limit <= 0 means no limit). It returns the number of
+// scheduling steps taken.
+func (s *Scheduler) Run(limit int64) int {
+	steps := 0
+	for {
+		if limit > 0 && s.Clock.Now() >= limit {
+			return steps
+		}
+		if !s.Step() {
+			return steps
+		}
+		steps++
+	}
+}
+
+// BlockedProcesses returns the processes currently blocked, for deadlock
+// diagnosis after Run returns.
+func (s *Scheduler) BlockedProcesses() []*Process {
+	var out []*Process
+	for _, p := range s.procs {
+		if p.state == StateBlocked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Shutdown kills every live process goroutine. The scheduler is unusable
+// afterwards. It exists so tests and benchmarks do not leak goroutines from
+// dedicated kernel processes that loop forever.
+func (s *Scheduler) Shutdown() {
+	if s.shutdown {
+		return
+	}
+	s.shutdown = true
+	for _, p := range s.procs {
+		if p.state == StateDone || p.state == StateRunning {
+			continue
+		}
+		p.resume <- false
+		<-p.yield
+	}
+}
+
+// NewDirectCtx returns a context for host-driven activity that is not a
+// scheduled process: Consume and Sleep advance the clock synchronously,
+// Yield is a no-op, and Block panics (a direct context has nothing to wake
+// it). It lets sequential tools and tests drive kernel services that expect
+// a process context without standing up a full scheduled process.
+func (s *Scheduler) NewDirectCtx(name string) *ProcCtx {
+	p := &Process{Name: name, state: StateRunning}
+	return &ProcCtx{s: s, p: p, direct: true}
+}
+
+// ProcCtx is the interface a simulated process body uses to interact with
+// the scheduler. Every method must be called from within the process's own
+// body function.
+type ProcCtx struct {
+	s      *Scheduler
+	p      *Process
+	direct bool
+}
+
+// Process returns the process this context belongs to.
+func (pc *ProcCtx) Process() *Process { return pc.p }
+
+// Scheduler returns the owning scheduler (for wakeups of other processes).
+func (pc *ProcCtx) Scheduler() *Scheduler { return pc.s }
+
+// Now returns the current virtual time.
+func (pc *ProcCtx) Now() int64 { return pc.s.Clock.Now() }
+
+// Consume charges cycles of CPU time without yielding the processor.
+func (pc *ProcCtx) Consume(cycles int64) {
+	pc.s.Clock.Advance(cycles)
+}
+
+// yieldToScheduler hands control back and waits to be resumed.
+func (pc *ProcCtx) yieldToScheduler() {
+	pc.p.yield <- struct{}{}
+	if alive := <-pc.p.resume; !alive {
+		panic(errKilled)
+	}
+}
+
+// Yield gives up the processor but remains ready.
+func (pc *ProcCtx) Yield() {
+	if pc.direct {
+		return
+	}
+	pc.yieldToScheduler()
+}
+
+// Block suspends the process until another process (or a timer/interrupt)
+// calls Unblock on it. The reason string aids deadlock diagnosis.
+func (pc *ProcCtx) Block(reason string) {
+	if pc.direct {
+		panic(fmt.Sprintf("sched: direct context %q cannot block (%s)", pc.p.Name, reason))
+	}
+	pc.p.state = StateBlocked
+	pc.p.blockReason = reason
+	pc.yieldToScheduler()
+}
+
+// Sleep blocks the process for d virtual cycles — the primitive used to
+// model waiting for a device transfer.
+func (pc *ProcCtx) Sleep(d int64) {
+	if pc.direct {
+		if d > 0 {
+			pc.s.Clock.Advance(d)
+		}
+		return
+	}
+	if d <= 0 {
+		pc.Yield()
+		return
+	}
+	pc.s.seq++
+	heap.Push(&pc.s.timers, &timer{at: pc.s.Clock.Now() + d, seq: pc.s.seq, proc: pc.p})
+	pc.Block(fmt.Sprintf("sleep %d", d))
+}
+
+// Wakeup unblocks target. This is the base-level IPC primitive; the event
+// channels in internal/ipc build on it.
+func (pc *ProcCtx) Wakeup(target *Process) {
+	pc.s.Unblock(target)
+}

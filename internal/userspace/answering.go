@@ -1,0 +1,81 @@
+package userspace
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/auth"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/mls"
+)
+
+// AnsweringSubsystem is the demoted answering service (stage S4 and later):
+// the authentication machinery runs as an unprivileged protected subsystem
+// in ring 2, entered through the same mechanism as any protected
+// subsystem. The only privilege left in the kernel is the
+// phcs_$create_process gate, which ring 2 may call and ring 4 may not.
+type AnsweringSubsystem struct {
+	k    *core.Kernel
+	proc *core.Proc
+	svc  *auth.Service
+}
+
+// NewAnsweringSubsystem stands up the subsystem. It fails on kernels
+// before S4, where login is still privileged kernel code.
+func NewAnsweringSubsystem(k *core.Kernel) (*AnsweringSubsystem, error) {
+	if k.Stage() < core.S4LoginDemoted {
+		return nil, fmt.Errorf("userspace: stage %v still has a privileged answering service", k.Stage())
+	}
+	sysPrincipal, err := acl.ParsePrincipal("Initializer.SysDaemon.z")
+	if err != nil {
+		return nil, err
+	}
+	proc, err := k.CreateProcess("answering_service", sysPrincipal, mls.NewLabel(mls.TopSecret), machine.SupervisorRing)
+	if err != nil {
+		return nil, fmt.Errorf("userspace: creating subsystem process: %w", err)
+	}
+	a := &AnsweringSubsystem{k: k, proc: proc}
+	a.svc = auth.NewService(auth.Subsystem, k.UserRegistry(), a.createProcess)
+	return a, nil
+}
+
+// createProcess is the subsystem's only privileged act: the create-process
+// gate, called from ring 2 through the machine's checks.
+func (a *AnsweringSubsystem) createProcess(s auth.Session) error {
+	pOff, pLen, err := a.proc.GateString(s.Principal.Person)
+	if err != nil {
+		return err
+	}
+	jOff, jLen, err := a.proc.GateString(s.Principal.Project)
+	if err != nil {
+		return err
+	}
+	_, err = a.proc.CallGate("phcs_$create_process", pOff, pLen, jOff, jLen, uint64(s.Label.Level))
+	return err
+}
+
+// Login authenticates and creates the user's process, returning it.
+func (a *AnsweringSubsystem) Login(person, project, password string, level mls.Level) (*core.Proc, error) {
+	before := len(a.k.Processes())
+	sess, err := a.svc.Login(person, project, password, mls.NewLabel(level))
+	if err != nil {
+		return nil, err
+	}
+	procs := a.k.Processes()
+	if len(procs) != before+1 {
+		return nil, fmt.Errorf("userspace: login did not create a process")
+	}
+	p := procs[len(procs)-1]
+	if p.Principal != sess.Principal {
+		return nil, fmt.Errorf("userspace: created process has principal %v, want %v", p.Principal, sess.Principal)
+	}
+	return p, nil
+}
+
+// Service exposes the underlying auth service (for failure counters).
+func (a *AnsweringSubsystem) Service() *auth.Service { return a.svc }
+
+// SubsystemProcess exposes the ring-2 process, so experiments can verify
+// its ring and show that a ring-4 process cannot call the gate it uses.
+func (a *AnsweringSubsystem) SubsystemProcess() *core.Proc { return a.proc }

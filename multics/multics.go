@@ -1,0 +1,399 @@
+// Package multics is the public face of the reproduction: a complete
+// simulated Multics system built around the security kernel of
+// internal/core, at any stage of the paper's kernel-reduction programme.
+//
+// A System is one booted machine. Users are registered with AddUser and
+// logged in with Login, which yields a Session: a Multics process plus its
+// user-ring support environment. Sessions operate on the file hierarchy,
+// share segments through ACLs, snap dynamic links, and communicate over
+// event channels — always through the kernel's gates, with every protection
+// check enforced by the simulated hardware.
+//
+//	sys, _ := multics.New(multics.StageRestructured)
+//	defer sys.Shutdown()
+//	sys.AddUser("Schroeder", "CSR", "multics75", multics.Secret)
+//	sess, _ := sys.Login("Schroeder", "CSR", "multics75", multics.Unclassified)
+//	sess.MakeDir(">udd")
+//	sess.CreateSegment(">udd>notes", 128)
+package multics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/acl"
+	"repro/internal/core"
+	"repro/internal/fs"
+	"repro/internal/linker"
+	"repro/internal/machine"
+	"repro/internal/mls"
+	"repro/internal/userspace"
+)
+
+// Stage re-exports the kernel configuration stages.
+type Stage = core.Stage
+
+// The kernel-reduction stages, from the full 645-era supervisor to the
+// restructured kernel.
+const (
+	StageBaseline        = core.S0Baseline
+	StageLinkerRemoved   = core.S1LinkerRemoved
+	StageRefNamesRemoved = core.S2RefNamesRemoved
+	StageInitRemoved     = core.S3InitRemoved
+	StageLoginDemoted    = core.S4LoginDemoted
+	StageIOConsolidated  = core.S5IOConsolidated
+	StageRestructured    = core.S6Restructured
+)
+
+// Level re-exports the mandatory classification levels.
+type Level = mls.Level
+
+// Classification levels.
+const (
+	Unclassified = mls.Unclassified
+	Confidential = mls.Confidential
+	Secret       = mls.Secret
+	TopSecret    = mls.TopSecret
+)
+
+// System is one booted Multics machine.
+type System struct {
+	Kernel    *core.Kernel
+	answering *userspace.AnsweringSubsystem
+}
+
+// New boots a system at the given stage.
+func New(stage Stage) (*System, error) {
+	return NewWithConfig(core.Config{Stage: stage})
+}
+
+// NewWithConfig boots a system with full configuration control.
+func NewWithConfig(cfg core.Config) (*System, error) {
+	k, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Kernel: k}
+	if k.Stage() >= core.S4LoginDemoted {
+		s.answering, err = userspace.NewAnsweringSubsystem(k)
+		if err != nil {
+			k.Shutdown()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Shutdown stops the system's kernel processes.
+func (s *System) Shutdown() { s.Kernel.Shutdown() }
+
+// AddUser registers a user with the answering service.
+func (s *System) AddUser(person, project, password string, clearance Level) error {
+	return s.Kernel.UserRegistry().AddUser(person, project, password, mls.NewLabel(clearance))
+}
+
+// Login authenticates and creates a process, using the stage-appropriate
+// path: the privileged as_$login gate before S4, the ring-2 answering
+// subsystem after. It returns a ready Session.
+func (s *System) Login(person, project, password string, level Level) (*Session, error) {
+	var p *core.Proc
+	if s.answering != nil {
+		var err error
+		p, err = s.answering.Login(person, project, password, level)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Drive the privileged gate from an initializer process.
+		init, err := s.Kernel.CreateProcess("initializer",
+			acl.Principal{Person: "Initializer", Project: "Sys", Tag: "z"},
+			mls.NewLabel(TopSecret), machine.UserRing)
+		if err != nil {
+			return nil, err
+		}
+		pOff, pLen, err := init.GateString(person)
+		if err != nil {
+			return nil, err
+		}
+		jOff, jLen, err := init.GateString(project)
+		if err != nil {
+			return nil, err
+		}
+		wOff, wLen, err := init.GateString(password)
+		if err != nil {
+			return nil, err
+		}
+		out, err := init.CallGate("as_$login", pOff, pLen, jOff, jLen, wOff, wLen, uint64(level))
+		if err != nil {
+			return nil, err
+		}
+		p = s.Kernel.Processes()[out[0]-1]
+	}
+	return &Session{sys: s, Proc: p, Env: userspace.NewEnv(p)}, nil
+}
+
+// InstallProgram places an executable segment with a symbol table into the
+// hierarchy (the trusted compiler/installation path). Sessions then call it
+// by symbolic reference.
+func (s *System) InstallProgram(owner *Session, dirPath, name string,
+	proc *machine.Procedure, symbols []linker.Symbol) error {
+	dirUID, err := s.Kernel.Hierarchy().ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
+	if err != nil {
+		return err
+	}
+	_, err = s.Kernel.InstallProgram(owner.Proc.Principal, owner.Proc.Label, dirUID, name, proc, symbols,
+		fs.CreateOptions{Label: owner.Proc.Label, ACL: acl.New(acl.Entry{
+			Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
+			Mode: acl.ModeRead | acl.ModeExecute,
+		})})
+	return err
+}
+
+// Session is a logged-in user: a process plus its user-ring environment.
+type Session struct {
+	sys  *System
+	Proc *core.Proc
+	Env  *userspace.Env
+}
+
+// Principal returns the session's principal identifier string.
+func (se *Session) Principal() string { return se.Proc.Principal.String() }
+
+// splitParent returns the parent path and final component of path.
+func splitParent(path string) (string, string, error) {
+	if !strings.HasPrefix(path, ">") || path == ">" {
+		return "", "", fmt.Errorf("multics: %q is not an absolute non-root tree name", path)
+	}
+	i := strings.LastIndex(path, ">")
+	parent := path[:i]
+	if parent == "" {
+		parent = ">"
+	}
+	name := path[i+1:]
+	if name == "" {
+		return "", "", fmt.Errorf("multics: %q has an empty final component", path)
+	}
+	return parent, name, nil
+}
+
+// create issues the stage-appropriate append_branch gate call.
+func (se *Session) create(path string, isDir bool) (uint64, error) {
+	parent, name, err := splitParent(path)
+	if err != nil {
+		return 0, err
+	}
+	kindFlag := uint64(0)
+	if isDir {
+		kindFlag = 1
+	}
+	nOff, nLen, err := se.Proc.GateString(name)
+	if err != nil {
+		return 0, err
+	}
+	if se.Proc.Stage() < core.S2RefNamesRemoved {
+		dOff, dLen, err := se.Proc.GateString(parent)
+		if err != nil {
+			return 0, err
+		}
+		out, err := se.Proc.CallGate("hcs_$append_branch", dOff, dLen, nOff, nLen, kindFlag)
+		if err != nil {
+			return 0, err
+		}
+		return out[0], nil
+	}
+	dirSeg, err := se.Env.InitiateDir(parent)
+	if err != nil {
+		return 0, err
+	}
+	out, err := se.Proc.CallGate("hcs_$append_branch", uint64(dirSeg), nOff, nLen, kindFlag)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// MakeDir creates a directory at path.
+func (se *Session) MakeDir(path string) error {
+	_, err := se.create(path, true)
+	return err
+}
+
+// CreateSegment creates a data segment of the given length in words.
+func (se *Session) CreateSegment(path string, words int) error {
+	uid, err := se.create(path, false)
+	if err != nil {
+		return err
+	}
+	return se.setLength(path, uid, words)
+}
+
+// setLength grows a segment through the stage-appropriate gate.
+func (se *Session) setLength(path string, uid uint64, words int) error {
+	if se.Proc.Stage() < core.S2RefNamesRemoved {
+		pOff, pLen, err := se.Proc.GateString(path)
+		if err != nil {
+			return err
+		}
+		_, err = se.Proc.CallGate("hcs_$set_max_length", pOff, pLen, uint64(words))
+		return err
+	}
+	parent, name, err := splitParent(path)
+	if err != nil {
+		return err
+	}
+	dirSeg, err := se.Env.InitiateDir(parent)
+	if err != nil {
+		return err
+	}
+	nOff, nLen, err := se.Proc.GateString(name)
+	if err != nil {
+		return err
+	}
+	_, err = se.Proc.CallGate("hcs_$set_max_length", uint64(dirSeg), nOff, nLen, uint64(words))
+	return err
+}
+
+// Segment is an initiated segment: reads and writes go through the
+// process's descriptor segment, so the kernel-computed access applies.
+type Segment struct {
+	se  *Session
+	Seg machine.SegNo
+}
+
+// Open initiates the segment at path (with an optional reference name) and
+// returns a handle.
+func (se *Session) Open(path, refName string) (*Segment, error) {
+	seg, err := se.Env.Initiate(path, refName)
+	if err != nil {
+		return nil, err
+	}
+	return &Segment{se: se, Seg: seg}, nil
+}
+
+// ReadWord reads one word.
+func (sg *Segment) ReadWord(off int) (uint64, error) {
+	return sg.se.Proc.CPU.Load(sg.Seg, off)
+}
+
+// WriteWord writes one word.
+func (sg *Segment) WriteWord(off int, val uint64) error {
+	return sg.se.Proc.CPU.Store(sg.Seg, off, val)
+}
+
+// Close terminates the segment.
+func (sg *Segment) Close() error { return sg.se.Env.Terminate(sg.Seg) }
+
+// SetACL grants mode (e.g. "rw", "sma", "null") on path to the principal
+// pattern (e.g. "Bob.*.*").
+func (se *Session) SetACL(path, pattern, mode string) error {
+	m, err := acl.ParseMode(mode)
+	if err != nil {
+		return err
+	}
+	patOff, patLen, err := se.Proc.GateString(pattern)
+	if err != nil {
+		return err
+	}
+	if se.Proc.Stage() < core.S2RefNamesRemoved {
+		pOff, pLen, err := se.Proc.GateString(path)
+		if err != nil {
+			return err
+		}
+		_, err = se.Proc.CallGate("hcs_$add_acl_entry", pOff, pLen, patOff, patLen, uint64(m))
+		return err
+	}
+	parent, name, err := splitParent(path)
+	if err != nil {
+		return err
+	}
+	dirSeg, err := se.Env.InitiateDir(parent)
+	if err != nil {
+		return err
+	}
+	nOff, nLen, err := se.Proc.GateString(name)
+	if err != nil {
+		return err
+	}
+	_, err = se.Proc.CallGate("hcs_$add_acl_entry", uint64(dirSeg), nOff, nLen, patOff, patLen, uint64(m))
+	return err
+}
+
+// List returns the entry names of the directory at path.
+func (se *Session) List(path string) ([]string, error) {
+	var out []uint64
+	var err error
+	if se.Proc.Stage() < core.S2RefNamesRemoved {
+		pOff, pLen, gerr := se.Proc.GateString(path)
+		if gerr != nil {
+			return nil, gerr
+		}
+		out, err = se.Proc.CallGate("hcs_$list_dir", pOff, pLen)
+	} else {
+		dirSeg, derr := se.Env.InitiateDir(path)
+		if derr != nil {
+			return nil, derr
+		}
+		out, err = se.Proc.CallGate("hcs_$list_dir", uint64(dirSeg))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if out[2] == 0 {
+		return nil, nil
+	}
+	joined, err := se.Proc.ReadArgString(out[0], out[1])
+	if err != nil {
+		return nil, err
+	}
+	return strings.Split(joined, "\n"), nil
+}
+
+// SetSearchRules installs the directories the linker searches.
+func (se *Session) SetSearchRules(dirs ...string) error {
+	se.Env.SearchRules = dirs
+	if se.Proc.Stage() >= core.S1LinkerRemoved {
+		return nil
+	}
+	// The baseline keeps the rules in the kernel.
+	if _, err := se.Proc.CallGate("hcs_$reset_search_rules"); err != nil {
+		return err
+	}
+	for _, d := range dirs {
+		dOff, dLen, err := se.Proc.GateString(d)
+		if err != nil {
+			return err
+		}
+		if _, err := se.Proc.CallGate("hcs_$add_search_rule", dOff, dLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Call invokes entry of the named program segment by symbolic reference,
+// snapping the link on first use through the stage-appropriate linker.
+func (se *Session) Call(segName, entryName string, args ...uint64) ([]uint64, error) {
+	ref := machine.LinkRef{SegName: segName, EntryName: entryName}
+	if se.Proc.Stage() < core.S1LinkerRemoved {
+		// Snap through the kernel linker gate, then call directly.
+		if target, ok := se.Proc.CPU.SnappedLink(core.SegArgs, ref); ok {
+			return se.Proc.CPU.Call(target.Seg, target.Entry, args)
+		}
+		sOff, sLen, err := se.Proc.GateString(segName)
+		if err != nil {
+			return nil, err
+		}
+		eOff, eLen, err := se.Proc.GateString(entryName)
+		if err != nil {
+			return nil, err
+		}
+		out, err := se.Proc.CallGate("hcs_$link_snap", sOff, sLen, eOff, eLen)
+		if err != nil {
+			return nil, err
+		}
+		target := machine.LinkTarget{Seg: machine.SegNo(out[0]), Entry: int(out[1])}
+		se.Proc.CPU.SnapLink(core.SegArgs, ref, target)
+		return se.Proc.CPU.Call(target.Seg, target.Entry, args)
+	}
+	return se.Proc.CPU.CallSym(core.SegArgs, ref, args)
+}

@@ -1,0 +1,110 @@
+package multics
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/fs"
+	"repro/internal/linker"
+	"repro/internal/machine"
+)
+
+// SubsystemRing is the ring in which user-constructed protected subsystems
+// execute: inside the user ring, outside the supervisor rings.
+const SubsystemRing = machine.Ring(3)
+
+// Subsystem describes an installed user-constructed protected subsystem:
+// a procedure segment whose declared gates are the only entries callable
+// from the user ring, plus a private data segment readable and writable
+// only from the subsystem's ring. The paper: "the inclusion of security
+// kernel facilities to support user-constructed protected subsystems
+// provides a tool to reduce the potential damage such a borrowed trojan
+// horse can do."
+type Subsystem struct {
+	// ProcPath and DataPath are the tree names of the two segments.
+	ProcPath, DataPath string
+	// Gates is the number of entries callable from outside.
+	Gates int
+}
+
+// InstallSubsystem installs proc as a protected subsystem named name in
+// dirPath: entries 0..gates-1 become its gates, and a private data segment
+// of dataWords is created alongside it with subsystem-ring-only brackets.
+// Everyone receives discretionary re access to the code and rw to the data
+// — the protection comes from the ring brackets, not the ACL, exactly as a
+// subsystem shared among mutually suspicious users requires.
+func (s *System) InstallSubsystem(owner *Session, dirPath, name string,
+	proc *machine.Procedure, symbols []linker.Symbol, gates, dataWords int) (*Subsystem, error) {
+	if gates <= 0 || gates > len(proc.Entries) {
+		return nil, fmt.Errorf("multics: subsystem %q: %d gates for %d entries", name, gates, len(proc.Entries))
+	}
+	dirUID, err := s.Kernel.Hierarchy().ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
+	if err != nil {
+		return nil, err
+	}
+	world := func(mode acl.Mode) *acl.ACL {
+		return acl.New(acl.Entry{
+			Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
+			Mode: mode,
+		})
+	}
+	// The procedure segment: executes in SubsystemRing, callable from the
+	// user ring only through its declared gates.
+	if _, err := s.Kernel.InstallProgram(owner.Proc.Principal, owner.Proc.Label, dirUID, name,
+		proc, symbols, fs.CreateOptions{
+			Label: owner.Proc.Label,
+			ACL:   world(acl.ModeRead | acl.ModeExecute),
+			Brackets: machine.Brackets{
+				R1: SubsystemRing, R2: SubsystemRing, R3: machine.UserRing,
+			},
+			Gates: gates,
+		}); err != nil {
+		return nil, err
+	}
+	// The private data segment: readable and writable only from rings
+	// <= SubsystemRing, so the calling user's own code can never touch it.
+	if _, err := s.Kernel.Hierarchy().Create(owner.Proc.Principal, owner.Proc.Label, dirUID, name+".data",
+		fs.CreateOptions{
+			Kind:   fs.KindSegment,
+			Label:  owner.Proc.Label,
+			Length: dataWords,
+			ACL:    world(acl.ModeRead | acl.ModeWrite),
+			Brackets: machine.Brackets{
+				R1: SubsystemRing, R2: SubsystemRing, R3: SubsystemRing,
+			},
+		}); err != nil {
+		return nil, err
+	}
+	sep := ">"
+	if dirPath == ">" {
+		sep = ""
+	}
+	return &Subsystem{
+		ProcPath: dirPath + sep + name,
+		DataPath: dirPath + sep + name + ".data",
+		Gates:    gates,
+	}, nil
+}
+
+// Enter initiates the subsystem's code and data for the calling session
+// and returns handles: the code's segment number (for gate calls) and the
+// data's segment number (which the session's own ring cannot touch, but
+// the subsystem's entries can).
+func (se *Session) Enter(sub *Subsystem) (code, data machine.SegNo, err error) {
+	code, err = se.Env.Initiate(sub.ProcPath, "")
+	if err != nil {
+		return 0, 0, err
+	}
+	data, err = se.Env.Initiate(sub.DataPath, "")
+	if err != nil {
+		return 0, 0, err
+	}
+	return code, data, nil
+}
+
+// CallSubsystem invokes entry of the subsystem through the machine's gate
+// discipline: the call crosses from the user ring into the subsystem ring
+// only if entry is a declared gate.
+func (se *Session) CallSubsystem(sub *Subsystem, code machine.SegNo, entry int, args ...uint64) ([]uint64, error) {
+	return se.Proc.CPU.Call(code, entry, args)
+}

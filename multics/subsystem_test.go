@@ -1,0 +1,189 @@
+package multics
+
+import (
+	"testing"
+
+	"repro/internal/linker"
+	"repro/internal/machine"
+)
+
+// counterSubsystem builds a protected counter: entry 0 (a gate) increments
+// the count held in the subsystem's private data segment and returns it;
+// entry 1 (NOT a gate) zeroes the counter and must be unreachable from the
+// user ring.
+func counterSubsystem(dataSeg *machine.SegNo) *machine.Procedure {
+	return &machine.Procedure{Name: "counter", Entries: []machine.EntryFunc{
+		func(ctx *machine.ExecContext, _ []uint64) ([]uint64, error) {
+			v, err := ctx.Load(*dataSeg, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := ctx.Store(*dataSeg, 0, v+1); err != nil {
+				return nil, err
+			}
+			return []uint64{v + 1}, nil
+		},
+		func(ctx *machine.ExecContext, _ []uint64) ([]uint64, error) {
+			return nil, ctx.Store(*dataSeg, 0, 0)
+		},
+	}}
+}
+
+func TestProtectedSubsystemLifecycle(t *testing.T) {
+	sys := newSys(t, StageRestructured)
+	owner := login(t, sys, "Schroeder", "multics75")
+	user := login(t, sys, "Saltzer", "projmac9")
+	if err := owner.MakeDir(">subsys"); err != nil {
+		t.Fatal(err)
+	}
+	// Callers need status on the directory to walk to the subsystem.
+	if err := owner.SetACL(">subsys", "*.*.*", "s"); err != nil {
+		t.Fatal(err)
+	}
+	var dataSeg machine.SegNo
+	sub, err := sys.InstallSubsystem(owner, ">subsys", "counter",
+		counterSubsystem(&dataSeg), []linker.Symbol{{Name: "increment", Entry: 0}}, 1, 8)
+	if err != nil {
+		t.Fatalf("InstallSubsystem: %v", err)
+	}
+	if sub.ProcPath != ">subsys>counter" || sub.DataPath != ">subsys>counter.data" {
+		t.Errorf("paths = %+v", sub)
+	}
+
+	code, data, err := user.Enter(sub)
+	if err != nil {
+		t.Fatalf("Enter: %v", err)
+	}
+	dataSeg = data
+
+	// The gate works and mutates the private state.
+	for want := uint64(1); want <= 3; want++ {
+		out, err := user.CallSubsystem(sub, code, 0)
+		if err != nil {
+			t.Fatalf("gate call %d: %v", want, err)
+		}
+		if out[0] != want {
+			t.Errorf("counter = %d, want %d", out[0], want)
+		}
+	}
+
+	// The caller's own ring can neither read nor write the private data.
+	if _, err := user.Proc.CPU.Load(data, 0); !machine.IsFaultClass(err, machine.FaultRing) {
+		t.Errorf("user read of subsystem data = %v, want ring fault", err)
+	}
+	if err := user.Proc.CPU.Store(data, 0, 999); !machine.IsFaultClass(err, machine.FaultRing) {
+		t.Errorf("user write of subsystem data = %v, want ring fault", err)
+	}
+
+	// The non-gate entry is unreachable from the user ring.
+	if _, err := user.CallSubsystem(sub, code, 1); !machine.IsFaultClass(err, machine.FaultGate) {
+		t.Errorf("non-gate entry = %v, want gate fault", err)
+	}
+
+	// Counter state survived the attack attempts.
+	out, err := user.CallSubsystem(sub, code, 0)
+	if err != nil || out[0] != 4 {
+		t.Errorf("counter after probes = %v, %v; want 4", out, err)
+	}
+}
+
+func TestSubsystemConfinesBorrowedTrojan(t *testing.T) {
+	// The paper's scenario: the subsystem owner's data stays safe even
+	// when the CALLING user runs hostile code with full ring-4 authority,
+	// because the data lives behind the subsystem-ring bracket.
+	sys := newSys(t, StageRestructured)
+	owner := login(t, sys, "Schroeder", "multics75")
+	user := login(t, sys, "Saltzer", "projmac9")
+	if err := owner.MakeDir(">subsys"); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.SetACL(">subsys", "*.*.*", "s"); err != nil {
+		t.Fatal(err)
+	}
+	var dataSeg machine.SegNo
+	sub, err := sys.InstallSubsystem(owner, ">subsys", "vault",
+		counterSubsystem(&dataSeg), []linker.Symbol{{Name: "increment", Entry: 0}}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data, err := user.Enter(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataSeg = data
+	if _, err := user.CallSubsystem(sub, code, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// A trojan with the user's FULL authority (ring 4) still cannot read
+	// the subsystem's data: the bracket, not the ACL, protects it.
+	leaked := false
+	trojan := &machine.Procedure{Name: "helpful_tool", Entries: []machine.EntryFunc{
+		func(ctx *machine.ExecContext, _ []uint64) ([]uint64, error) {
+			if _, err := ctx.Load(data, 0); err == nil {
+				leaked = true
+			}
+			return nil, nil
+		},
+	}}
+	tseg := user.Proc.DS.FirstFree(data + 1)
+	if err := user.Proc.DS.Set(tseg, machine.SDW{
+		Proc: trojan, Mode: machine.ModeExecute,
+		Brackets: machine.UserBrackets(machine.UserRing),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := user.Proc.CPU.Call(tseg, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if leaked {
+		t.Error("PROTECTION FAILURE: trojan read subsystem-private data from ring 4")
+	}
+}
+
+func TestInstallSubsystemValidation(t *testing.T) {
+	sys := newSys(t, StageRestructured)
+	owner := login(t, sys, "Schroeder", "multics75")
+	if err := owner.MakeDir(">subsys"); err != nil {
+		t.Fatal(err)
+	}
+	var dataSeg machine.SegNo
+	proc := counterSubsystem(&dataSeg)
+	if _, err := sys.InstallSubsystem(owner, ">subsys", "x", proc, nil, 0, 8); err == nil {
+		t.Error("zero gates should fail")
+	}
+	if _, err := sys.InstallSubsystem(owner, ">subsys", "x", proc, nil, 3, 8); err == nil {
+		t.Error("more gates than entries should fail")
+	}
+	if _, err := sys.InstallSubsystem(owner, ">nodir", "x", proc, nil, 1, 8); err == nil {
+		t.Error("missing directory should fail")
+	}
+}
+
+func TestSubsystemWorksAtBaselineToo(t *testing.T) {
+	// Protected subsystems are a hardware-ring facility, available at
+	// every kernel stage.
+	sys := newSys(t, StageBaseline)
+	owner := login(t, sys, "Schroeder", "multics75")
+	if err := owner.MakeDir(">subsys"); err != nil {
+		t.Fatal(err)
+	}
+	var dataSeg machine.SegNo
+	sub, err := sys.InstallSubsystem(owner, ">subsys", "counter",
+		counterSubsystem(&dataSeg), []linker.Symbol{{Name: "increment", Entry: 0}}, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, data, err := owner.Enter(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataSeg = data
+	out, err := owner.CallSubsystem(sub, code, 0)
+	if err != nil || out[0] != 1 {
+		t.Errorf("baseline subsystem call = %v, %v", out, err)
+	}
+	if _, err := owner.Proc.CPU.Load(data, 0); !machine.IsFaultClass(err, machine.FaultRing) {
+		t.Errorf("baseline data read = %v, want ring fault", err)
+	}
+}
