@@ -18,6 +18,8 @@ import (
 	"repro/internal/mem"
 	"repro/internal/pagectl"
 	"repro/internal/policy"
+	"repro/internal/workload"
+	"repro/multics"
 )
 
 func buildKernel(b *testing.B, stage core.Stage) *core.Kernel {
@@ -314,6 +316,28 @@ func BenchmarkE12ImageInit(b *testing.B) {
 		priv = float64(rep.PrivilegedCycles)
 	}
 	b.ReportMetric(priv, "priv-boot-vcycles")
+}
+
+// BenchmarkE13NetAttachThroughput replays a scripted session storm
+// through the consolidated attachment front-end and reports the
+// simulation's own throughput (requests per thousand virtual cycles)
+// alongside wall time.
+func BenchmarkE13NetAttachThroughput(b *testing.B) {
+	cfg := workload.Config{Conns: 32, Steps: 24, Burst: 24, Seed: 75}
+	var throughput, lost float64
+	for i := 0; i < b.N; i++ {
+		rep, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.InputLost != 0 || rep.Stats.ReplyLost != 0 {
+			b.Fatalf("consolidated path lost traffic: %+v", rep.Stats)
+		}
+		throughput = rep.Throughput
+		lost = float64(rep.Stats.InputLost + rep.Stats.ReplyLost)
+	}
+	b.ReportMetric(throughput, "req/kvcycle")
+	b.ReportMetric(lost, "lost")
 }
 
 // --- Ablations (the paper's footnote 7: the performance cost of security) ---

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments           # run all twelve experiments
+//	experiments           # run all thirteen experiments
 //	experiments -run E5   # run one experiment
 //	experiments -list     # list experiment IDs and titles
 package main
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this ID (E1..E12, A1, A2)")
+	run := flag.String("run", "", "run only the experiment with this ID (E1..E13, A1, A2)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	ablations := flag.Bool("ablations", false, "also run the A1/A2 ablations in the full sweep")
 	flag.Parse()
@@ -35,10 +35,11 @@ func main() {
 		"E10": experiments.E10Penetration,
 		"E11": experiments.E11MLSPartitioning,
 		"E12": experiments.E12BootComplexity,
+		"E13": experiments.E13NetAttach,
 		"A1":  experiments.A1SecurityCost,
 		"A2":  experiments.A2WaterMarks,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	if *ablations {
 		order = append(order, "A1", "A2")
 	}
@@ -54,7 +55,7 @@ func main() {
 	if *run != "" {
 		fn, ok := all[*run]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E12)\n", *run)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E13)\n", *run)
 			os.Exit(2)
 		}
 		rep := fn()

@@ -1,0 +1,71 @@
+// Trafficstorm: one thousand scripted sessions storm the S6 kernel's
+// network attachment front-end at once. Every session is accepted by
+// the dedicated listener process, authenticated, attached through the
+// consolidated net_$ gates, and serviced by the session multiplexer's
+// worker pool — and because the attachment path buffers into "infinite"
+// VM-backed queues with explicit flow control, not one request is lost.
+// The same storm replayed against the pre-S5 per-device drivers
+// overruns their fixed circular buffers and silently destroys traffic
+// (the kernel counts each overwrite).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/workload"
+	"repro/multics"
+)
+
+const (
+	sessions = 1000
+	steps    = 24 // per session, fired as one back-to-back burst
+	seed     = 75
+)
+
+func main() {
+	cfg := workload.Config{Conns: sessions, Steps: steps, Burst: steps, Seed: seed}
+	fmt.Printf("storm: %d concurrent sessions x %d-request bursts (seed %d)\n\n",
+		sessions, steps, seed)
+
+	fmt.Println("S6 (consolidated attachment path, infinite buffers):")
+	s6, err := workload.RunAt(multics.StageRestructured, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(indent(s6.Format()))
+
+	fmt.Println("S0 (legacy per-device drivers, 16-slot circular buffers):")
+	s0, err := workload.RunAt(multics.StageBaseline, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(indent(s0.Format()))
+
+	fmt.Printf("verdict: legacy destroyed %d of %d requests unread; S6 destroyed %d\n",
+		s0.Stats.InputLost, s0.Sent, s6.Stats.InputLost)
+	fmt.Printf("rerun me: the digests above depend only on the seed\n")
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

@@ -190,6 +190,7 @@ func TestEveryS0GateConformance(t *testing.T) {
 	}
 	call("ios_$tty_write", tty, 1)
 	call("ios_$tty_order", tty, 2)
+	call("ios_$tty_detach", tty)
 	tape := call("ios_$tape_attach")[0]
 	call("ios_$tape_read", tape)
 	call("ios_$tape_write", tape, 3)
@@ -392,6 +393,7 @@ func TestEveryS2GateConformance(t *testing.T) {
 	call("ios_$tty_read", tty)
 	call("ios_$tty_write", tty, 0)
 	call("ios_$tty_order", tty, 0)
+	call("ios_$tty_detach", tty)
 	tape := call("ios_$tape_attach")[0]
 	call("ios_$tape_read", tape)
 	call("ios_$tape_write", tape, 0)

@@ -18,6 +18,9 @@ type device struct {
 	buf    iosys.Buffer
 	owner  *Proc
 	seqOut uint64
+	// uid is the buffer's backing segment (S5+ infinite buffers only;
+	// zero for legacy circular buffers, which own no storage).
+	uid uint64
 }
 
 // deviceTable is the kernel's attachment table. Its shape follows the
@@ -72,8 +75,9 @@ func (dt *deviceTable) attach(p *Proc, class iosys.DeviceClass) (uint64, error) 
 	}
 	var buf iosys.Buffer
 	var err error
+	var uid uint64
 	if dt.stage >= S5IOConsolidated {
-		uid := dt.nextUID
+		uid = dt.nextUID
 		dt.nextUID++
 		buf, err = iosys.NewInfiniteBuffer(dt.store, uid)
 		if err != nil {
@@ -87,7 +91,7 @@ func (dt *deviceTable) attach(p *Proc, class iosys.DeviceClass) (uint64, error) 
 	}
 	id := dt.nextID
 	dt.nextID++
-	dt.devices[id] = &device{id: id, class: class, buf: buf, owner: p}
+	dt.devices[id] = &device{id: id, class: class, buf: buf, owner: p, uid: uid}
 	return id, nil
 }
 
@@ -103,12 +107,21 @@ func (dt *deviceTable) lookup(p *Proc, id uint64) (*device, error) {
 	return d, nil
 }
 
-// detach removes an attachment.
+// detach removes an attachment and, for the consolidated path, returns the
+// buffer segment's storage to the free pools: the infinite buffer is an
+// ordinary segment, so tearing a connection down is an ordinary segment
+// delete, not special-purpose driver code.
 func (dt *deviceTable) detach(p *Proc, id uint64) error {
-	if _, err := dt.lookup(p, id); err != nil {
+	d, err := dt.lookup(p, id)
+	if err != nil {
 		return err
 	}
 	delete(dt.devices, id)
+	if d.uid != 0 {
+		if err := dt.store.DeleteSegment(d.uid); err != nil {
+			return fmt.Errorf("core: releasing buffer segment: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -131,4 +144,14 @@ func (k *Kernel) DeviceLost(id uint64) (int64, error) {
 		return 0, fmt.Errorf("core: no attachment %d", id)
 	}
 	return d.buf.Lost(), nil
+}
+
+// DeviceQueue reports how many input messages attachment id has buffered
+// and not yet delivered.
+func (k *Kernel) DeviceQueue(id uint64) (int, error) {
+	d, ok := k.devices.devices[id]
+	if !ok {
+		return 0, fmt.Errorf("core: no attachment %d", id)
+	}
+	return d.buf.Len(), nil
 }

@@ -240,12 +240,33 @@ func (k *Kernel) registerIOGates() {
 		})
 	}
 
+	mkStatus := func(name string, units int) {
+		k.regUser.MustRegister(gate.Def{
+			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
+			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				p, err := k.caller(ctx)
+				if err != nil {
+					return nil, err
+				}
+				if err := gate.NeedArgs(name, args, 1); err != nil {
+					return nil, err
+				}
+				d, err := k.devices.lookup(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(d.buf.Len()), uint64(d.buf.Lost())}, nil
+			},
+		})
+	}
+
 	if k.cfg.Stage >= S5IOConsolidated {
 		// The single network-attachment path.
 		mkAttach("net_$attach", iosys.DevNetwork, 5)
 		mkRead("net_$read", 4)
 		mkWrite("net_$write", 2)
 		mkDetach("net_$detach", 1)
+		mkStatus("net_$status", 1)
 		return
 	}
 	// The legacy per-device-class drivers.
@@ -253,6 +274,7 @@ func (k *Kernel) registerIOGates() {
 	mkRead("ios_$tty_read", 4)
 	mkWrite("ios_$tty_write", 3)
 	mkWrite("ios_$tty_order", 3)
+	mkDetach("ios_$tty_detach", 1)
 	mkAttach("ios_$tape_attach", iosys.DevTape, 4)
 	mkRead("ios_$tape_read", 3)
 	mkWrite("ios_$tape_write", 3)

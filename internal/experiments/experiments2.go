@@ -398,5 +398,6 @@ func RunAll() []Report {
 		E10Penetration(),
 		E11MLSPartitioning(),
 		E12BootComplexity(),
+		E13NetAttach(),
 	}
 }

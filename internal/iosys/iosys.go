@@ -18,6 +18,7 @@ package iosys
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/mem"
 )
@@ -43,7 +44,12 @@ type Buffer interface {
 // CircularBuffer is the old strategy: a fixed ring reused forever. When the
 // producer laps the consumer, the oldest unconsumed messages are silently
 // overwritten — the failure mode the paper describes.
+//
+// Put, Get, Len and Lost are safe for concurrent use: the network attachment
+// front-end drives one buffer from many goroutines, and the lost count must
+// stay exact (every overwrite counted once) under that load.
 type CircularBuffer struct {
+	mu    sync.Mutex
 	ring  []Message
 	head  int // next slot to write
 	tail  int // next slot to read
@@ -61,6 +67,8 @@ func NewCircularBuffer(n int) (*CircularBuffer, error) {
 
 // Put implements Buffer. A full ring overwrites the oldest message.
 func (c *CircularBuffer) Put(m Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.count == len(c.ring) {
 		// Complete circuit: the oldest message is destroyed unread.
 		c.tail = (c.tail + 1) % len(c.ring)
@@ -75,6 +83,8 @@ func (c *CircularBuffer) Put(m Message) error {
 
 // Get implements Buffer.
 func (c *CircularBuffer) Get() (Message, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.count == 0 {
 		return Message{}, false, nil
 	}
@@ -85,32 +95,61 @@ func (c *CircularBuffer) Get() (Message, bool, error) {
 }
 
 // Len implements Buffer.
-func (c *CircularBuffer) Len() int { return c.count }
+func (c *CircularBuffer) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
 
 // Lost implements Buffer.
-func (c *CircularBuffer) Lost() int64 { return c.lost }
+func (c *CircularBuffer) Lost() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lost
+}
 
 // wordsPerMessage is the buffer record size: sequence word plus data word.
 const wordsPerMessage = 2
 
 // InfiniteBuffer is the new strategy: a buffer that appears to be of
 // infinite length, materialized in a virtual-memory segment that grows as
-// messages arrive. Consumed pages are truly released by advancing the
-// logical start; storage management is exactly the standard page machinery.
+// messages arrive. Consumed pages are truly released back to the standard
+// free pools (mem.Store.Discard) once the logical start passes them, so
+// storage management is exactly the standard page machinery.
+//
+// Put, Get, Len, Lost and PagesUsed are serialized by the buffer's lock.
+// Because every operation walks the shared *mem.Store, two buffers over the
+// SAME store still race unless they share one lock — use
+// NewSharedInfiniteBuffer to hand a family of buffers a common store lock.
 type InfiniteBuffer struct {
+	mu    sync.Locker
 	store *mem.Store
 	uid   uint64
 	head  int // next message index to write
 	tail  int // next message index to read
+	// trimmed is the first page index not yet returned to the free pools;
+	// every page below it has been fully consumed and discarded.
+	trimmed int
 }
 
 // NewInfiniteBuffer creates the VM-backed buffer over segment uid, which it
-// creates in store.
+// creates in store. The buffer gets a private lock; it must be the only
+// concurrent user of the store.
 func NewInfiniteBuffer(store *mem.Store, uid uint64) (*InfiniteBuffer, error) {
+	return NewSharedInfiniteBuffer(store, uid, &sync.Mutex{})
+}
+
+// NewSharedInfiniteBuffer creates the VM-backed buffer over segment uid with
+// an externally supplied lock. All buffers sharing one store must share one
+// lock, since every buffer operation reads and writes store state.
+func NewSharedInfiniteBuffer(store *mem.Store, uid uint64, mu sync.Locker) (*InfiniteBuffer, error) {
+	if mu == nil {
+		return nil, errors.New("iosys: nil lock for infinite buffer")
+	}
 	if _, err := store.CreateSegment(uid, 0); err != nil {
 		return nil, fmt.Errorf("iosys: creating buffer segment: %w", err)
 	}
-	return &InfiniteBuffer{store: store, uid: uid}, nil
+	return &InfiniteBuffer{mu: mu, store: store, uid: uid}, nil
 }
 
 func (b *InfiniteBuffer) wordOf(msgIndex int) int { return msgIndex * wordsPerMessage }
@@ -158,6 +197,8 @@ func (b *InfiniteBuffer) readWord(off int) (uint64, error) {
 // Put implements Buffer: grow the segment and append; nothing is ever
 // overwritten.
 func (b *InfiniteBuffer) Put(m Message) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	needWords := b.wordOf(b.head) + wordsPerMessage
 	sp, ok := b.store.Segment(b.uid)
 	if !ok {
@@ -181,6 +222,8 @@ func (b *InfiniteBuffer) Put(m Message) error {
 
 // Get implements Buffer.
 func (b *InfiniteBuffer) Get() (Message, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if b.tail == b.head {
 		return Message{}, false, nil
 	}
@@ -194,23 +237,53 @@ func (b *InfiniteBuffer) Get() (Message, bool, error) {
 		return Message{}, false, err
 	}
 	b.tail++
+	b.trim()
 	return Message{Seq: seq, Data: data}, true, nil
 }
 
+// trim returns fully-consumed pages to the free pools. When the buffer
+// drains completely it additionally skips the logical cursor forward to the
+// next page boundary so the partially-consumed current page can be released
+// too: an idle buffer holds no storage at all. Called with the lock held.
+func (b *InfiniteBuffer) trim() {
+	pw := b.store.Config().PageWords
+	if b.tail == b.head && pw%wordsPerMessage == 0 && b.wordOf(b.tail)%pw != 0 {
+		next := ((b.wordOf(b.tail) + pw - 1) / pw) * pw / wordsPerMessage
+		b.head, b.tail = next, next
+	}
+	for b.wordOf(b.tail) >= (b.trimmed+1)*pw {
+		// Discard errors are impossible here (the segment exists and the
+		// page index is valid); a failure would only retain storage.
+		_ = b.store.Discard(mem.PageID{SegUID: b.uid, Index: b.trimmed})
+		b.trimmed++
+	}
+}
+
 // Len implements Buffer.
-func (b *InfiniteBuffer) Len() int { return b.head - b.tail }
+func (b *InfiniteBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.head - b.tail
+}
 
 // Lost implements Buffer: always zero, by construction.
 func (b *InfiniteBuffer) Lost() int64 { return 0 }
 
-// PagesUsed reports how many pages the buffer segment currently spans, for
-// the cost side of the comparison.
+// PagesUsed reports how many pages of storage the buffer currently holds
+// (logical span minus the consumed pages already returned to the free
+// pools), for the cost side of the comparison.
 func (b *InfiniteBuffer) PagesUsed() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	sp, ok := b.store.Segment(b.uid)
 	if !ok {
 		return 0
 	}
-	return sp.NumPages(b.store.Config().PageWords)
+	n := sp.NumPages(b.store.Config().PageWords) - b.trimmed
+	if n < 0 {
+		return 0
+	}
+	return n
 }
 
 // DeviceClass names one class of external I/O device the old configuration

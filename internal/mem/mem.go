@@ -8,6 +8,7 @@ package mem
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Level identifies one level of the memory hierarchy.
@@ -208,6 +209,16 @@ func (s *Store) Segment(uid uint64) (*SegmentPages, bool) {
 	return sp, ok
 }
 
+// SegmentUIDs returns the UIDs of all registered segments, sorted.
+func (s *Store) SegmentUIDs() []uint64 {
+	out := make([]uint64, 0, len(s.segs))
+	for uid := range s.segs {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // DeleteSegment releases every page of uid at every level.
 func (s *Store) DeleteSegment(uid uint64) error {
 	sp, ok := s.segs[uid]
@@ -256,6 +267,33 @@ func (s *Store) SetLength(uid uint64, length int) error {
 		delete(sp.pages, idx)
 	}
 	sp.Length = length
+	return nil
+}
+
+// Discard releases one page of a segment at whatever level it lives,
+// without shrinking the segment: a later reference materializes the page
+// again, zero-filled. It is the primitive behind the infinite I/O buffer's
+// reclamation of consumed pages — the buffer only ever grows logically, but
+// fully-consumed pages return their storage to the standard free pools.
+// Discarding an unmaterialized page is a no-op.
+func (s *Store) Discard(pid PageID) error {
+	sp, ok := s.segs[pid.SegUID]
+	if !ok {
+		return fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	loc, ok := sp.pages[pid.Index]
+	if !ok {
+		return nil
+	}
+	switch loc.Level {
+	case LevelCore:
+		s.releaseFrame(loc.Frame)
+	case LevelBulk:
+		s.releaseBlock(loc.Block)
+	case LevelDisk:
+		delete(s.disk, pid)
+	}
+	delete(sp.pages, pid.Index)
 	return nil
 }
 

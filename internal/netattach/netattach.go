@@ -1,0 +1,645 @@
+// Package netattach is the network attachment front-end: the serving layer
+// that turns the paper's S5 consolidation — "a single network attachment
+// path" in place of per-device drivers — into a concurrent traffic path.
+//
+// The structure follows the paper's process architecture:
+//
+//   - A listener runs as a dedicated kernel process on its own virtual
+//     processor, in the style of the redesign's permanently dedicated kernel
+//     processes (pager, interrupt handlers). Connection arrivals reach it as
+//     IPC wakeups over an event channel — arrival work is never done on a
+//     borrowed user process.
+//   - A connection table tracks each attachment through its lifecycle:
+//     accept → authenticate → attached session → drain → close. The
+//     listener authenticates through the answering service and attaches
+//     through the stage's kernel gate (net_$attach at S5+, the legacy
+//     per-device ios_ gates before).
+//   - A session multiplexer drives attached sessions over a bounded pool of
+//     worker processes scheduled on the kernel's virtual processors. Workers
+//     are woken over a second event channel when connections become
+//     runnable.
+//
+// Flow control is explicit and fully counted. Input observes high/low water
+// marks: a sender above high water is refused (ErrThrottled), not silently
+// shed. Replies to a slow reader are shed with hysteresis — shedding starts
+// at the high-water mark and stops at the low-water mark — and every shed
+// reply is counted. On the legacy path (stages before S5) the fixed
+// circular buffers can still overwrite messages; that loss is counted by
+// the buffers themselves and surfaces in Stats, demonstrating exactly the
+// failure mode the consolidation removed.
+//
+// The front-end's public API is serialized by one lock, and the simulation
+// is only advanced under that lock, so many goroutines may drive
+// connections concurrently while the simulated system itself stays
+// deterministic.
+package netattach
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/iosys"
+	"repro/internal/ipc"
+	"repro/internal/mem"
+	"repro/internal/mls"
+	"repro/internal/sched"
+)
+
+// Errors returned by the front-end.
+var (
+	ErrFrontendClosed = errors.New("netattach: front-end closed")
+	ErrNotAttached    = errors.New("netattach: connection not attached")
+	ErrThrottled      = errors.New("netattach: input above high-water mark")
+	ErrTableFull      = errors.New("netattach: connection table full")
+)
+
+// LoginFunc authenticates a dialing principal and returns their logged-in
+// process. The multics facade supplies the stage-appropriate path (the
+// as_$login gate before S4, the ring-2 answering subsystem after).
+type LoginFunc func(person, project, password string, level mls.Level) (*core.Proc, error)
+
+// Config parameterizes the front-end.
+type Config struct {
+	// Workers is the multiplexer pool size.
+	Workers int
+	// HighWater/LowWater are the flow-control marks on per-connection
+	// queues (messages). Input at or above HighWater refuses sends;
+	// replies shed from HighWater down to LowWater.
+	HighWater, LowWater int
+	// MaxConns bounds the connection table.
+	MaxConns int
+	// BufferMem sizes the private store backing reply buffers at S5+.
+	// Nil selects a default scaled to MaxConns.
+	BufferMem *mem.Config
+}
+
+// Front-end defaults.
+const (
+	DefaultWorkers   = 4
+	DefaultHighWater = 64
+	DefaultLowWater  = 16
+	DefaultMaxConns  = 4096
+	// legacyReplySlots is the reply ring capacity on the legacy path —
+	// the same fixed-buffer regime as the legacy kernel drivers.
+	legacyReplySlots = 16
+	// acceptCycles is the listener's bookkeeping charge per accept.
+	acceptCycles = 20
+)
+
+func (c *Config) setDefaults() error {
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.HighWater == 0 {
+		c.HighWater = DefaultHighWater
+	}
+	if c.LowWater == 0 {
+		c.LowWater = DefaultLowWater
+	}
+	if c.MaxConns == 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("netattach: %d workers", c.Workers)
+	}
+	if c.LowWater < 1 || c.HighWater <= c.LowWater {
+		return fmt.Errorf("netattach: water marks %d/%d (need high > low >= 1)", c.HighWater, c.LowWater)
+	}
+	if c.MaxConns < 1 {
+		return fmt.Errorf("netattach: %d max connections", c.MaxConns)
+	}
+	return nil
+}
+
+// Stats is a snapshot of the front-end's counters. Latencies and
+// occupancies are in virtual cycles and messages respectively.
+type Stats struct {
+	// Accepted/Rejected count listener outcomes; Active is the current
+	// table population (pending included).
+	Accepted, Rejected int64
+	Active             int
+
+	// Delivered counts messages read out of kernel buffers by workers;
+	// Processed counts executed requests; Replies counts replies queued.
+	Delivered, Processed, Replies int64
+
+	// ReplyDrops counts replies shed by flow control. Throttled counts
+	// sends refused at the high-water mark. Both are explicit and exact.
+	ReplyDrops, Throttled int64
+
+	// InputLost counts request messages destroyed unread inside kernel
+	// buffers (legacy circular buffers only; zero from S5 on). ReplyLost
+	// is the same for the reply rings.
+	InputLost, ReplyLost int64
+
+	// PeakInput/PeakOutput are the highest per-connection queue depths
+	// observed.
+	PeakInput, PeakOutput int
+
+	// AttachP50/AttachP99 are attach-latency percentiles over all
+	// accepted connections (dial to attached, virtual cycles).
+	AttachP50, AttachP99 int64
+}
+
+// Frontend is the network attachment front-end over one kernel.
+type Frontend struct {
+	mu    sync.Mutex
+	k     *core.Kernel
+	cfg   Config
+	login LoginFunc
+	sch   *sched.Scheduler
+
+	arrivals *ipc.Channel // dial events -> listener wakeups
+	work     *ipc.Channel // runnable connections -> worker wakeups
+
+	conns   map[uint64]*Conn
+	nextID  uint64
+	acceptq []*Conn
+	runq    []*Conn
+
+	outStore   *mem.Store // S5+: private store behind reply buffers
+	outBufMu   sync.Mutex // shared lock of all reply buffers (one store)
+	nextOutUID uint64
+
+	attachLats []int64
+	closed     bool
+
+	// Running totals (closed connections fold in on finishClose).
+	accepted, rejected               int64
+	delivered, processed, replies    int64
+	drops, throttled                 int64
+	closedInputLost, closedReplyLost int64
+	peakInput, peakOutput            int
+}
+
+// New builds the front-end over k and starts its listener and worker
+// processes. login supplies authentication; cfg zero-values select
+// defaults.
+func New(k *core.Kernel, login LoginFunc, cfg Config) (*Frontend, error) {
+	if login == nil {
+		return nil, errors.New("netattach: nil login function")
+	}
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	fe := &Frontend{
+		k:          k,
+		cfg:        cfg,
+		login:      login,
+		sch:        k.Scheduler(),
+		conns:      make(map[uint64]*Conn),
+		nextID:     1,
+		nextOutUID: 1,
+	}
+	if k.Stage() >= core.S5IOConsolidated {
+		mc := mem.DefaultConfig()
+		mc.CoreFrames = 2 * cfg.MaxConns
+		if mc.CoreFrames < 512 {
+			mc.CoreFrames = 512
+		}
+		mc.BulkBlocks = 256
+		if cfg.BufferMem != nil {
+			mc = *cfg.BufferMem
+		}
+		var err error
+		fe.outStore, err = mem.NewStore(mc)
+		if err != nil {
+			return nil, fmt.Errorf("netattach: reply-buffer store: %w", err)
+		}
+	}
+	fe.arrivals = ipc.NewChannel("netattach.arrivals", fe.sch, nil)
+	fe.work = ipc.NewChannel("netattach.work", fe.sch, nil)
+
+	lvp := fe.sch.AddVP("netattach.listener", true)
+	if _, err := fe.sch.SpawnDedicated(lvp, "net_listener", fe.listenerBody); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		fe.sch.AddVP(fmt.Sprintf("netattach.wp%d", i), false)
+		fe.sch.Spawn(fmt.Sprintf("net_worker_%d", i), fe.workerBody)
+	}
+	return fe, nil
+}
+
+// Kernel returns the kernel this front-end serves.
+func (fe *Frontend) Kernel() *core.Kernel { return fe.k }
+
+// pump advances the simulation until quiescent. Caller holds fe.mu.
+func (fe *Frontend) pump() { fe.sch.Run(0) }
+
+// DialAsync enters a connection into the table and signals the listener's
+// arrival channel. The accept (authentication + attachment) happens on the
+// listener process the next time the simulation runs; use Flush or Dial to
+// drive it.
+func (fe *Frontend) DialAsync(person, project, password string, level mls.Level) (*Conn, error) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.closed {
+		return nil, ErrFrontendClosed
+	}
+	if len(fe.conns) >= fe.cfg.MaxConns {
+		return nil, fmt.Errorf("%w: %d connections", ErrTableFull, len(fe.conns))
+	}
+	c := &Conn{
+		fe: fe, id: fe.nextID,
+		person: person, project: project, password: password, level: level,
+		state: StatePending, dialedAt: fe.k.Clock().Now(),
+	}
+	fe.nextID++
+	fe.conns[c.id] = c
+	fe.acceptq = append(fe.acceptq, c)
+	if err := fe.arrivals.Signal(nil, ipc.Event{From: "netattach.dial", Data: c.id}); err != nil {
+		delete(fe.conns, c.id)
+		fe.acceptq = fe.acceptq[:len(fe.acceptq)-1]
+		return nil, err
+	}
+	return c, nil
+}
+
+// Dial is DialAsync plus running the system until the accept completes.
+func (fe *Frontend) Dial(person, project, password string, level mls.Level) (*Conn, error) {
+	c, err := fe.DialAsync(person, project, password, level)
+	if err != nil {
+		return nil, err
+	}
+	fe.mu.Lock()
+	fe.pump()
+	state, cerr := c.state, c.err
+	fe.mu.Unlock()
+	if state == StateFailed {
+		_ = c.Close()
+		return nil, cerr
+	}
+	if state != StateAttached {
+		return nil, fmt.Errorf("netattach: connection %d stuck %v after accept", c.id, state)
+	}
+	return c, nil
+}
+
+// Flush runs the simulation until quiescent: accepts complete and queued
+// input is delivered and processed.
+func (fe *Frontend) Flush() {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	fe.pump()
+}
+
+// listenerBody is the dedicated listener kernel process: a simple loop over
+// the arrival channel, exactly like the redesign's interrupt-handler
+// processes.
+func (fe *Frontend) listenerBody(pc *sched.ProcCtx) {
+	for {
+		if _, err := fe.arrivals.Await(pc); err != nil {
+			return // channel closed: shutdown
+		}
+		if len(fe.acceptq) == 0 {
+			continue // dial withdrawn before accept
+		}
+		c := fe.acceptq[0]
+		fe.acceptq = fe.acceptq[1:]
+		fe.accept(pc, c)
+	}
+}
+
+// accept authenticates and attaches one pending connection, on the
+// listener process.
+func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
+	pc.Consume(acceptCycles)
+	proc, err := fe.login(c.person, c.project, c.password, c.level)
+	c.password = ""
+	if err != nil {
+		fe.rejected++
+		c.fail(err)
+		return
+	}
+	c.proc = proc
+	out, err := proc.CallGate(fe.attachGate())
+	if err != nil {
+		fe.rejected++
+		c.fail(fmt.Errorf("netattach: attach gate: %w", err))
+		return
+	}
+	c.dev = out[0]
+	if fe.outStore != nil {
+		uid := fe.nextOutUID
+		fe.nextOutUID++
+		c.out, err = iosys.NewSharedInfiniteBuffer(fe.outStore, uid, &fe.outBufMu)
+		if err != nil {
+			fe.rejected++
+			c.fail(fmt.Errorf("netattach: reply buffer: %w", err))
+			return
+		}
+		c.outUID = uid
+	} else {
+		c.out, err = iosys.NewCircularBuffer(legacyReplySlots)
+		if err != nil {
+			fe.rejected++
+			c.fail(err)
+			return
+		}
+	}
+	c.state = StateAttached
+	c.attachLat = pc.Now() - c.dialedAt
+	fe.attachLats = append(fe.attachLats, c.attachLat)
+	fe.accepted++
+}
+
+// markRunnable queues the connection for the worker pool (idempotent) and
+// wakes a worker. Caller holds fe.mu or runs inside the simulation.
+func (fe *Frontend) markRunnable(c *Conn) {
+	if c.queued || (c.state != StateAttached && c.state != StateDraining) {
+		return
+	}
+	c.queued = true
+	fe.runq = append(fe.runq, c)
+	_ = fe.work.Signal(nil, ipc.Event{From: "netattach.mux", Data: c.id})
+}
+
+// popRunnable removes the next serviceable connection from the run queue.
+func (fe *Frontend) popRunnable() *Conn {
+	for len(fe.runq) > 0 {
+		c := fe.runq[0]
+		fe.runq = fe.runq[1:]
+		if c.state == StateAttached || c.state == StateDraining {
+			return c
+		}
+		c.queued = false
+	}
+	return nil
+}
+
+// workerBody is one multiplexer worker: a layer-2 process that drains
+// runnable connections whenever the work channel wakes it.
+func (fe *Frontend) workerBody(pc *sched.ProcCtx) {
+	for {
+		if _, err := fe.work.Await(pc); err != nil {
+			return
+		}
+		for {
+			c := fe.popRunnable()
+			if c == nil {
+				break
+			}
+			fe.service(pc, c)
+			c.queued = false
+			// Input injected while we were busy re-queues the connection.
+			if q, err := fe.k.DeviceQueue(c.dev); err == nil && q > 0 {
+				fe.markRunnable(c)
+			}
+			pc.Yield() // share the pool between connections
+		}
+	}
+}
+
+// service reads the connection's queued input through the stage's read
+// gate and executes each request.
+func (fe *Frontend) service(pc *sched.ProcCtx, c *Conn) {
+	for c.state == StateAttached || c.state == StateDraining {
+		out, err := c.proc.CallGate(fe.readGate(), c.dev)
+		if err != nil {
+			c.fail(fmt.Errorf("netattach: read gate: %w", err))
+			return
+		}
+		if out[1] == 0 {
+			return // input drained
+		}
+		c.delivered++
+		fe.delivered++
+		fe.execute(pc, c, out[0])
+	}
+}
+
+// execute runs one request and queues its reply (subject to shedding).
+func (fe *Frontend) execute(pc *sched.ProcCtx, c *Conn, word uint64) {
+	op, payload := Decode(word)
+	var reply uint64
+	switch op {
+	case OpEcho:
+		pc.Consume(2)
+		reply = payload
+	case OpSum:
+		pc.Consume(2)
+		c.sum += payload
+		reply = c.sum
+	case OpSpin:
+		spin := int64(payload)
+		if spin > MaxSpin {
+			spin = MaxSpin
+		}
+		pc.Consume(spin)
+		reply = payload
+	case OpClock:
+		out, err := c.proc.CallGate("hcs_$total_cpu_time")
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		reply = out[0]
+	case OpLevel:
+		out, err := c.proc.CallGate("hcs_$get_authorization")
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		reply = out[0]
+	default:
+		// Unknown op: processed, no reply.
+		pc.Consume(1)
+		c.processed++
+		fe.processed++
+		return
+	}
+	c.processed++
+	fe.processed++
+	fe.enqueueReply(c, reply)
+}
+
+// enqueueReply queues a reply with slow-reader shedding: once the reply
+// queue reaches the high-water mark, replies are shed (and counted) until
+// the reader drains it to the low-water mark.
+func (fe *Frontend) enqueueReply(c *Conn, v uint64) {
+	n := c.out.Len()
+	if c.shedding && n <= fe.cfg.LowWater {
+		c.shedding = false
+	}
+	if !c.shedding && n >= fe.cfg.HighWater {
+		c.shedding = true
+	}
+	if c.shedding {
+		c.drops++
+		fe.drops++
+		return
+	}
+	c.replySeq++
+	if err := c.out.Put(iosys.Message{Seq: c.replySeq, Data: v}); err != nil {
+		// Refused by storage: still a counted drop, never silent.
+		c.drops++
+		fe.drops++
+		return
+	}
+	c.replies++
+	fe.replies++
+	if n+1 > fe.peakOutput {
+		fe.peakOutput = n + 1
+	}
+}
+
+// drainLocked runs the system until c's input queue is empty. Caller holds
+// fe.mu.
+func (fe *Frontend) drainLocked(c *Conn) error {
+	for {
+		if c.state != StateAttached && c.state != StateDraining {
+			return nil // failed or closed along the way
+		}
+		q, err := fe.k.DeviceQueue(c.dev)
+		if err != nil {
+			return err
+		}
+		if q == 0 && !c.queued {
+			return nil
+		}
+		fe.markRunnable(c)
+		fe.pump()
+	}
+}
+
+// finishClose detaches c and folds its accounting into the front-end
+// totals. Caller holds fe.mu; input must already be drained.
+func (fe *Frontend) finishClose(c *Conn) error {
+	if c.state == StateAttached || c.state == StateDraining {
+		lost, err := fe.k.DeviceLost(c.dev)
+		if err == nil {
+			fe.closedInputLost += lost
+		}
+		if _, err := c.proc.CallGate(fe.detachGate(), c.dev); err != nil {
+			return fmt.Errorf("netattach: detach gate: %w", err)
+		}
+	}
+	if c.out != nil {
+		fe.closedReplyLost += c.out.Lost()
+		if c.outUID != 0 {
+			_ = fe.outStore.DeleteSegment(c.outUID)
+		}
+		c.out = nil
+	}
+	c.state = StateClosed
+	delete(fe.conns, c.id)
+	return nil
+}
+
+// Close drains and closes every connection, shuts the listener and worker
+// processes down, and refuses further dials.
+func (fe *Frontend) Close() error {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.closed {
+		return nil
+	}
+	fe.closed = true
+	var firstErr error
+	for _, c := range fe.connsByID() {
+		switch c.state {
+		case StateAttached, StateDraining:
+			c.state = StateDraining
+			if err := fe.drainLocked(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if err := fe.finishClose(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		default:
+			c.state = StateClosed
+			delete(fe.conns, c.id)
+		}
+	}
+	fe.acceptq = nil
+	fe.arrivals.Close()
+	fe.work.Close()
+	fe.pump() // daemons observe the closed channels and exit
+	return firstErr
+}
+
+// connsByID returns the table's connections in id order (deterministic
+// iteration over the map).
+func (fe *Frontend) connsByID() []*Conn {
+	out := make([]*Conn, 0, len(fe.conns))
+	for _, c := range fe.conns {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// Stats snapshots the front-end counters, including loss still sitting in
+// open connections' buffers.
+func (fe *Frontend) Stats() Stats {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	st := Stats{
+		Accepted: fe.accepted, Rejected: fe.rejected, Active: len(fe.conns),
+		Delivered: fe.delivered, Processed: fe.processed, Replies: fe.replies,
+		ReplyDrops: fe.drops, Throttled: fe.throttled,
+		InputLost: fe.closedInputLost, ReplyLost: fe.closedReplyLost,
+		PeakInput: fe.peakInput, PeakOutput: fe.peakOutput,
+	}
+	for _, c := range fe.connsByID() {
+		if c.state == StateAttached || c.state == StateDraining {
+			if lost, err := fe.k.DeviceLost(c.dev); err == nil {
+				st.InputLost += lost
+			}
+		}
+		if c.out != nil {
+			st.ReplyLost += c.out.Lost()
+		}
+	}
+	if len(fe.attachLats) > 0 {
+		lats := append([]int64(nil), fe.attachLats...)
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.AttachP50 = lats[(len(lats)-1)*50/100]
+		st.AttachP99 = lats[(len(lats)-1)*99/100]
+	}
+	return st
+}
+
+// ReplyPages reports how many pages the reply buffers currently hold in
+// the private store (S5+ only; zero on the legacy path) — the cost side of
+// the infinite-buffer strategy.
+func (fe *Frontend) ReplyPages() int {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.outStore == nil {
+		return 0
+	}
+	total := 0
+	for _, c := range fe.connsByID() {
+		if ib, ok := c.out.(*iosys.InfiniteBuffer); ok {
+			total += ib.PagesUsed()
+		}
+	}
+	return total
+}
+
+// Gate names for the stage's attachment path.
+func (fe *Frontend) attachGate() string {
+	if fe.k.Stage() >= core.S5IOConsolidated {
+		return "net_$attach"
+	}
+	return "ios_$tty_attach"
+}
+
+func (fe *Frontend) readGate() string {
+	if fe.k.Stage() >= core.S5IOConsolidated {
+		return "net_$read"
+	}
+	return "ios_$tty_read"
+}
+
+func (fe *Frontend) detachGate() string {
+	if fe.k.Stage() >= core.S5IOConsolidated {
+		return "net_$detach"
+	}
+	return "ios_$tty_detach"
+}

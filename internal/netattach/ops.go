@@ -1,0 +1,60 @@
+package netattach
+
+// Op is the operation code of one request message. A request is a single
+// word: the op in the top byte, the payload in the low 56 bits — small
+// enough to travel through the kernel's one-word-per-message I/O buffers.
+type Op uint8
+
+// Request operations a connected session can submit.
+const (
+	// OpEcho replies with the payload unchanged.
+	OpEcho Op = iota + 1
+	// OpSum adds the payload to the connection's running sum and replies
+	// with the new sum.
+	OpSum
+	// OpSpin consumes payload cycles of CPU (bounded by MaxSpin) and
+	// replies with the payload — the "work" in login→work→logout scripts.
+	OpSpin
+	// OpClock replies with the system clock, read through the
+	// hcs_$total_cpu_time gate.
+	OpClock
+	// OpLevel replies with the session's mandatory level, read through the
+	// hcs_$get_authorization gate.
+	OpLevel
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpEcho:
+		return "echo"
+	case OpSum:
+		return "sum"
+	case OpSpin:
+		return "spin"
+	case OpClock:
+		return "clock"
+	case OpLevel:
+		return "level"
+	default:
+		return "op?"
+	}
+}
+
+// MaxSpin bounds the cycles one OpSpin may charge, so a malformed request
+// cannot stall the virtual clock.
+const MaxSpin = 1 << 16
+
+const payloadBits = 56
+
+// PayloadMask is the widest payload a request word can carry.
+const PayloadMask = (uint64(1) << payloadBits) - 1
+
+// Encode packs an op and payload into one request word.
+func Encode(op Op, payload uint64) uint64 {
+	return uint64(op)<<payloadBits | payload&PayloadMask
+}
+
+// Decode unpacks a request word.
+func Decode(v uint64) (Op, uint64) {
+	return Op(v >> payloadBits), v & PayloadMask
+}

@@ -1,0 +1,289 @@
+// Package workload replays scripted login→work→logout traffic against a
+// booted system's network attachment front-end. Scripts are generated
+// from a seed, the engine drives them in a fixed interleaving over
+// virtual time, and the transcript of every reply is folded into a
+// digest — so the same seed always produces the same digest, no matter
+// how many connections run concurrently. The report carries throughput,
+// attach-latency percentiles, peak buffer occupancy, and exact drop
+// counts, which is what lets cmd/loadgen show the legacy circular
+// buffers losing traffic under storm while the consolidated S5 path
+// loses none.
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/netattach"
+	"repro/multics"
+)
+
+// Step is one scripted request inside a session.
+type Step struct {
+	Op  netattach.Op
+	Arg uint64
+}
+
+// Script is one scripted session: who logs in, and the work they do
+// before logging out.
+type Script struct {
+	Person, Project, Password string
+	Level                     multics.Level
+	Steps                     []Step
+}
+
+// Config shapes a traffic run.
+type Config struct {
+	// Conns is the number of concurrent connections (default 8).
+	Conns int
+	// Steps is the number of requests per session (default 8).
+	Steps int
+	// Burst is how many requests each connection fires back-to-back
+	// before the engine lets the system run (default Steps: the whole
+	// script arrives as one storm). Bursts larger than the legacy
+	// driver's circular buffer are what make the pre-S5 path lose.
+	Burst int
+	// Users is the number of distinct accounts the connections share
+	// (default min(Conns, 8)).
+	Users int
+	// Seed drives script generation. Same seed, same transcript digest.
+	Seed int64
+}
+
+func (c *Config) setDefaults() error {
+	if c.Conns == 0 {
+		c.Conns = 8
+	}
+	if c.Steps == 0 {
+		c.Steps = 8
+	}
+	if c.Burst == 0 {
+		c.Burst = c.Steps
+	}
+	if c.Users == 0 {
+		c.Users = c.Conns
+		if c.Users > 8 {
+			c.Users = 8
+		}
+	}
+	if c.Conns < 1 || c.Steps < 1 || c.Burst < 1 || c.Users < 1 {
+		return fmt.Errorf("workload: invalid config %+v", *c)
+	}
+	return nil
+}
+
+// Report is the outcome of one traffic run.
+type Report struct {
+	Conns, Steps int
+
+	// Sent counts requests accepted by Send; Throttled counts sends
+	// refused at the high-water mark (explicit backpressure).
+	Sent, Throttled int64
+	// Received counts replies read back by the engine.
+	Received int64
+
+	// Front-end counters at the end of the run (see netattach.Stats).
+	Stats netattach.Stats
+
+	// Cycles is the virtual time the run took.
+	Cycles int64
+	// Throughput is requests processed per thousand virtual cycles.
+	Throughput float64
+
+	// Digest is a sha256 over the full reply transcript and the final
+	// counters: the determinism witness.
+	Digest string
+}
+
+// Format renders the report for the terminal.
+func (r Report) Format() string {
+	return fmt.Sprintf(
+		"conns %d  steps %d  sent %d  received %d  throttled %d\n"+
+			"delivered %d  processed %d  replies %d  reply-drops %d\n"+
+			"input-lost %d  reply-lost %d  peak-in %d  peak-out %d\n"+
+			"attach p50 %d cy  p99 %d cy  cycles %d  throughput %.2f req/kcy\n"+
+			"digest %s\n",
+		r.Conns, r.Steps, r.Sent, r.Received, r.Throttled,
+		r.Stats.Delivered, r.Stats.Processed, r.Stats.Replies, r.Stats.ReplyDrops,
+		r.Stats.InputLost, r.Stats.ReplyLost, r.Stats.PeakInput, r.Stats.PeakOutput,
+		r.Stats.AttachP50, r.Stats.AttachP99, r.Cycles, r.Throughput,
+		r.Digest)
+}
+
+// GenScripts deterministically generates n session scripts from the
+// seed. Work steps draw from the echo/sum/spin request mix; every reply
+// is a pure function of its arguments, so the transcript digest depends
+// only on which requests survive the buffers.
+func GenScripts(cfg Config) []Script {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	scripts := make([]Script, cfg.Conns)
+	for i := range scripts {
+		u := i % cfg.Users
+		s := Script{
+			Person:   fmt.Sprintf("Load%d", u),
+			Project:  "Traffic",
+			Password: fmt.Sprintf("storm%d pw", u),
+			Level:    multics.Secret,
+			Steps:    make([]Step, cfg.Steps),
+		}
+		for j := range s.Steps {
+			switch rng.Intn(3) {
+			case 0:
+				s.Steps[j] = Step{netattach.OpEcho, rng.Uint64() & netattach.PayloadMask}
+			case 1:
+				s.Steps[j] = Step{netattach.OpSum, uint64(rng.Intn(1 << 20))}
+			default:
+				s.Steps[j] = Step{netattach.OpSpin, uint64(rng.Intn(256))}
+			}
+		}
+		scripts[i] = s
+	}
+	return scripts
+}
+
+// Boot builds a system at the given stage with memory scaled for n
+// concurrent connections, and registers the generated accounts.
+func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	frames := 4 * cfg.Conns
+	if frames < 4096 {
+		frames = 4096
+	}
+	mc := mem.DefaultConfig()
+	mc.CoreFrames = frames
+	mc.BulkBlocks = frames
+	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc})
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < cfg.Users; u++ {
+		err := sys.AddUser(fmt.Sprintf("Load%d", u), "Traffic",
+			fmt.Sprintf("storm%d pw", u), multics.Secret)
+		if err != nil {
+			sys.Shutdown()
+			return nil, err
+		}
+	}
+	return sys, nil
+}
+
+// Run replays cfg against sys: dial every connection, fire the scripts
+// in bursts, drain replies between bursts, log every session out, and
+// report. The interleaving is fixed (round-robin over the connection
+// table between scheduler pumps), so the digest is reproducible.
+func Run(sys *multics.System, cfg Config) (*Report, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	fe := sys.Frontend()
+	if fe == nil {
+		workers := 4
+		if cfg.Conns >= 64 {
+			workers = 8
+		}
+		var err error
+		fe, err = sys.Serve(netattach.Config{Workers: workers, MaxConns: cfg.Conns})
+		if err != nil {
+			return nil, err
+		}
+	}
+	scripts := GenScripts(cfg)
+	start := sys.Kernel.Clock().Now()
+
+	// Login storm: every dial is queued before the listener process runs
+	// once, so attach latency spreads across the accept queue.
+	conns := make([]*netattach.Conn, len(scripts))
+	for i, s := range scripts {
+		c, err := fe.DialAsync(s.Person, s.Project, s.Password, s.Level)
+		if err != nil {
+			return nil, fmt.Errorf("workload: dial %d: %w", i, err)
+		}
+		conns[i] = c
+	}
+	fe.Flush()
+	for i, c := range conns {
+		if c.State() != netattach.StateAttached {
+			return nil, fmt.Errorf("workload: connection %d not attached: %v (%v)",
+				i, c.State(), c.Err())
+		}
+	}
+
+	rep := &Report{Conns: cfg.Conns, Steps: cfg.Steps}
+	h := sha256.New()
+	for base := 0; base < cfg.Steps; base += cfg.Burst {
+		hi := base + cfg.Burst
+		if hi > cfg.Steps {
+			hi = cfg.Steps
+		}
+		// Storm phase: every connection fires its burst back-to-back.
+		// Nothing pumps the scheduler here, so requests pile up in the
+		// kernel buffers — the legacy rings overwrite, the S5 infinite
+		// buffers grow.
+		for i, c := range conns {
+			for s := base; s < hi; s++ {
+				st := scripts[i].Steps[s]
+				err := c.Send(st.Op, st.Arg)
+				switch {
+				case err == nil:
+					rep.Sent++
+				case errors.Is(err, netattach.ErrThrottled):
+					rep.Throttled++
+				default:
+					return nil, fmt.Errorf("workload: send %d/%d: %w", i, s, err)
+				}
+			}
+		}
+		// Service phase: let the multiplexer drain everything, then
+		// read the replies back in table order.
+		fe.Flush()
+		for i, c := range conns {
+			for {
+				v, ok, err := c.TryRecv()
+				if err != nil {
+					return nil, fmt.Errorf("workload: recv %d: %w", i, err)
+				}
+				if !ok {
+					break
+				}
+				rep.Received++
+				fmt.Fprintf(h, "%d %d\n", i, v)
+			}
+		}
+	}
+	// Logout in table order.
+	for i, c := range conns {
+		if err := c.Close(); err != nil {
+			return nil, fmt.Errorf("workload: close %d: %w", i, err)
+		}
+	}
+
+	rep.Stats = fe.Stats()
+	rep.Cycles = sys.Kernel.Clock().Now() - start
+	if rep.Cycles > 0 {
+		rep.Throughput = float64(rep.Stats.Processed) / float64(rep.Cycles) * 1000
+	}
+	fmt.Fprintf(h, "sent %d received %d throttled %d lost %d/%d drops %d\n",
+		rep.Sent, rep.Received, rep.Throttled,
+		rep.Stats.InputLost, rep.Stats.ReplyLost, rep.Stats.ReplyDrops)
+	rep.Digest = hex.EncodeToString(h.Sum(nil))
+	return rep, nil
+}
+
+// RunAt boots a fresh system at the stage, runs the workload, shuts the
+// system down, and returns the report: the one-call form used by
+// cmd/loadgen and the experiments.
+func RunAt(stage multics.Stage, cfg Config) (*Report, error) {
+	sys, err := Boot(stage, cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sys.Shutdown()
+	return Run(sys, cfg)
+}

@@ -1,0 +1,114 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/multics"
+)
+
+func TestDeterministicDigest(t *testing.T) {
+	cfg := workload.Config{Conns: 32, Steps: 6, Burst: 3, Seed: 75}
+	r1, err := workload.RunAt(multics.StageRestructured, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := workload.RunAt(multics.StageRestructured, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest != r2.Digest {
+		t.Fatalf("same seed, different digests:\n%s\n%s", r1.Digest, r2.Digest)
+	}
+	cfg.Seed = 76
+	r3, err := workload.RunAt(multics.StageRestructured, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Digest == r1.Digest {
+		t.Fatalf("different seeds, same digest %s", r1.Digest)
+	}
+}
+
+func TestStormLegacyLosesConsolidatedDoesNot(t *testing.T) {
+	// A burst of 24 overruns the legacy 16-slot circular buffers but
+	// fits easily inside the S5 infinite buffers.
+	cfg := workload.Config{Conns: 8, Steps: 24, Burst: 24, Seed: 75}
+
+	legacy, err := workload.RunAt(multics.StageBaseline, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Stats.InputLost == 0 {
+		t.Fatalf("legacy path lost nothing under a %d-message storm", cfg.Burst)
+	}
+	if got := legacy.Stats.Delivered + legacy.Stats.InputLost; got != legacy.Sent {
+		t.Fatalf("legacy accounting: delivered %d + lost %d != sent %d",
+			legacy.Stats.Delivered, legacy.Stats.InputLost, legacy.Sent)
+	}
+
+	s5, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s5.Stats.InputLost != 0 || s5.Stats.ReplyLost != 0 {
+		t.Fatalf("consolidated path lost traffic: input %d reply %d",
+			s5.Stats.InputLost, s5.Stats.ReplyLost)
+	}
+	if s5.Stats.Delivered != s5.Sent {
+		t.Fatalf("consolidated path delivered %d of %d sent", s5.Stats.Delivered, s5.Sent)
+	}
+	if s5.Received <= legacy.Received {
+		t.Fatalf("consolidated path received %d replies, legacy %d — expected more",
+			s5.Received, legacy.Received)
+	}
+}
+
+func Test500ConcurrentConnections(t *testing.T) {
+	cfg := workload.Config{Conns: 500, Steps: 2, Burst: 2, Seed: 75}
+	rep, err := workload.RunAt(multics.StageRestructured, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Accepted != 500 {
+		t.Fatalf("accepted %d connections, want 500", rep.Stats.Accepted)
+	}
+	want := int64(500 * 2)
+	if rep.Sent != want || rep.Stats.Processed != want || rep.Received != want {
+		t.Fatalf("sent %d processed %d received %d, want %d each",
+			rep.Sent, rep.Stats.Processed, rep.Received, want)
+	}
+	if rep.Stats.InputLost != 0 || rep.Stats.ReplyLost != 0 || rep.Stats.ReplyDrops != 0 {
+		t.Fatalf("losses under 500-connection load: %+v", rep.Stats)
+	}
+	if rep.Stats.AttachP50 <= 0 || rep.Stats.AttachP99 < rep.Stats.AttachP50 {
+		t.Fatalf("attach percentiles p50 %d p99 %d", rep.Stats.AttachP50, rep.Stats.AttachP99)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput %.2f", rep.Throughput)
+	}
+}
+
+func TestThrottleCounted(t *testing.T) {
+	// Burst far beyond the high-water mark: the surplus is refused,
+	// counted, and nothing is silently dropped on the S5 path.
+	sys, err := workload.Boot(multics.StageRestructured, workload.Config{Conns: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	cfg := workload.Config{Conns: 4, Steps: 100, Burst: 100, Seed: 7}
+	rep, err := workload.Run(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throttled == 0 {
+		t.Fatal("a 100-deep burst never hit the high-water mark")
+	}
+	if rep.Stats.InputLost != 0 {
+		t.Fatalf("throttling should prevent loss, got %d lost", rep.Stats.InputLost)
+	}
+	if rep.Sent+rep.Throttled != int64(cfg.Conns*cfg.Steps) {
+		t.Fatalf("sent %d + throttled %d != %d", rep.Sent, rep.Throttled, cfg.Conns*cfg.Steps)
+	}
+}

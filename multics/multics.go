@@ -27,6 +27,7 @@ import (
 	"repro/internal/linker"
 	"repro/internal/machine"
 	"repro/internal/mls"
+	"repro/internal/netattach"
 	"repro/internal/userspace"
 )
 
@@ -60,6 +61,7 @@ const (
 type System struct {
 	Kernel    *core.Kernel
 	answering *userspace.AnsweringSubsystem
+	frontend  *netattach.Frontend
 }
 
 // New boots a system at the given stage.
@@ -84,8 +86,54 @@ func NewWithConfig(cfg core.Config) (*System, error) {
 	return s, nil
 }
 
-// Shutdown stops the system's kernel processes.
-func (s *System) Shutdown() { s.Kernel.Shutdown() }
+// Shutdown closes the network front-end (if serving) and stops the
+// system's kernel processes.
+func (s *System) Shutdown() {
+	if s.frontend != nil {
+		_ = s.frontend.Close()
+		s.frontend = nil
+	}
+	s.Kernel.Shutdown()
+}
+
+// Serve starts the network attachment front-end: the listener kernel
+// process, the connection table, and the session-multiplexer worker pool.
+// At S5 and later connections ride the consolidated attachment path
+// (net_$ gates, infinite VM-backed buffers); before S5 they ride the
+// legacy per-device drivers with fixed circular buffers, which lose
+// messages under storm. Call at most once per system.
+func (s *System) Serve(cfg netattach.Config) (*netattach.Frontend, error) {
+	if s.frontend != nil {
+		return nil, fmt.Errorf("multics: system is already serving")
+	}
+	login := func(person, project, password string, level mls.Level) (*core.Proc, error) {
+		sess, err := s.Login(person, project, password, level)
+		if err != nil {
+			return nil, err
+		}
+		return sess.Proc, nil
+	}
+	fe, err := netattach.New(s.Kernel, login, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.frontend = fe
+	return fe, nil
+}
+
+// Frontend returns the serving front-end, or nil before Serve.
+func (s *System) Frontend() *netattach.Frontend { return s.frontend }
+
+// Attach dials the serving front-end and returns the attached connection:
+// the network analogue of Login. Serve must have been called.
+func (s *System) Attach(person, project, password string, level Level) (*netattach.Conn, error) {
+	if s.frontend == nil {
+		if _, err := s.Serve(netattach.Config{}); err != nil {
+			return nil, err
+		}
+	}
+	return s.frontend.Dial(person, project, password, level)
+}
 
 // AddUser registers a user with the answering service.
 func (s *System) AddUser(person, project, password string, clearance Level) error {

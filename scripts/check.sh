@@ -1,0 +1,16 @@
+#!/bin/sh
+# Repository gate: vet everything, then run the full test suite under the
+# race detector. CI and pre-commit both call this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
