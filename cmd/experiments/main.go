@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments           # run all thirteen experiments
+//	experiments           # run all fourteen experiments
 //	experiments -run E5   # run one experiment
 //	experiments -list     # list experiment IDs and titles
 package main
@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this ID (E1..E13, A1, A2)")
+	run := flag.String("run", "", "run only the experiment with this ID (E1..E14, A1, A2)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	ablations := flag.Bool("ablations", false, "also run the A1/A2 ablations in the full sweep")
 	flag.Parse()
@@ -36,10 +36,11 @@ func main() {
 		"E11": experiments.E11MLSPartitioning,
 		"E12": experiments.E12BootComplexity,
 		"E13": experiments.E13NetAttach,
+		"E14": experiments.E14HotPathPerformance,
 		"A1":  experiments.A1SecurityCost,
 		"A2":  experiments.A2WaterMarks,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 	if *ablations {
 		order = append(order, "A1", "A2")
 	}
@@ -55,7 +56,7 @@ func main() {
 	if *run != "" {
 		fn, ok := all[*run]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E13)\n", *run)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E14)\n", *run)
 			os.Exit(2)
 		}
 		rep := fn()
@@ -78,5 +79,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) did not match the paper's shape\n", failures)
 		os.Exit(1)
 	}
-	fmt.Println("all 12 experiments match the paper's claimed shapes")
+	fmt.Printf("all %d experiments match the paper's claimed shapes\n", len(order))
 }

@@ -1,0 +1,48 @@
+package core
+
+import "repro/internal/mem"
+
+// PerfCounters is the hot-path performance summary of one kernel: the
+// associative-memory effectiveness across every live processor, and the
+// memory store's contention/transfer counters. It is the Inventory-style
+// report for the performance layer, printed by cmd/experiments next to the
+// structural gate counts.
+type PerfCounters struct {
+	// AssocHits/AssocMisses/AssocInvalidations sum the associative-memory
+	// counters over all live processors.
+	AssocHits          int64
+	AssocMisses        int64
+	AssocInvalidations int64
+	// FrameSteals/BlockSteals count free-list allocations that had to
+	// leave their home shard (contention or pool imbalance in the store).
+	FrameSteals int64
+	BlockSteals int64
+	// Transfers is the store's page-movement totals.
+	Transfers mem.TransferStats
+}
+
+// HitRate returns the associative-memory hit fraction, or 0 with no lookups.
+func (p PerfCounters) HitRate() float64 {
+	total := p.AssocHits + p.AssocMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.AssocHits) / float64(total)
+}
+
+// PerfCounters sums the performance counters over the kernel's processors
+// and its memory store.
+func (k *Kernel) PerfCounters() PerfCounters {
+	var out PerfCounters
+	for _, p := range k.procs {
+		st := p.CPU.Stats()
+		out.AssocHits += st.AssocHits
+		out.AssocMisses += st.AssocMisses
+		out.AssocInvalidations += st.AssocInvalidations
+	}
+	c := k.store.ContentionCounters()
+	out.FrameSteals = c.FrameSteals
+	out.BlockSteals = c.BlockSteals
+	out.Transfers = k.store.Stats()
+	return out
+}

@@ -329,7 +329,7 @@ func TestSetLength(t *testing.T) {
 		t.Fatalf("SetLength: %v", err)
 	}
 	sp, ok := h.Store().Segment(seg)
-	if !ok || sp.Length != 200 {
+	if !ok || sp.Length() != 200 {
 		t.Errorf("length = %v", sp)
 	}
 	if err := h.SetLength(bob, unc, seg, 5); err == nil {

@@ -117,10 +117,11 @@ const wordsPerMessage = 2
 // free pools (mem.Store.Discard) once the logical start passes them, so
 // storage management is exactly the standard page machinery.
 //
-// Put, Get, Len, Lost and PagesUsed are serialized by the buffer's lock.
-// Because every operation walks the shared *mem.Store, two buffers over the
-// SAME store still race unless they share one lock — use
-// NewSharedInfiniteBuffer to hand a family of buffers a common store lock.
+// Put, Get, Len, Lost and PagesUsed are serialized by the buffer's lock,
+// which orders the operations of one buffer. The underlying *mem.Store is
+// itself safe for concurrent use (lock-striped), so buffers over the same
+// store may use private locks; NewSharedInfiniteBuffer remains for callers
+// that want a family of buffers serialized as a unit.
 type InfiniteBuffer struct {
 	mu    sync.Locker
 	store *mem.Store
@@ -133,8 +134,8 @@ type InfiniteBuffer struct {
 }
 
 // NewInfiniteBuffer creates the VM-backed buffer over segment uid, which it
-// creates in store. The buffer gets a private lock; it must be the only
-// concurrent user of the store.
+// creates in store. The buffer gets a private lock serializing its own
+// operations; the store tolerates other concurrent users.
 func NewInfiniteBuffer(store *mem.Store, uid uint64) (*InfiniteBuffer, error) {
 	return NewSharedInfiniteBuffer(store, uid, &sync.Mutex{})
 }
@@ -204,7 +205,7 @@ func (b *InfiniteBuffer) Put(m Message) error {
 	if !ok {
 		return fmt.Errorf("iosys: buffer segment %#x vanished", b.uid)
 	}
-	if sp.Length < needWords {
+	if sp.Length() < needWords {
 		if err := b.store.SetLength(b.uid, needWords); err != nil {
 			return err
 		}

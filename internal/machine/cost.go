@@ -24,6 +24,14 @@ type CostModel struct {
 	// call (performed by hardware on the 6180, by supervisor software on
 	// the 645 — the cost is folded into RingCrossExtra there).
 	GateCheck int64
+	// DescriptorWalk is the cost of fetching and validating an SDW from
+	// the descriptor segment in memory — the full address-preparation path
+	// taken when the associative memory misses (or is disabled).
+	DescriptorWalk int64
+	// AssocSearch is the cost of probing the associative memory. On the
+	// 6180 the search is overlapped with instruction decode and costs
+	// nothing extra; a software simulation of the cache cannot hide it.
+	AssocSearch int64
 	// FaultOverhead is the cost of taking any fault.
 	FaultOverhead int64
 }
@@ -39,6 +47,8 @@ func Model6180() CostModel {
 		Return:         8,
 		RingCrossExtra: 0,
 		GateCheck:      2,
+		DescriptorWalk: 4,
+		AssocSearch:    0,
 		FaultOverhead:  50,
 	}
 }
@@ -55,6 +65,8 @@ func Model645() CostModel {
 		Return:         8,
 		RingCrossExtra: 800,
 		GateCheck:      40,
+		DescriptorWalk: 6,
+		AssocSearch:    1,
 		FaultOverhead:  50,
 	}
 }

@@ -74,9 +74,20 @@ func TestGateCallCostAccounting(t *testing.T) {
 	if _, err := p.Call(1, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	want := cost.Call + cost.Return + cost.GateCheck + 2*cost.RingCrossExtra
+	// The first call misses the associative memory: probe + full walk.
+	want := cost.Call + cost.Return + cost.GateCheck + 2*cost.RingCrossExtra +
+		cost.AssocSearch + cost.DescriptorWalk
 	if got := clk.Now() - start; got != want {
 		t.Errorf("gate call cost = %d, want %d", got, want)
+	}
+	// The second call hits: the descriptor walk is not charged again.
+	start = clk.Now()
+	if _, err := p.Call(1, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	want = cost.Call + cost.Return + cost.GateCheck + 2*cost.RingCrossExtra + cost.AssocSearch
+	if got := clk.Now() - start; got != want {
+		t.Errorf("cached gate call cost = %d, want %d", got, want)
 	}
 }
 

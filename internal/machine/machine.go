@@ -171,6 +171,10 @@ func (s *SDW) InUse() bool { return s != nil && (s.Backing != nil || s.Proc != n
 // reference to memory escapes the checks encoded here.
 type DescriptorSegment struct {
 	sdws []SDW
+	// assocs are the associative memories caching decisions derived from
+	// these SDWs. Every mutation notifies them: a stale cached descriptor
+	// is an access-control hole, so invalidation is not optional.
+	assocs []*AssocMemory
 }
 
 // NewDescriptorSegment returns a descriptor segment with capacity for n
@@ -199,6 +203,7 @@ func (d *DescriptorSegment) Set(seg SegNo, sdw SDW) error {
 		return fmt.Errorf("machine: invalid ring brackets %v for segment %d", sdw.Brackets, seg)
 	}
 	d.sdws[seg] = sdw
+	d.invalidate(seg)
 	return nil
 }
 
@@ -206,6 +211,19 @@ func (d *DescriptorSegment) Set(seg SegNo, sdw SDW) error {
 func (d *DescriptorSegment) Clear(seg SegNo) {
 	if seg >= 0 && int(seg) < len(d.sdws) {
 		d.sdws[seg] = SDW{}
+		d.invalidate(seg)
+	}
+}
+
+// attachAssoc registers an associative memory for invalidation on every
+// descriptor mutation.
+func (d *DescriptorSegment) attachAssoc(a *AssocMemory) {
+	d.assocs = append(d.assocs, a)
+}
+
+func (d *DescriptorSegment) invalidate(seg SegNo) {
+	for _, a := range d.assocs {
+		a.InvalidateSeg(seg)
 	}
 }
 

@@ -31,7 +31,14 @@ type Stats struct {
 	Calls          int64
 	CrossRingCalls int64
 	GateCalls      int64
-	Faults         map[FaultClass]int64
+	// AssocHits/AssocMisses/AssocInvalidations mirror the processor's
+	// associative-memory counters: references satisfied from the cached
+	// SDW decision, references that walked the descriptor segment, and
+	// entries flushed by descriptor mutation.
+	AssocHits          int64
+	AssocMisses        int64
+	AssocInvalidations int64
+	Faults             map[FaultClass]int64
 }
 
 func newStats() Stats { return Stats{Faults: make(map[FaultClass]int64)} }
@@ -58,6 +65,10 @@ type Processor struct {
 	depth   int
 	stats   Stats
 	linkage map[SegNo]map[LinkRef]LinkTarget
+	// assoc is the associative memory consulted before every descriptor
+	// walk; see assoc.go. It is registered with DS for invalidation, so DS
+	// must not be swapped after construction.
+	assoc *AssocMemory
 	// traceFn, when set, observes every call for the audit subsystem.
 	traceFn func(ev TraceEvent)
 }
@@ -72,17 +83,28 @@ type TraceEvent struct {
 	CycleNow int64
 }
 
-// NewProcessor returns a processor executing in ring over ds.
+// NewProcessor returns a processor executing in ring over ds, with an
+// enabled associative memory registered on ds for invalidation.
 func NewProcessor(ds *DescriptorSegment, clock *Clock, cost CostModel, ring Ring) *Processor {
-	return &Processor{
+	p := &Processor{
 		DS:      ds,
 		Clock:   clock,
 		Cost:    cost,
 		ring:    ring,
 		stats:   newStats(),
 		linkage: make(map[SegNo]map[LinkRef]LinkTarget),
+		assoc:   NewAssocMemory(),
 	}
+	ds.attachAssoc(p.assoc)
+	return p
 }
+
+// Assoc returns the processor's associative memory.
+func (p *Processor) Assoc() *AssocMemory { return p.assoc }
+
+// SetAssocEnabled turns the associative memory on or off (off models the
+// 645-style full descriptor walk on every reference).
+func (p *Processor) SetAssocEnabled(on bool) { p.assoc.SetEnabled(on) }
 
 // Ring returns the current ring of execution.
 func (p *Processor) Ring() Ring { return p.ring }
@@ -90,6 +112,7 @@ func (p *Processor) Ring() Ring { return p.ring }
 // Stats returns a copy of the accumulated event counts.
 func (p *Processor) Stats() Stats {
 	out := p.stats
+	out.AssocInvalidations = p.assoc.stats.Invalidations
 	out.Faults = make(map[FaultClass]int64, len(p.stats.Faults))
 	for k, v := range p.stats.Faults {
 		out.Faults[k] = v
@@ -97,8 +120,12 @@ func (p *Processor) Stats() Stats {
 	return out
 }
 
-// ResetStats zeroes the accumulated event counts.
-func (p *Processor) ResetStats() { p.stats = newStats() }
+// ResetStats zeroes the accumulated event counts, including the associative
+// memory's (its entries survive — only the counters reset).
+func (p *Processor) ResetStats() {
+	p.stats = newStats()
+	p.assoc.ResetStats()
+}
 
 // SetTrace installs fn as the call-trace observer; nil disables tracing.
 func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
@@ -163,15 +190,35 @@ func (p *Processor) checkData(seg SegNo, sdw *SDW, off int, want AccessMode) *Fa
 }
 
 // access performs one checked word reference, retrying once after a
-// successfully handled page fault.
+// successfully handled page fault. The associative memory is probed first:
+// on a hit the mode and ring-bracket checks are already encoded in the
+// cached decision and only the bounds check (which depends on the offset)
+// runs; on a miss the full descriptor walk is charged and the resulting
+// decision cached.
 func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val uint64) (uint64, error) {
-	sdw := p.DS.SDW(seg)
-	if sdw == nil {
-		return 0, p.fault(&Fault{Class: FaultSegment, Seg: seg, Offset: off, Ring: p.ring, Wanted: want,
-			Detail: "segment number out of descriptor range"})
-	}
-	if f := p.checkData(seg, sdw, off, want); f != nil {
-		return 0, f
+	var sdw *SDW
+	if e := p.assoc.lookup(seg, p.ring); e != nil && ((write && e.writeOK) || (!write && e.readOK)) {
+		p.stats.AssocHits++
+		p.Clock.Advance(p.Cost.AssocSearch)
+		sdw = e.sdw
+		if off < 0 || off >= sdw.Backing.Length() {
+			return 0, p.fault(&Fault{Class: FaultOutOfBounds, Seg: seg, Offset: off, Ring: p.ring, Wanted: want})
+		}
+	} else {
+		if p.assoc.Enabled() {
+			p.stats.AssocMisses++
+			p.Clock.Advance(p.Cost.AssocSearch)
+		}
+		p.Clock.Advance(p.Cost.DescriptorWalk)
+		sdw = p.DS.SDW(seg)
+		if sdw == nil {
+			return 0, p.fault(&Fault{Class: FaultSegment, Seg: seg, Offset: off, Ring: p.ring, Wanted: want,
+				Detail: "segment number out of descriptor range"})
+		}
+		if f := p.checkData(seg, sdw, off, want); f != nil {
+			return 0, f
+		}
+		p.assoc.fill(seg, p.ring, sdw)
 	}
 	for attempt := 0; ; attempt++ {
 		var err error
@@ -258,14 +305,43 @@ func (p *Processor) resolveCall(seg SegNo, sdw *SDW, entry int) (Ring, bool, *Fa
 // ring-bracket call rules, charging the appropriate costs, and restoring the
 // caller's ring when the callee returns.
 func (p *Processor) Call(seg SegNo, entry int, args []uint64) ([]uint64, error) {
-	sdw := p.DS.SDW(seg)
-	if sdw == nil {
-		return nil, p.fault(&Fault{Class: FaultSegment, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
-			Detail: "segment number out of descriptor range"})
+	var (
+		sdw     *SDW
+		target  Ring
+		viaGate bool
+		hit     bool
+	)
+	if e := p.assoc.lookup(seg, p.ring); e != nil && e.callOK {
+		// The entry-number checks run on every call even on a hit — the
+		// entry is not part of the cache key, exactly as on the 6180,
+		// where the gate comparison is per-reference hardware. A call
+		// that fails them falls through to the slow path for the fault.
+		s := e.sdw
+		if entry >= 0 && entry < len(s.Proc.Entries) && (!e.callGate || entry < s.Gates) {
+			hit = true
+			sdw = s
+			target, viaGate = e.callTarget, e.callGate
+			p.stats.AssocHits++
+			p.Clock.Advance(p.Cost.AssocSearch)
+		}
 	}
-	target, viaGate, f := p.resolveCall(seg, sdw, entry)
-	if f != nil {
-		return nil, f
+	if !hit {
+		if p.assoc.Enabled() {
+			p.stats.AssocMisses++
+			p.Clock.Advance(p.Cost.AssocSearch)
+		}
+		p.Clock.Advance(p.Cost.DescriptorWalk)
+		sdw = p.DS.SDW(seg)
+		if sdw == nil {
+			return nil, p.fault(&Fault{Class: FaultSegment, Seg: seg, Ring: p.ring, Wanted: ModeExecute,
+				Detail: "segment number out of descriptor range"})
+		}
+		var f *Fault
+		target, viaGate, f = p.resolveCall(seg, sdw, entry)
+		if f != nil {
+			return nil, f
+		}
+		p.assoc.fill(seg, p.ring, sdw)
 	}
 	if p.depth >= MaxCallDepth {
 		return nil, p.fault(&Fault{Class: FaultAccess, Seg: seg, Ring: p.ring, Wanted: ModeExecute,

@@ -33,8 +33,8 @@ func (b *PagedBacking) locate(off int) (FrameID, int, error) {
 	if !ok {
 		return 0, 0, fmt.Errorf("mem: segment %#x deleted", b.uid)
 	}
-	if off < 0 || off >= sp.Length {
-		return 0, 0, fmt.Errorf("mem: offset %d outside segment %#x length %d", off, b.uid, sp.Length)
+	if length := sp.Length(); off < 0 || off >= length {
+		return 0, 0, fmt.Errorf("mem: offset %d outside segment %#x length %d", off, b.uid, length)
 	}
 	page := off / b.store.cfg.PageWords
 	pid := PageID{SegUID: b.uid, Index: page}
@@ -72,5 +72,5 @@ func (b *PagedBacking) Length() int {
 	if !ok {
 		return 0
 	}
-	return sp.Length
+	return sp.Length()
 }

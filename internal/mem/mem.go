@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Level identifies one level of the memory hierarchy.
@@ -117,6 +119,15 @@ type TransferStats struct {
 	ZeroFills  int64
 }
 
+// Counters reports store-level contention metrics: how often an allocation
+// had to steal a free frame or block from another shard's free list, either
+// because its home shard was drained by contending allocators or because the
+// free population is unbalanced.
+type Counters struct {
+	FrameSteals int64
+	BlockSteals int64
+}
+
 type frame struct {
 	free     bool
 	pid      PageID
@@ -132,32 +143,79 @@ type block struct {
 	data []uint64
 }
 
-// Store is the whole simulated memory hierarchy plus the page tables of all
-// segments. It is not safe for concurrent use; the simulated system is
-// serialized by its scheduler.
-type Store struct {
-	cfg    Config
-	frames []frame
-	blocks []block
-	disk   map[PageID][]uint64
-	// segs maps segment UID -> page table.
-	segs  map[uint64]*SegmentPages
-	stats TransferStats
+// Lock-striping geometry. Free lists are sharded so concurrent allocators
+// rarely meet; frame and block metadata is striped so word access and
+// transfers on different frames never share a lock.
+const (
+	numShards  = 8
+	shardMask  = numShards - 1
+	numStripes = 64
+	stripeMask = numStripes - 1
+)
 
-	freeFrames []FrameID
-	freeBlocks []BlockID
+// freeShard is one shard of a free list (LIFO within the shard).
+type freeShard struct {
+	mu  sync.Mutex
+	ids []int
 }
 
-// SegmentPages is the page table of one segment.
+// Store is the whole simulated memory hierarchy plus the page tables of all
+// segments. It is safe for concurrent use: page-table operations serialize
+// per segment, frame/block metadata is lock-striped, the free lists are
+// sharded, and transfer statistics are atomics — there is no global lock.
+//
+// Lock order (outermost first): segs map -> one segment's page table -> one
+// frame/block stripe -> free-list shard or disk map. No operation ever holds
+// two stripes at once; a transfer that touches both a frame and a block
+// finishes with one before locking the other.
+type Store struct {
+	cfg Config
+
+	frames  []frame
+	frameMu [numStripes]sync.Mutex
+	blocks  []block
+	blockMu [numStripes]sync.Mutex
+
+	diskMu sync.Mutex
+	disk   map[PageID][]uint64
+
+	// segMu guards the segs map only; each SegmentPages has its own lock.
+	segMu sync.RWMutex
+	segs  map[uint64]*SegmentPages
+
+	freeFrames [numShards]freeShard
+	freeBlocks [numShards]freeShard
+
+	bulkToCore, diskToCore         atomic.Int64
+	coreToBulk, coreToDisk         atomic.Int64
+	bulkToDisk, diskToBulk         atomic.Int64
+	zeroFills                      atomic.Int64
+	frameSteals, blockSteals       atomic.Int64
+}
+
+// SegmentPages is the page table of one segment. All access to it goes
+// through the owning Store, which serializes page transitions per segment.
 type SegmentPages struct {
-	UID    uint64
-	Length int // length in words
-	pages  map[int]Location
+	UID uint64
+
+	mu      sync.Mutex
+	length  int // length in words
+	pages   map[int]Location
+	deleted bool
+}
+
+// Length returns the segment length in words.
+func (s *SegmentPages) Length() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.length
 }
 
 // NumPages returns how many pages the segment spans.
 func (s *SegmentPages) NumPages(pageWords int) int {
-	return (s.Length + pageWords - 1) / pageWords
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return (s.length + pageWords - 1) / pageWords
 }
 
 // NewStore returns an empty hierarchy.
@@ -174,11 +232,13 @@ func NewStore(cfg Config) (*Store, error) {
 	}
 	for i := range st.frames {
 		st.frames[i].free = true
-		st.freeFrames = append(st.freeFrames, FrameID(i))
+		sh := &st.freeFrames[i&shardMask]
+		sh.ids = append(sh.ids, i)
 	}
 	for i := range st.blocks {
 		st.blocks[i].free = true
-		st.freeBlocks = append(st.freeBlocks, BlockID(i))
+		sh := &st.freeBlocks[i&shardMask]
+		sh.ids = append(sh.ids, i)
 	}
 	return st, nil
 }
@@ -187,7 +247,33 @@ func NewStore(cfg Config) (*Store, error) {
 func (s *Store) Config() Config { return s.cfg }
 
 // Stats returns the transfer counts so far.
-func (s *Store) Stats() TransferStats { return s.stats }
+func (s *Store) Stats() TransferStats {
+	return TransferStats{
+		BulkToCore: s.bulkToCore.Load(),
+		DiskToCore: s.diskToCore.Load(),
+		CoreToBulk: s.coreToBulk.Load(),
+		CoreToDisk: s.coreToDisk.Load(),
+		BulkToDisk: s.bulkToDisk.Load(),
+		DiskToBulk: s.diskToBulk.Load(),
+		ZeroFills:  s.zeroFills.Load(),
+	}
+}
+
+// ContentionCounters returns the free-list steal counts.
+func (s *Store) ContentionCounters() Counters {
+	return Counters{
+		FrameSteals: s.frameSteals.Load(),
+		BlockSteals: s.blockSteals.Load(),
+	}
+}
+
+// seg returns the page table for uid under the map lock only.
+func (s *Store) seg(uid uint64) (*SegmentPages, bool) {
+	s.segMu.RLock()
+	sp, ok := s.segs[uid]
+	s.segMu.RUnlock()
+	return sp, ok
+}
 
 // CreateSegment registers a segment of length words, with all pages
 // unmaterialized. It fails if the UID is already in use.
@@ -195,78 +281,93 @@ func (s *Store) CreateSegment(uid uint64, length int) (*SegmentPages, error) {
 	if length < 0 {
 		return nil, fmt.Errorf("mem: negative segment length %d", length)
 	}
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
 	if _, ok := s.segs[uid]; ok {
 		return nil, fmt.Errorf("mem: segment %#x already exists", uid)
 	}
-	sp := &SegmentPages{UID: uid, Length: length, pages: make(map[int]Location)}
+	sp := &SegmentPages{UID: uid, length: length, pages: make(map[int]Location)}
 	s.segs[uid] = sp
 	return sp, nil
 }
 
 // Segment returns the page table for uid.
 func (s *Store) Segment(uid uint64) (*SegmentPages, bool) {
-	sp, ok := s.segs[uid]
-	return sp, ok
+	return s.seg(uid)
 }
 
 // SegmentUIDs returns the UIDs of all registered segments, sorted.
 func (s *Store) SegmentUIDs() []uint64 {
+	s.segMu.RLock()
 	out := make([]uint64, 0, len(s.segs))
 	for uid := range s.segs {
 		out = append(out, uid)
 	}
+	s.segMu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // DeleteSegment releases every page of uid at every level.
 func (s *Store) DeleteSegment(uid uint64) error {
+	s.segMu.Lock()
 	sp, ok := s.segs[uid]
 	if !ok {
+		s.segMu.Unlock()
 		return fmt.Errorf("mem: segment %#x does not exist", uid)
 	}
-	for idx, loc := range sp.pages {
-		pid := PageID{SegUID: uid, Index: idx}
-		switch loc.Level {
-		case LevelCore:
-			s.releaseFrame(loc.Frame)
-		case LevelBulk:
-			s.releaseBlock(loc.Block)
-		case LevelDisk:
-			delete(s.disk, pid)
-		}
-	}
 	delete(s.segs, uid)
+	s.segMu.Unlock()
+
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	sp.deleted = true
+	for idx, loc := range sp.pages {
+		s.releasePage(PageID{SegUID: uid, Index: idx}, loc)
+		delete(sp.pages, idx)
+	}
 	return nil
+}
+
+// releasePage returns a page's storage to the free pools. The caller holds
+// the owning segment's lock, which pins the location.
+func (s *Store) releasePage(pid PageID, loc Location) {
+	switch loc.Level {
+	case LevelCore:
+		s.releaseFrame(loc.Frame)
+	case LevelBulk:
+		s.releaseBlock(loc.Block)
+	case LevelDisk:
+		s.diskMu.Lock()
+		delete(s.disk, pid)
+		s.diskMu.Unlock()
+	}
 }
 
 // SetLength grows or shrinks a segment. Shrinking releases pages beyond the
 // new length.
 func (s *Store) SetLength(uid uint64, length int) error {
-	sp, ok := s.segs[uid]
+	sp, ok := s.seg(uid)
 	if !ok {
 		return fmt.Errorf("mem: segment %#x does not exist", uid)
 	}
 	if length < 0 {
 		return fmt.Errorf("mem: negative segment length %d", length)
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return fmt.Errorf("mem: segment %#x does not exist", uid)
+	}
 	lastPage := (length + s.cfg.PageWords - 1) / s.cfg.PageWords
 	for idx, loc := range sp.pages {
 		if idx < lastPage {
 			continue
 		}
-		pid := PageID{SegUID: uid, Index: idx}
-		switch loc.Level {
-		case LevelCore:
-			s.releaseFrame(loc.Frame)
-		case LevelBulk:
-			s.releaseBlock(loc.Block)
-		case LevelDisk:
-			delete(s.disk, pid)
-		}
+		s.releasePage(PageID{SegUID: uid, Index: idx}, loc)
 		delete(sp.pages, idx)
 	}
-	sp.Length = length
+	sp.length = length
 	return nil
 }
 
@@ -277,32 +378,32 @@ func (s *Store) SetLength(uid uint64, length int) error {
 // fully-consumed pages return their storage to the standard free pools.
 // Discarding an unmaterialized page is a no-op.
 func (s *Store) Discard(pid PageID) error {
-	sp, ok := s.segs[pid.SegUID]
+	sp, ok := s.seg(pid.SegUID)
 	if !ok {
+		return fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
 		return fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
 	}
 	loc, ok := sp.pages[pid.Index]
 	if !ok {
 		return nil
 	}
-	switch loc.Level {
-	case LevelCore:
-		s.releaseFrame(loc.Frame)
-	case LevelBulk:
-		s.releaseBlock(loc.Block)
-	case LevelDisk:
-		delete(s.disk, pid)
-	}
+	s.releasePage(pid, loc)
 	delete(sp.pages, pid.Index)
 	return nil
 }
 
 // Locate returns where a page of uid currently lives.
 func (s *Store) Locate(pid PageID) (Location, error) {
-	sp, ok := s.segs[pid.SegUID]
+	sp, ok := s.seg(pid.SegUID)
 	if !ok {
 		return Location{}, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
 	loc, ok := sp.pages[pid.Index]
 	if !ok {
 		return Location{Level: LevelNone}, nil
@@ -311,45 +412,97 @@ func (s *Store) Locate(pid PageID) (Location, error) {
 }
 
 // FreeFrameCount returns the number of free primary-memory frames.
-func (s *Store) FreeFrameCount() int { return len(s.freeFrames) }
+func (s *Store) FreeFrameCount() int {
+	n := 0
+	for i := range s.freeFrames {
+		sh := &s.freeFrames[i]
+		sh.mu.Lock()
+		n += len(sh.ids)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // FreeBlockCount returns the number of free bulk-store blocks.
-func (s *Store) FreeBlockCount() int { return len(s.freeBlocks) }
+func (s *Store) FreeBlockCount() int {
+	n := 0
+	for i := range s.freeBlocks {
+		sh := &s.freeBlocks[i]
+		sh.mu.Lock()
+		n += len(sh.ids)
+		sh.mu.Unlock()
+	}
+	return n
+}
 
+// homeShard spreads allocations for different pages over the shards while
+// keeping the choice deterministic for a given page.
+func homeShard(pid PageID) int {
+	return int((pid.SegUID*31 + uint64(pid.Index)) & shardMask)
+}
+
+// takeFree pops a free ID, starting at the page's home shard and stealing
+// from the others in deterministic order when it is empty.
+func takeFree(shards *[numShards]freeShard, home int, steals *atomic.Int64) (int, bool) {
+	for i := 0; i < numShards; i++ {
+		sh := &shards[(home+i)&shardMask]
+		sh.mu.Lock()
+		if n := len(sh.ids); n > 0 {
+			id := sh.ids[n-1]
+			sh.ids = sh.ids[:n-1]
+			sh.mu.Unlock()
+			if i != 0 {
+				steals.Add(1)
+			}
+			return id, true
+		}
+		sh.mu.Unlock()
+	}
+	return 0, false
+}
+
+func putFree(shards *[numShards]freeShard, id int) {
+	sh := &shards[id&shardMask]
+	sh.mu.Lock()
+	sh.ids = append(sh.ids, id)
+	sh.mu.Unlock()
+}
+
+func (s *Store) takeFrame(pid PageID) (FrameID, bool) {
+	id, ok := takeFree(&s.freeFrames, homeShard(pid), &s.frameSteals)
+	return FrameID(id), ok
+}
+
+func (s *Store) takeBlock(pid PageID) (BlockID, bool) {
+	id, ok := takeFree(&s.freeBlocks, homeShard(pid), &s.blockSteals)
+	return BlockID(id), ok
+}
+
+// releaseFrame clears frame metadata and returns the frame to its free-list
+// shard. The caller must not hold the frame's stripe.
 func (s *Store) releaseFrame(f FrameID) {
+	s.frameMu[int(f)&stripeMask].Lock()
 	fr := &s.frames[f]
 	if fr.free {
+		s.frameMu[int(f)&stripeMask].Unlock()
 		return
 	}
 	*fr = frame{free: true}
-	s.freeFrames = append(s.freeFrames, f)
+	s.frameMu[int(f)&stripeMask].Unlock()
+	putFree(&s.freeFrames, int(f))
 }
 
+// releaseBlock is the bulk-store analogue of releaseFrame.
 func (s *Store) releaseBlock(b BlockID) {
+	s.blockMu[int(b)&stripeMask].Lock()
 	bl := &s.blocks[b]
 	if bl.free {
+		s.blockMu[int(b)&stripeMask].Unlock()
 		return
 	}
 	*bl = block{free: true}
-	s.freeBlocks = append(s.freeBlocks, b)
-}
-
-func (s *Store) takeFrame() (FrameID, bool) {
-	if len(s.freeFrames) == 0 {
-		return 0, false
-	}
-	f := s.freeFrames[len(s.freeFrames)-1]
-	s.freeFrames = s.freeFrames[:len(s.freeFrames)-1]
-	return f, true
-}
-
-func (s *Store) takeBlock() (BlockID, bool) {
-	if len(s.freeBlocks) == 0 {
-		return 0, false
-	}
-	b := s.freeBlocks[len(s.freeBlocks)-1]
-	s.freeBlocks = s.freeBlocks[:len(s.freeBlocks)-1]
-	return b, true
+	s.blockMu[int(b)&stripeMask].Unlock()
+	putFree(&s.freeBlocks, int(b))
 }
 
 // ErrNoFreeFrame is returned when a page-in needs a core frame and none is
@@ -359,67 +512,149 @@ var ErrNoFreeFrame = errors.New("mem: no free primary memory frame")
 // ErrNoFreeBlock is the bulk-store analogue of ErrNoFreeFrame.
 var ErrNoFreeBlock = errors.New("mem: no free bulk store block")
 
+// ErrBusy is returned when a frame or block changed state between the
+// caller's observation and the transfer — a concurrent operation raced it
+// away (evicted it, discarded it, or reused it for another page). Page
+// control reacts by choosing another victim.
+var ErrBusy = errors.New("mem: frame or block changed state during transfer")
+
 // MaterializeZero brings an unmaterialized page into core as zeros. It
 // consumes a free frame and charges no transfer latency (zero-fill is a
 // core-speed operation).
 func (s *Store) MaterializeZero(pid PageID) (FrameID, error) {
-	sp, ok := s.segs[pid.SegUID]
+	sp, ok := s.seg(pid.SegUID)
 	if !ok {
 		return 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
 	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	return s.materializeZeroLocked(sp, pid)
+}
+
+// materializeZeroLocked is MaterializeZero with the segment lock held.
+func (s *Store) materializeZeroLocked(sp *SegmentPages, pid PageID) (FrameID, error) {
 	if loc, ok := sp.pages[pid.Index]; ok {
 		return 0, fmt.Errorf("mem: page %v already materialized at %v", pid, loc.Level)
 	}
-	f, ok := s.takeFrame()
+	f, ok := s.takeFrame(pid)
 	if !ok {
 		return 0, ErrNoFreeFrame
 	}
-	s.frames[f] = frame{pid: pid, data: make([]uint64, s.cfg.PageWords), used: true}
+	s.installFrame(f, pid, make([]uint64, s.cfg.PageWords))
 	sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-	s.stats.ZeroFills++
+	s.zeroFills.Add(1)
 	return f, nil
+}
+
+// installFrame publishes page data into a freshly allocated frame.
+func (s *Store) installFrame(f FrameID, pid PageID, data []uint64) {
+	s.frameMu[int(f)&stripeMask].Lock()
+	s.frames[f] = frame{pid: pid, data: data, used: true}
+	s.frameMu[int(f)&stripeMask].Unlock()
 }
 
 // PageIn transfers a page from bulk or disk into a free core frame and
 // returns the frame plus the transfer latency charged to whoever waited.
 func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
-	sp, ok := s.segs[pid.SegUID]
+	sp, ok := s.seg(pid.SegUID)
 	if !ok {
+		return 0, 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
 		return 0, 0, fmt.Errorf("mem: segment %#x does not exist", pid.SegUID)
 	}
 	loc, ok := sp.pages[pid.Index]
 	if !ok {
-		f, err := s.MaterializeZero(pid)
+		f, err := s.materializeZeroLocked(sp, pid)
 		return f, 0, err
 	}
 	switch loc.Level {
 	case LevelCore:
 		return loc.Frame, 0, nil
 	case LevelBulk:
-		f, ok := s.takeFrame()
+		f, ok := s.takeFrame(pid)
 		if !ok {
 			return 0, 0, ErrNoFreeFrame
 		}
-		bl := &s.blocks[loc.Block]
-		s.frames[f] = frame{pid: pid, data: bl.data, used: true}
-		s.releaseBlock(loc.Block)
+		// Pull the data out and free the block under its own stripe, then
+		// fill the frame — never two stripes at once.
+		bi := int(loc.Block) & stripeMask
+		s.blockMu[bi].Lock()
+		data := s.blocks[loc.Block].data
+		s.blocks[loc.Block] = block{free: true}
+		s.blockMu[bi].Unlock()
+		putFree(&s.freeBlocks, int(loc.Block))
+		s.installFrame(f, pid, data)
 		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-		s.stats.BulkToCore++
+		s.bulkToCore.Add(1)
 		return f, s.cfg.BulkRead, nil
 	case LevelDisk:
-		f, ok := s.takeFrame()
+		f, ok := s.takeFrame(pid)
 		if !ok {
 			return 0, 0, ErrNoFreeFrame
 		}
+		s.diskMu.Lock()
 		data := s.disk[pid]
 		delete(s.disk, pid)
-		s.frames[f] = frame{pid: pid, data: data, used: true}
+		s.diskMu.Unlock()
+		s.installFrame(f, pid, data)
 		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-		s.stats.DiskToCore++
+		s.diskToCore.Add(1)
 		return f, s.cfg.DiskRead, nil
 	default:
 		return 0, 0, fmt.Errorf("mem: page %v in unexpected state %v", pid, loc.Level)
 	}
+}
+
+// claimFrameForEviction validates that frame f is still occupied, unwired,
+// and (on the second look) still holds the page first observed, then strips
+// it and returns the page data. The caller holds the owning segment's lock
+// on the second look, so the page cannot move concurrently.
+func (s *Store) peekFrame(f FrameID) (PageID, error) {
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	defer s.frameMu[fi].Unlock()
+	fr := &s.frames[f]
+	if fr.free {
+		return PageID{}, fmt.Errorf("mem: frame %d is free", f)
+	}
+	if fr.wired {
+		return PageID{}, fmt.Errorf("mem: frame %d is wired", f)
+	}
+	return fr.pid, nil
+}
+
+// stripFrame re-verifies frame f still holds pid and is evictable, then
+// frees it and returns the page data. Caller holds the segment lock of
+// pid's segment.
+func (s *Store) stripFrame(f FrameID, pid PageID) ([]uint64, error) {
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	fr := &s.frames[f]
+	if fr.free || fr.wired || fr.pid != pid {
+		s.frameMu[fi].Unlock()
+		return nil, fmt.Errorf("%w (frame %d)", ErrBusy, f)
+	}
+	data := fr.data
+	*fr = frame{free: true}
+	s.frameMu[fi].Unlock()
+	putFree(&s.freeFrames, int(f))
+	return data, nil
+}
+
+// evictTarget resolves the segment a frame's page belongs to. A missing
+// segment means a concurrent delete won the race.
+func (s *Store) evictTarget(pid PageID) (*SegmentPages, error) {
+	sp, ok := s.seg(pid.SegUID)
+	if !ok {
+		return nil, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
+	}
+	return sp, nil
 }
 
 // EvictToBulk moves the page in frame f to a free bulk-store block,
@@ -428,21 +663,34 @@ func (s *Store) EvictToBulk(f FrameID) (BlockID, int64, error) {
 	if int(f) < 0 || int(f) >= len(s.frames) {
 		return 0, 0, fmt.Errorf("mem: frame %d out of range", f)
 	}
-	fr := &s.frames[f]
-	if fr.free {
-		return 0, 0, fmt.Errorf("mem: frame %d is free", f)
+	pid, err := s.peekFrame(f)
+	if err != nil {
+		return 0, 0, err
 	}
-	if fr.wired {
-		return 0, 0, fmt.Errorf("mem: frame %d is wired", f)
+	sp, err := s.evictTarget(pid)
+	if err != nil {
+		return 0, 0, err
 	}
-	b, ok := s.takeBlock()
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return 0, 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
+	}
+	b, ok := s.takeBlock(pid)
 	if !ok {
 		return 0, 0, ErrNoFreeBlock
 	}
-	s.blocks[b] = block{pid: fr.pid, data: fr.data}
-	s.segs[fr.pid.SegUID].pages[fr.pid.Index] = Location{Level: LevelBulk, Block: b}
-	s.releaseFrame(f)
-	s.stats.CoreToBulk++
+	data, err := s.stripFrame(f, pid)
+	if err != nil {
+		putFree(&s.freeBlocks, int(b))
+		return 0, 0, err
+	}
+	bi := int(b) & stripeMask
+	s.blockMu[bi].Lock()
+	s.blocks[b] = block{pid: pid, data: data}
+	s.blockMu[bi].Unlock()
+	sp.pages[pid.Index] = Location{Level: LevelBulk, Block: b}
+	s.coreToBulk.Add(1)
 	return b, s.cfg.BulkWrite, nil
 }
 
@@ -451,17 +699,28 @@ func (s *Store) EvictToDisk(f FrameID) (int64, error) {
 	if int(f) < 0 || int(f) >= len(s.frames) {
 		return 0, fmt.Errorf("mem: frame %d out of range", f)
 	}
-	fr := &s.frames[f]
-	if fr.free {
-		return 0, fmt.Errorf("mem: frame %d is free", f)
+	pid, err := s.peekFrame(f)
+	if err != nil {
+		return 0, err
 	}
-	if fr.wired {
-		return 0, fmt.Errorf("mem: frame %d is wired", f)
+	sp, err := s.evictTarget(pid)
+	if err != nil {
+		return 0, err
 	}
-	s.disk[fr.pid] = fr.data
-	s.segs[fr.pid.SegUID].pages[fr.pid.Index] = Location{Level: LevelDisk}
-	s.releaseFrame(f)
-	s.stats.CoreToDisk++
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
+	}
+	data, err := s.stripFrame(f, pid)
+	if err != nil {
+		return 0, err
+	}
+	s.diskMu.Lock()
+	s.disk[pid] = data
+	s.diskMu.Unlock()
+	sp.pages[pid.Index] = Location{Level: LevelDisk}
+	s.coreToDisk.Add(1)
 	return s.cfg.DiskWrite, nil
 }
 
@@ -472,14 +731,41 @@ func (s *Store) BulkToDisk(b BlockID) (int64, error) {
 	if int(b) < 0 || int(b) >= len(s.blocks) {
 		return 0, fmt.Errorf("mem: block %d out of range", b)
 	}
+	bi := int(b) & stripeMask
+	s.blockMu[bi].Lock()
 	bl := &s.blocks[b]
 	if bl.free {
+		s.blockMu[bi].Unlock()
 		return 0, fmt.Errorf("mem: block %d is free", b)
 	}
-	s.disk[bl.pid] = bl.data
-	s.segs[bl.pid.SegUID].pages[bl.pid.Index] = Location{Level: LevelDisk}
-	s.releaseBlock(b)
-	s.stats.BulkToDisk++
+	pid := bl.pid
+	s.blockMu[bi].Unlock()
+
+	sp, err := s.evictTarget(pid)
+	if err != nil {
+		return 0, err
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
+	}
+	s.blockMu[bi].Lock()
+	bl = &s.blocks[b]
+	if bl.free || bl.pid != pid {
+		s.blockMu[bi].Unlock()
+		return 0, fmt.Errorf("%w (block %d)", ErrBusy, b)
+	}
+	data := bl.data
+	*bl = block{free: true}
+	s.blockMu[bi].Unlock()
+	putFree(&s.freeBlocks, int(b))
+
+	s.diskMu.Lock()
+	s.disk[pid] = data
+	s.diskMu.Unlock()
+	sp.pages[pid.Index] = Location{Level: LevelDisk}
+	s.bulkToDisk.Add(1)
 	return s.cfg.BulkRead + s.cfg.DiskWrite, nil
 }
 
@@ -498,16 +784,23 @@ func (s *Store) FrameInfo(f FrameID) (Frame, error) {
 	if int(f) < 0 || int(f) >= len(s.frames) {
 		return Frame{}, fmt.Errorf("mem: frame %d out of range", f)
 	}
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	defer s.frameMu[fi].Unlock()
 	fr := &s.frames[f]
 	return Frame{ID: f, Free: fr.free, PID: fr.pid, Used: fr.used, Modified: fr.modified, Wired: fr.wired}, nil
 }
 
-// Frames returns metadata for every frame, for replacement policies.
+// Frames returns metadata for every frame, for replacement policies. The
+// snapshot is per-frame consistent, not globally atomic.
 func (s *Store) Frames() []Frame {
 	out := make([]Frame, len(s.frames))
 	for i := range s.frames {
+		fi := i & stripeMask
+		s.frameMu[fi].Lock()
 		fr := &s.frames[i]
 		out[i] = Frame{ID: FrameID(i), Free: fr.free, PID: fr.pid, Used: fr.used, Modified: fr.modified, Wired: fr.wired}
+		s.frameMu[fi].Unlock()
 	}
 	return out
 }
@@ -519,12 +812,16 @@ type Block struct {
 	PID  PageID
 }
 
-// Blocks returns metadata for every bulk-store block.
+// Blocks returns metadata for every bulk-store block. The snapshot is
+// per-block consistent, not globally atomic.
 func (s *Store) Blocks() []Block {
 	out := make([]Block, len(s.blocks))
 	for i := range s.blocks {
+		bi := i & stripeMask
+		s.blockMu[bi].Lock()
 		bl := &s.blocks[i]
 		out[i] = Block{ID: BlockID(i), Free: bl.free, PID: bl.pid}
+		s.blockMu[bi].Unlock()
 	}
 	return out
 }
@@ -534,7 +831,10 @@ func (s *Store) ResetUsage(f FrameID) error {
 	if int(f) < 0 || int(f) >= len(s.frames) {
 		return fmt.Errorf("mem: frame %d out of range", f)
 	}
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
 	s.frames[f].used = false
+	s.frameMu[fi].Unlock()
 	return nil
 }
 
@@ -543,6 +843,9 @@ func (s *Store) Wire(f FrameID, wired bool) error {
 	if int(f) < 0 || int(f) >= len(s.frames) {
 		return fmt.Errorf("mem: frame %d out of range", f)
 	}
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	defer s.frameMu[fi].Unlock()
 	if s.frames[f].free {
 		return fmt.Errorf("mem: cannot wire free frame %d", f)
 	}
@@ -552,10 +855,16 @@ func (s *Store) Wire(f FrameID, wired bool) error {
 
 // ReadWord reads a word from a core-resident page.
 func (s *Store) ReadWord(f FrameID, off int) (uint64, error) {
-	if int(f) < 0 || int(f) >= len(s.frames) || s.frames[f].free {
+	if int(f) < 0 || int(f) >= len(s.frames) {
 		return 0, fmt.Errorf("mem: read of invalid frame %d", f)
 	}
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	defer s.frameMu[fi].Unlock()
 	fr := &s.frames[f]
+	if fr.free {
+		return 0, fmt.Errorf("mem: read of invalid frame %d", f)
+	}
 	if off < 0 || off >= len(fr.data) {
 		return 0, fmt.Errorf("mem: frame offset %d out of range", off)
 	}
@@ -565,10 +874,16 @@ func (s *Store) ReadWord(f FrameID, off int) (uint64, error) {
 
 // WriteWord writes a word to a core-resident page.
 func (s *Store) WriteWord(f FrameID, off int, val uint64) error {
-	if int(f) < 0 || int(f) >= len(s.frames) || s.frames[f].free {
+	if int(f) < 0 || int(f) >= len(s.frames) {
 		return fmt.Errorf("mem: write of invalid frame %d", f)
 	}
+	fi := int(f) & stripeMask
+	s.frameMu[fi].Lock()
+	defer s.frameMu[fi].Unlock()
 	fr := &s.frames[f]
+	if fr.free {
+		return fmt.Errorf("mem: write of invalid frame %d", f)
+	}
 	if off < 0 || off >= len(fr.data) {
 		return fmt.Errorf("mem: frame offset %d out of range", off)
 	}

@@ -160,8 +160,11 @@ type Frontend struct {
 	acceptq []*Conn
 	runq    []*Conn
 
-	outStore   *mem.Store // S5+: private store behind reply buffers
-	outBufMu   sync.Mutex // shared lock of all reply buffers (one store)
+	// outStore (S5+) is the private store behind the reply buffers. The
+	// store is lock-striped and safe for concurrent use, so each buffer
+	// carries its own private lock — two connections' reply streams never
+	// contend on a shared buffer lock.
+	outStore   *mem.Store
 	nextOutUID uint64
 
 	attachLats []int64
@@ -326,7 +329,7 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 	if fe.outStore != nil {
 		uid := fe.nextOutUID
 		fe.nextOutUID++
-		c.out, err = iosys.NewSharedInfiniteBuffer(fe.outStore, uid, &fe.outBufMu)
+		c.out, err = iosys.NewInfiniteBuffer(fe.outStore, uid)
 		if err != nil {
 			fe.rejected++
 			c.fail(fmt.Errorf("netattach: reply buffer: %w", err))

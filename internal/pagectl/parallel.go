@@ -138,6 +138,11 @@ func (p *ParallelPager) coreFreeingBody(pc *sched.ProcCtx) {
 				}
 				continue
 			}
+			if errors.Is(err, mem.ErrBusy) {
+				// The victim changed state under us (a concurrent faulter or
+				// discard raced it away); choose another.
+				continue
+			}
 			if err != nil {
 				return
 			}
@@ -172,6 +177,9 @@ func (p *ParallelPager) bulkFreeingBody(pc *sched.ProcCtx) {
 				break // bulk store empty of occupied blocks
 			}
 			lat, err := p.store.BulkToDisk(block)
+			if errors.Is(err, mem.ErrBusy) {
+				continue // block raced away; pick another
+			}
 			if err != nil {
 				return
 			}

@@ -89,9 +89,18 @@ func TestMechanismValidatesArguments(t *testing.T) {
 	if _, err := d.Proc.Call(GateSeg, EntryUsage, []uint64{999}); err == nil {
 		t.Error("out-of-range frame should fail")
 	}
-	// The free list is a stack, so with 2 of 4 frames occupied, frame 0 is
-	// still free.
-	if _, err := d.Proc.Call(GateSeg, EntryMoveToBulk, []uint64{0}); err == nil {
+	// With 2 of 4 frames occupied, find one that is still free.
+	freeFrame := uint64(999)
+	for _, fr := range s.Frames() {
+		if fr.Free {
+			freeFrame = uint64(fr.ID)
+			break
+		}
+	}
+	if freeFrame == 999 {
+		t.Fatal("no free frame left")
+	}
+	if _, err := d.Proc.Call(GateSeg, EntryMoveToBulk, []uint64{freeFrame}); err == nil {
 		t.Error("moving a free frame should fail")
 	}
 	if d.Mechanism().DeniedInvalid == 0 {

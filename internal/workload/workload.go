@@ -15,7 +15,9 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mem"
@@ -53,6 +55,15 @@ type Config struct {
 	Users int
 	// Seed drives script generation. Same seed, same transcript digest.
 	Seed int64
+	// Parallelism is the number of real worker goroutines replaying the
+	// connections (default 1). Each connection is owned by exactly one
+	// worker; every reply is a pure function of its own connection's
+	// script and the per-connection transcripts are merged in fixed
+	// connection order, so the digest is identical at any Parallelism as
+	// long as no flow-control losses occur (keep Burst below the
+	// front-end's high-water mark). Parallelism > 1 is what drives the
+	// concurrent memory store from many goroutines at once.
+	Parallelism int
 }
 
 func (c *Config) setDefaults() error {
@@ -71,7 +82,10 @@ func (c *Config) setDefaults() error {
 			c.Users = 8
 		}
 	}
-	if c.Conns < 1 || c.Steps < 1 || c.Burst < 1 || c.Users < 1 {
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	if c.Conns < 1 || c.Steps < 1 || c.Burst < 1 || c.Users < 1 || c.Parallelism < 1 {
 		return fmt.Errorf("workload: invalid config %+v", *c)
 	}
 	return nil
@@ -176,8 +190,13 @@ func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
 
 // Run replays cfg against sys: dial every connection, fire the scripts
 // in bursts, drain replies between bursts, log every session out, and
-// report. The interleaving is fixed (round-robin over the connection
-// table between scheduler pumps), so the digest is reproducible.
+// report. Connections are partitioned over cfg.Parallelism real worker
+// goroutines; each worker runs the classic burst→flush→drain loop over
+// the connections it owns, so with Parallelism 1 the interleaving is
+// exactly the historical fixed round-robin. The reply transcript is
+// hashed per connection and the per-connection digests are folded
+// together in connection-table order, so the digest does not depend on
+// how workers interleave.
 func Run(sys *multics.System, cfg Config) (*Report, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
@@ -216,47 +235,114 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	}
 
 	rep := &Report{Conns: cfg.Conns, Steps: cfg.Steps}
-	h := sha256.New()
-	for base := 0; base < cfg.Steps; base += cfg.Burst {
-		hi := base + cfg.Burst
-		if hi > cfg.Steps {
-			hi = cfg.Steps
+
+	// Each connection accumulates its own transcript hash and counters;
+	// workers never touch another worker's tallies, and the fold at the
+	// end walks the table in index order regardless of which worker
+	// produced what.
+	type connTally struct {
+		sent, received, throttled int64
+		digest                    [sha256.Size]byte
+		err                       error
+	}
+	tallies := make([]connTally, len(conns))
+
+	// driveConns runs the classic engine loop — storm a burst on every
+	// owned connection, flush the simulation, drain the replies — over
+	// the subset of connections owned by one worker.
+	driveConns := func(owned []int) {
+		hs := make(map[int]hash.Hash, len(owned))
+		for _, i := range owned {
+			hs[i] = sha256.New()
 		}
-		// Storm phase: every connection fires its burst back-to-back.
-		// Nothing pumps the scheduler here, so requests pile up in the
-		// kernel buffers — the legacy rings overwrite, the S5 infinite
-		// buffers grow.
-		for i, c := range conns {
-			for s := base; s < hi; s++ {
-				st := scripts[i].Steps[s]
-				err := c.Send(st.Op, st.Arg)
-				switch {
-				case err == nil:
-					rep.Sent++
-				case errors.Is(err, netattach.ErrThrottled):
-					rep.Throttled++
-				default:
-					return nil, fmt.Errorf("workload: send %d/%d: %w", i, s, err)
+		for base := 0; base < cfg.Steps; base += cfg.Burst {
+			hi := base + cfg.Burst
+			if hi > cfg.Steps {
+				hi = cfg.Steps
+			}
+			// Storm phase: every owned connection fires its burst
+			// back-to-back. Nothing pumps the scheduler here, so requests
+			// pile up in the kernel buffers — the legacy rings overwrite,
+			// the S5 infinite buffers grow.
+			for _, i := range owned {
+				t := &tallies[i]
+				if t.err != nil {
+					continue
+				}
+				for s := base; s < hi; s++ {
+					st := scripts[i].Steps[s]
+					err := conns[i].Send(st.Op, st.Arg)
+					switch {
+					case err == nil:
+						t.sent++
+					case errors.Is(err, netattach.ErrThrottled):
+						t.throttled++
+					default:
+						t.err = fmt.Errorf("workload: send %d/%d: %w", i, s, err)
+					}
+				}
+			}
+			// Service phase: let the multiplexer drain everything, then
+			// read the replies back in owned-table order.
+			fe.Flush()
+			for _, i := range owned {
+				t := &tallies[i]
+				if t.err != nil {
+					continue
+				}
+				for {
+					v, ok, err := conns[i].TryRecv()
+					if err != nil {
+						t.err = fmt.Errorf("workload: recv %d: %w", i, err)
+						break
+					}
+					if !ok {
+						break
+					}
+					t.received++
+					fmt.Fprintf(hs[i], "%d %d\n", i, v)
 				}
 			}
 		}
-		// Service phase: let the multiplexer drain everything, then
-		// read the replies back in table order.
-		fe.Flush()
-		for i, c := range conns {
-			for {
-				v, ok, err := c.TryRecv()
-				if err != nil {
-					return nil, fmt.Errorf("workload: recv %d: %w", i, err)
-				}
-				if !ok {
-					break
-				}
-				rep.Received++
-				fmt.Fprintf(h, "%d %d\n", i, v)
-			}
+		for _, i := range owned {
+			copy(tallies[i].digest[:], hs[i].Sum(nil))
 		}
 	}
+
+	par := cfg.Parallelism
+	if par > len(conns) {
+		par = len(conns)
+	}
+	if par <= 1 {
+		owned := make([]int, len(conns))
+		for i := range owned {
+			owned[i] = i
+		}
+		driveConns(owned)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			owned := make([]int, 0, len(conns)/par+1)
+			for i := w; i < len(conns); i += par {
+				owned = append(owned, i)
+			}
+			wg.Add(1)
+			go func(owned []int) {
+				defer wg.Done()
+				driveConns(owned)
+			}(owned)
+		}
+		wg.Wait()
+	}
+	for i := range tallies {
+		if tallies[i].err != nil {
+			return nil, tallies[i].err
+		}
+		rep.Sent += tallies[i].sent
+		rep.Received += tallies[i].received
+		rep.Throttled += tallies[i].throttled
+	}
+
 	// Logout in table order.
 	for i, c := range conns {
 		if err := c.Close(); err != nil {
@@ -268,6 +354,13 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	rep.Cycles = sys.Kernel.Clock().Now() - start
 	if rep.Cycles > 0 {
 		rep.Throughput = float64(rep.Stats.Processed) / float64(rep.Cycles) * 1000
+	}
+	// Fold the per-connection digests in fixed table order, then the
+	// run-wide counters: the determinism witness.
+	h := sha256.New()
+	for i := range tallies {
+		fmt.Fprintf(h, "conn %d %x sent %d received %d throttled %d\n",
+			i, tallies[i].digest, tallies[i].sent, tallies[i].received, tallies[i].throttled)
 	}
 	fmt.Fprintf(h, "sent %d received %d throttled %d lost %d/%d drops %d\n",
 		rep.Sent, rep.Received, rep.Throttled,

@@ -112,3 +112,32 @@ func TestThrottleCounted(t *testing.T) {
 		t.Fatalf("sent %d + throttled %d != %d", rep.Sent, rep.Throttled, cfg.Conns*cfg.Steps)
 	}
 }
+
+// TestParallelReplayDigestInvariant is the determinism guarantee of the
+// worker-pool engine: the transcript digest is byte-identical no matter how
+// many goroutines replay the connections, because every reply is a pure
+// function of its own connection's script and the per-connection digests
+// fold in fixed table order.
+func TestParallelReplayDigestInvariant(t *testing.T) {
+	base := workload.Config{Conns: 24, Steps: 12, Burst: 12, Seed: 75}
+
+	run := func(par int) string {
+		cfg := base
+		cfg.Parallelism = par
+		r, err := workload.RunAt(multics.StageRestructured, cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if r.Sent == 0 || r.Received != r.Sent {
+			t.Fatalf("parallelism %d: sent %d received %d", par, r.Sent, r.Received)
+		}
+		return r.Digest
+	}
+
+	d1 := run(1)
+	for _, par := range []int{2, 8} {
+		if d := run(par); d != d1 {
+			t.Errorf("digest at parallelism %d differs from parallelism 1:\n%s\n%s", par, d, d1)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Run the full benchmark suite and archive the results as structured JSON
+# in BENCH_<yyyymmdd>.json at the repository root, so perf regressions can
+# be diffed across commits. Wall time, allocations, and the simulation's
+# own metrics (vcycles/call, req/kvcycle, ...) are all captured.
+#
+# Usage: scripts/bench.sh [bench-regex]   (default: all benchmarks)
+set -eu
+cd "$(dirname "$0")/.."
+
+pattern="${1:-.}"
+out="BENCH_$(date +%Y%m%d).json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
+
+# Parse `BenchmarkName  iters  123 ns/op  45 B/op  6 allocs/op  7.0 unit`
+# lines into one JSON object per benchmark.
+awk '
+BEGIN { print "[" ; first = 1 }
+/^Benchmark/ {
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", $1, $2
+    sep = ""
+    for (i = 3; i < NF; i += 2) {
+        printf "%s\"%s\": %s", sep, $(i + 1), $i
+        sep = ", "
+    }
+    print "}}"
+}
+END { print "]" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -13,4 +13,7 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bench smoke (go test -bench E14 -benchtime 1x)"
+go test -run '^$' -bench E14 -benchtime 1x .
+
 echo "ok"
