@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/acl"
 	"repro/internal/audit"
 	"repro/internal/boot"
 	"repro/internal/core"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/iosys"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/mls"
 	"repro/internal/pagectl"
 	"repro/internal/policy"
 	"repro/internal/workload"
@@ -500,6 +502,58 @@ func BenchmarkAblationPolicyInRing(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(clk.Now())/float64(b.N), "vcycles/decision")
+}
+
+// benchGateDispatch drives one niladic user gate through the full spine
+// — counter, trace, validation, classification middleware, then the ring
+// crossing — on the cached-SDW hit path, and returns virtual cycles per
+// call. Only the machine's ring-crossing cost model advances the clock;
+// the middleware itself charges nothing, so trace-on and trace-off must
+// report the same vcycles/call (the ≤1-vcycle overhead budget on the
+// 6180 fast path holds with margin zero).
+func benchGateDispatch(b *testing.B, traceOn bool) float64 {
+	b.Helper()
+	k := buildKernel(b, core.S6Restructured)
+	k.TraceRing().SetEnabled(traceOn)
+	p, err := k.CreateProcess("bench", acl.Principal{Person: "Bench", Project: "Perf", Tag: "a"},
+		mls.NewLabel(mls.Unclassified), machine.UserRing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := k.UserGates().EntryIndex("hcs_$get_system_info")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the descriptor path so every timed call is an SDW cache hit.
+	if _, err := p.CPU.Call(core.SegHCS, idx, nil); err != nil {
+		b.Fatal(err)
+	}
+	clk := k.Clock()
+	start := clk.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CPU.Call(core.SegHCS, idx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(clk.Now()-start) / float64(b.N)
+}
+
+// BenchmarkGateDispatch measures the instrumented kernel-crossing fast
+// path with the trace ring enabled and disabled.
+func BenchmarkGateDispatch(b *testing.B) {
+	var on, off float64
+	b.Run("trace-on", func(b *testing.B) {
+		on = benchGateDispatch(b, true)
+		b.ReportMetric(on, "vcycles/call")
+	})
+	b.Run("trace-off", func(b *testing.B) {
+		off = benchGateDispatch(b, false)
+		b.ReportMetric(off, "vcycles/call")
+	})
+	if on != off {
+		b.Fatalf("trace ring changed the virtual cost of a gate call: on %.1f, off %.1f", on, off)
+	}
 }
 
 // BenchmarkAblationWaterMarks sweeps the parallel pager's free-pool tuning

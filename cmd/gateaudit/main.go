@@ -7,21 +7,41 @@
 //
 //	gateaudit             # summary table across all stages
 //	gateaudit -stage 2    # full gate and module listing for one stage
+//	gateaudit -stats      # replay a seeded workload, print per-gate
+//	                      # call/error/vcycle counters (top -top by cost)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/gate"
+	"repro/internal/workload"
+	"repro/multics"
 )
 
 func main() {
 	stage := flag.Int("stage", -1, "stage number 0..6 for a detailed listing; -1 for the summary")
+	stats := flag.Bool("stats", false, "boot a kernel, replay a seeded workload, and print per-gate runtime counters")
+	top := flag.Int("top", 20, "with -stats: show the top N gates by virtual-cycle cost (0 = all)")
+	seed := flag.Int64("seed", 75, "with -stats: workload seed")
 	flag.Parse()
 
+	if *stats {
+		s := multics.StageRestructured
+		if *stage >= 0 {
+			if *stage >= int(core.NumStages) {
+				fmt.Fprintf(os.Stderr, "gateaudit: stage must be 0..%d\n", int(core.NumStages)-1)
+				os.Exit(2)
+			}
+			s = multics.Stage(*stage)
+		}
+		runtimeStats(s, *top, *seed)
+		return
+	}
 	if *stage >= 0 {
 		if *stage >= int(core.NumStages) {
 			fmt.Fprintf(os.Stderr, "gateaudit: stage must be 0..%d\n", int(core.NumStages)-1)
@@ -31,6 +51,63 @@ func main() {
 		return
 	}
 	summary()
+}
+
+// runtimeStats boots a system, replays the seeded workload through the
+// network attachment front-end, and prints the gate spine's per-gate
+// counters: calls, errors, rejected argument lists, and virtual cycles
+// charged, sorted by cost.
+func runtimeStats(s multics.Stage, top int, seed int64) {
+	cfg := workload.Config{Conns: 32, Steps: 16, Burst: 8, Seed: seed}
+	sys, err := workload.Boot(s, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gateaudit: %v\n", err)
+		os.Exit(1)
+	}
+	defer sys.Shutdown()
+	rep, err := workload.Run(sys, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gateaudit: %v\n", err)
+		os.Exit(1)
+	}
+
+	all := sys.Kernel.GateStats()
+	used := make([]gate.Stat, 0, len(all))
+	for _, st := range all {
+		if st.Calls > 0 {
+			used = append(used, st)
+		}
+	}
+	sort.SliceStable(used, func(i, j int) bool { return used[i].VCycles > used[j].VCycles })
+	shown := used
+	if top > 0 && top < len(shown) {
+		shown = shown[:top]
+	}
+
+	fmt.Printf("gate runtime stats at %v (seed %d: %d conns x %d steps, %d requests processed)\n\n",
+		s, seed, cfg.Conns, cfg.Steps, rep.Stats.Processed)
+	fmt.Printf("%-28s %-16s %9s %7s %9s %12s %9s\n",
+		"gate", "category", "calls", "errors", "rejected", "vcycles", "vcy/call")
+	var calls, errs, rejected uint64
+	var vcycles int64
+	for _, st := range used {
+		calls += st.Calls
+		errs += st.Errors
+		rejected += st.Rejected
+		vcycles += st.VCycles
+	}
+	for _, st := range shown {
+		perCall := float64(st.VCycles) / float64(st.Calls)
+		fmt.Printf("%-28s %-16s %9d %7d %9d %12d %9.1f\n",
+			st.Name, st.Category, st.Calls, st.Errors, st.Rejected, st.VCycles, perCall)
+	}
+	if len(shown) < len(used) {
+		fmt.Printf("... %d more gates with calls > 0 (use -top 0 for all)\n", len(used)-len(shown))
+	}
+	fmt.Printf("\ntotals: %d gates exercised, %d calls, %d errors, %d rejected, %d vcycles\n",
+		len(used), calls, errs, rejected, vcycles)
+	fmt.Printf("trace ring: %d events recorded (capacity %d)\n",
+		sys.Kernel.TraceRing().Written(), sys.Kernel.TraceRing().Cap())
 }
 
 func newKernel(s core.Stage) *core.Kernel {

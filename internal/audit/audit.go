@@ -23,6 +23,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/core"
 	"repro/internal/fs"
+	"repro/internal/gate"
 	"repro/internal/linker"
 	"repro/internal/machine"
 	"repro/internal/mls"
@@ -119,7 +120,7 @@ func (s *Suite) gateArgumentAbuse() (res Result) {
 		}
 	}()
 	crashesBefore := s.k.SystemCrashes
-	tried := 0
+	tried, rejected, malfunctions := 0, 0, 0
 	for _, name := range s.k.UserGates().Names() {
 		for _, args := range [][]uint64{
 			nil,
@@ -128,17 +129,34 @@ func (s *Suite) gateArgumentAbuse() (res Result) {
 			{1 << 60, 1 << 60, 1 << 60, 1 << 60, 1 << 60, 1 << 60, 1 << 60},
 		} {
 			tried++
-			// Errors are expected; what must not happen is a crash.
-			_, _ = s.attacker.CallGate(name, args...)
+			// Errors are expected; what must not happen is a crash. The
+			// gate spine's taxonomy classifies every failure: a bad-args
+			// rejection is the validator doing its job, a
+			// kernel-malfunction is the event this audit exists to catch.
+			_, err := s.attacker.CallGate(name, args...)
+			switch gate.Classify(err) {
+			case gate.ClassBadArgs:
+				rejected++
+			case gate.ClassMalfunction:
+				malfunctions++
+			}
 		}
 	}
-	if s.k.SystemCrashes > crashesBefore {
+	// A kernelMalfunction both bumps SystemCrashes and classifies as
+	// ClassMalfunction, so the two signals overlap: report whichever
+	// counted more.
+	count := malfunctions
+	if d := int(s.k.SystemCrashes - crashesBefore); d > count {
+		count = d
+	}
+	if count > 0 {
 		res.Outcome = SupervisorCompromise
-		res.Detail = fmt.Sprintf("%d supervisor malfunctions from argument abuse", s.k.SystemCrashes-crashesBefore)
+		res.Detail = fmt.Sprintf("%d supervisor malfunctions from argument abuse", count)
 		return res
 	}
 	res.Outcome = Blocked
-	res.Detail = fmt.Sprintf("%d malformed calls across %d gates all rejected cleanly", tried, len(s.k.UserGates().Names()))
+	res.Detail = fmt.Sprintf("%d malformed calls across %d gates all rejected cleanly (%d by the argument validator)",
+		tried, len(s.k.UserGates().Names()), rejected)
 	return res
 }
 
@@ -193,7 +211,10 @@ func (s *Suite) malformedLinkerInput() Result {
 		s.attacker.CPU.Linker = nil
 	}
 	switch {
-	case s.k.SystemCrashes > crashesBefore:
+	// Two independent witnesses of a ring-0 malfunction: the kernel's
+	// crash counter, and the gate spine classifying the returned error as
+	// kernel-malfunction (string matching no longer required).
+	case s.k.SystemCrashes > crashesBefore || gate.Classify(err) == gate.ClassMalfunction:
 		res.Outcome = SupervisorCompromise
 		res.Detail = "privileged linker malfunctioned on malstructured input"
 	case err != nil:

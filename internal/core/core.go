@@ -113,6 +113,9 @@ const (
 // ArgSegWords is the size of the argument segment.
 const ArgSegWords = 2048
 
+// traceRingSize is the capacity of the kernel-crossing trace ring.
+const traceRingSize = 4096
+
 // Kernel is one configured instance of the system.
 type Kernel struct {
 	cfg   Config
@@ -128,6 +131,10 @@ type Kernel struct {
 	regPriv  *gate.Registry
 	hcsProc  *machine.Procedure
 	phcsProc *machine.Procedure
+
+	// trace is the kernel-crossing trace ring shared by the gate spine,
+	// fault delivery, the scheduler, and the network front-end.
+	trace *gate.TraceRing
 
 	registry *auth.Registry
 	answer   *auth.Service
@@ -182,6 +189,7 @@ func New(cfg Config) (*Kernel, error) {
 		byCPU:    make(map[*machine.Processor]*Proc),
 		channels: make(map[uint64]*kernelChannel),
 		nextChn:  1,
+		trace:    gate.NewTraceRing(traceRingSize),
 	}
 	if cfg.Cost != nil {
 		k.cost = *cfg.Cost
@@ -207,6 +215,9 @@ func New(cfg Config) (*Kernel, error) {
 		return nil, fmt.Errorf("core: building file hierarchy: %w", err)
 	}
 	k.sch = sched.New(k.clock)
+	k.sch.SetTrace(func(name string, elapsed int64) {
+		k.trace.Record(gate.TraceEvent{Stage: gate.StageSched, Name: name, Cost: elapsed})
+	})
 	// Layer 1: a fixed set of virtual processors. Two pooled VPs serve the
 	// layer-2 Multics processes at every stage; the restructured kernel
 	// adds dedicated VPs for its kernel processes below.
@@ -273,6 +284,11 @@ func (k *Kernel) UserRegistry() *auth.Registry { return k.registry }
 
 // AnsweringService returns the login service.
 func (k *Kernel) AnsweringService() *auth.Service { return k.answer }
+
+// TraceRing returns the kernel-crossing trace ring. All layers of the
+// spine — gate dispatch, fault delivery, scheduling, network attachment —
+// record into this one ring.
+func (k *Kernel) TraceRing() *gate.TraceRing { return k.trace }
 
 // UserGates returns the user-available gate registry.
 func (k *Kernel) UserGates() *gate.Registry { return k.regUser }

@@ -11,17 +11,16 @@ import (
 	"repro/internal/mls"
 )
 
-// registerFileSystemGates installs the directory-control interface. The
-// shape changes at S2: before the Bratt removal every operation is keyed by
-// a character-string tree name the kernel resolves; afterwards operations
-// are keyed by a directory segment number plus an entry name, and the tree
-// walk happens in the user ring.
-func (k *Kernel) registerFileSystemGates() {
+// fileSystemGates is the directory-control table. The shape changes at
+// S2: before the Bratt removal every operation is keyed by a
+// character-string tree name the kernel resolves; afterwards operations
+// are keyed by a directory segment number plus an entry name, and the
+// tree walk happens in the user ring.
+func (k *Kernel) fileSystemGates() []gdef {
 	if k.cfg.Stage >= S2RefNamesRemoved {
-		k.registerSegnoKeyedFS()
-	} else {
-		k.registerPathKeyedFS()
+		return k.segnoKeyedFSGates()
 	}
+	return k.pathKeyedFSGates()
 }
 
 // dirArg converts a directory segment-number argument to the directory
@@ -87,9 +86,9 @@ func statusWords(obj *fs.Object) []uint64 {
 	return []uint64{kind, uint64(obj.BitCount), obj.UID}
 }
 
-// registerPathKeyedFS is the S0/S1 interface.
-func (k *Kernel) registerPathKeyedFS() {
-	// resolveDirAndName handles (dirPathOff, dirPathLen, nameOff, nameLen).
+// pathKeyedFSGates is the S0/S1 interface table.
+func (k *Kernel) pathKeyedFSGates() []gdef {
+	// resolveDir handles a (pathOff, pathLen) pair naming any object.
 	resolveDir := func(ctx *machine.ExecContext, p *Proc, off, length uint64) (uint64, error) {
 		path, err := k.readUserString(ctx, off, length)
 		if err != nil {
@@ -98,449 +97,167 @@ func (k *Kernel) registerPathKeyedFS() {
 		return k.resolvePathKernel(p, path)
 	}
 
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$append_branch", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 5,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$append_branch", args, 5); err != nil {
-				return nil, err
-			}
-			dirUID, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			uid, err := k.createBranch(p, dirUID, name, args[4])
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uid}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$append_link", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$append_link", args, 6); err != nil {
-				return nil, err
-			}
-			dirUID, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			target, err := k.readUserString(ctx, args[4], args[5])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.AddLink(p.Principal, p.Label, dirUID, name, target)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$delete_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$delete_entry", args, 4); err != nil {
-				return nil, err
-			}
-			dirUID, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.Delete(p.Principal, p.Label, dirUID, name)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$list_dir", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$list_dir", args, 2); err != nil {
-				return nil, err
-			}
-			dirUID, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			entries, err := k.hier.List(p.Principal, p.Label, dirUID)
-			if err != nil {
-				return nil, err
-			}
-			names := make([]string, len(entries))
-			for i, e := range entries {
-				names[i] = e.Name
-			}
-			off, length, err := k.writeUserString(ctx, strings.Join(names, "\n"))
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{off, length, uint64(len(entries))}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$add_acl_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$add_acl_entry", args, 5); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1]) // any object path
-			if err != nil {
-				return nil, err
-			}
-			pat, mode, err := k.aclArgs(ctx, args[2], args[3], args[4])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.SetACL(p.Principal, p.Label, uid, pat, mode)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$delete_acl_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$delete_acl_entry", args, 4); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			patStr, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			pat, err := acl.ParsePattern(patStr)
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.RemoveACL(p.Principal, p.Label, uid, pat)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$list_acl", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$list_acl", args, 2); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$status", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$status", args, 2); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			return statusWords(obj), nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$set_bc", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$set_bc", args, 3); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			obj.BitCount = int(args[2])
-			return nil, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$set_max_length", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$set_max_length", args, 3); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.SetLength(p.Principal, p.Label, uid, int(args[2]))
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$get_uid", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$get_uid", args, 2); err != nil {
-				return nil, err
-			}
-			uid, err := resolveDir(ctx, p, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uid}, nil
-		},
-	})
-}
-
-// registerSegnoKeyedFS is the S2+ interface: the Bratt design, keyed by
-// directory segment numbers. Tree-name resolution is gone from the kernel.
-func (k *Kernel) registerSegnoKeyedFS() {
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$root_dir", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			seg, err := k.initiateDir(p, fs.RootUID)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(seg)}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$initiate_dir", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$initiate_dir", args, 3); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			entry, err := k.hier.Lookup(p.Principal, p.Label, dir.UID, name)
-			if err != nil {
-				return nil, err
-			}
-			if entry.IsLink() {
-				return nil, fmt.Errorf("core: %q is a link; resolve it in the user ring", name)
-			}
-			seg, err := k.initiateDir(p, entry.UID)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(seg)}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$lookup_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$lookup_entry", args, 3); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			entry, err := k.hier.Lookup(p.Principal, p.Label, dir.UID, name)
-			if err != nil {
-				return nil, err
-			}
-			if entry.IsLink() {
-				off, length, err := k.writeUserString(ctx, entry.LinkTo)
+	return []gdef{
+		{name: "hcs_$append_branch", cat: gate.CatFileSystem, bracket: userRing, arity: 5, units: 5,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dirUID, err := resolveDir(ctx, p, args[0], args[1])
 				if err != nil {
 					return nil, err
 				}
-				return []uint64{0, 2, off, length}, nil // isLink marker
-			}
-			obj, err := k.hier.Object(entry.UID)
-			if err != nil {
-				return nil, err
-			}
-			kind := uint64(0)
-			if obj.Kind == fs.KindDirectory {
-				kind = 1
-			}
-			return []uint64{entry.UID, kind, 0, 0}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$append_branch", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$append_branch", args, 4); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			uid, err := k.createBranch(p, dir.UID, name, args[3])
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uid}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$append_link", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$append_link", args, 5); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			target, err := k.readUserString(ctx, args[3], args[4])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.AddLink(p.Principal, p.Label, dir.UID, name, target)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$delete_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$delete_entry", args, 3); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			name, err := k.readUserString(ctx, args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.Delete(p.Principal, p.Label, dir.UID, name)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$list_dir", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$list_dir", args, 1); err != nil {
-				return nil, err
-			}
-			dir, err := k.dirArg(p, args[0])
-			if err != nil {
-				return nil, err
-			}
-			entries, err := k.hier.List(p.Principal, p.Label, dir.UID)
-			if err != nil {
-				return nil, err
-			}
-			names := make([]string, len(entries))
-			for i, e := range entries {
-				names[i] = e.Name
-			}
-			off, length, err := k.writeUserString(ctx, strings.Join(names, "\n"))
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{off, length, uint64(len(entries))}, nil
-		},
-	})
-	// ACL and attribute gates, keyed by (dirSegno, entryName).
+				name, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
+				}
+				uid, err := k.createBranch(p, dirUID, name, args[4])
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uid}, nil
+			}},
+		{name: "hcs_$append_link", cat: gate.CatFileSystem, bracket: userRing, arity: 6, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dirUID, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
+				}
+				target, err := k.readUserString(ctx, args[4], args[5])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.AddLink(p.Principal, p.Label, dirUID, name, target)
+			}},
+		{name: "hcs_$delete_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dirUID, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.Delete(p.Principal, p.Label, dirUID, name)
+			}},
+		{name: "hcs_$list_dir", cat: gate.CatFileSystem, bracket: userRing, arity: 2, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dirUID, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				entries, err := k.hier.List(p.Principal, p.Label, dirUID)
+				if err != nil {
+					return nil, err
+				}
+				names := make([]string, len(entries))
+				for i, e := range entries {
+					names[i] = e.Name
+				}
+				off, length, err := k.writeUserString(ctx, strings.Join(names, "\n"))
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{off, length, uint64(len(entries))}, nil
+			}},
+		{name: "hcs_$add_acl_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 5, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1]) // any object path
+				if err != nil {
+					return nil, err
+				}
+				pat, mode, err := k.aclArgs(ctx, args[2], args[3], args[4])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.SetACL(p.Principal, p.Label, uid, pat, mode)
+			}},
+		{name: "hcs_$delete_acl_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				patStr, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
+				}
+				pat, err := acl.ParsePattern(patStr)
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.RemoveACL(p.Principal, p.Label, uid, pat)
+			}},
+		{name: "hcs_$list_acl", cat: gate.CatFileSystem, bracket: userRing, arity: 2, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
+			}},
+		{name: "hcs_$status", cat: gate.CatFileSystem, bracket: userRing, arity: 2, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				return statusWords(obj), nil
+			}},
+		{name: "hcs_$set_bc", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				obj.BitCount = int(args[2])
+				return nil, nil
+			}},
+		{name: "hcs_$set_max_length", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.SetLength(p.Principal, p.Label, uid, int(args[2]))
+			}},
+		{name: "hcs_$get_uid", cat: gate.CatFileSystem, bracket: userRing, arity: 2, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := resolveDir(ctx, p, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uid}, nil
+			}},
+	}
+}
+
+// segnoKeyedFSGates is the S2+ interface table: the Bratt design, keyed
+// by directory segment numbers. Tree-name resolution is gone from the
+// kernel.
+func (k *Kernel) segnoKeyedFSGates() []gdef {
+	// entryUID resolves the common (dirSegno, nameOff, nameLen) key.
 	entryUID := func(ctx *machine.ExecContext, p *Proc, dirArg, nameOff, nameLen uint64) (uint64, error) {
 		dir, err := k.dirArg(p, dirArg)
 		if err != nil {
@@ -559,140 +276,215 @@ func (k *Kernel) registerSegnoKeyedFS() {
 		}
 		return entry.UID, nil
 	}
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$add_acl_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$add_acl_entry", args, 6); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			pat, mode, err := k.aclArgs(ctx, args[3], args[4], args[5])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.SetACL(p.Principal, p.Label, uid, pat, mode)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$delete_acl_entry", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$delete_acl_entry", args, 5); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			patStr, err := k.readUserString(ctx, args[3], args[4])
-			if err != nil {
-				return nil, err
-			}
-			pat, err := acl.ParsePattern(patStr)
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.RemoveACL(p.Principal, p.Label, uid, pat)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$list_acl", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$list_acl", args, 3); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$status", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$status", args, 3); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			return statusWords(obj), nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$set_bc", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$set_bc", args, 4); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(uid)
-			if err != nil {
-				return nil, err
-			}
-			obj.BitCount = int(args[3])
-			return nil, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$set_max_length", Category: gate.CatFileSystem, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$set_max_length", args, 4); err != nil {
-				return nil, err
-			}
-			uid, err := entryUID(ctx, p, args[0], args[1], args[2])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.hier.SetLength(p.Principal, p.Label, uid, int(args[3]))
-		},
-	})
+
+	return []gdef{
+		{name: "hcs_$root_dir", cat: gate.CatFileSystem, bracket: userRing, units: 1,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				seg, err := k.initiateDir(p, fs.RootUID)
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(seg)}, nil
+			}},
+		{name: "hcs_$initiate_dir", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				entry, err := k.hier.Lookup(p.Principal, p.Label, dir.UID, name)
+				if err != nil {
+					return nil, err
+				}
+				if entry.IsLink() {
+					return nil, fmt.Errorf("core: %q is a link; resolve it in the user ring", name)
+				}
+				seg, err := k.initiateDir(p, entry.UID)
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(seg)}, nil
+			}},
+		{name: "hcs_$lookup_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				entry, err := k.hier.Lookup(p.Principal, p.Label, dir.UID, name)
+				if err != nil {
+					return nil, err
+				}
+				if entry.IsLink() {
+					off, length, err := k.writeUserString(ctx, entry.LinkTo)
+					if err != nil {
+						return nil, err
+					}
+					return []uint64{0, 2, off, length}, nil // isLink marker
+				}
+				obj, err := k.hier.Object(entry.UID)
+				if err != nil {
+					return nil, err
+				}
+				kind := uint64(0)
+				if obj.Kind == fs.KindDirectory {
+					kind = 1
+				}
+				return []uint64{entry.UID, kind, 0, 0}, nil
+			}},
+		{name: "hcs_$append_branch", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				uid, err := k.createBranch(p, dir.UID, name, args[3])
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uid}, nil
+			}},
+		{name: "hcs_$append_link", cat: gate.CatFileSystem, bracket: userRing, arity: 5, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				target, err := k.readUserString(ctx, args[3], args[4])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.AddLink(p.Principal, p.Label, dir.UID, name, target)
+			}},
+		{name: "hcs_$delete_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				name, err := k.readUserString(ctx, args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.Delete(p.Principal, p.Label, dir.UID, name)
+			}},
+		{name: "hcs_$list_dir", cat: gate.CatFileSystem, bracket: userRing, arity: 1, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				dir, err := k.dirArg(p, args[0])
+				if err != nil {
+					return nil, err
+				}
+				entries, err := k.hier.List(p.Principal, p.Label, dir.UID)
+				if err != nil {
+					return nil, err
+				}
+				names := make([]string, len(entries))
+				for i, e := range entries {
+					names[i] = e.Name
+				}
+				off, length, err := k.writeUserString(ctx, strings.Join(names, "\n"))
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{off, length, uint64(len(entries))}, nil
+			}},
+		{name: "hcs_$add_acl_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 6, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				pat, mode, err := k.aclArgs(ctx, args[3], args[4], args[5])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.SetACL(p.Principal, p.Label, uid, pat, mode)
+			}},
+		{name: "hcs_$delete_acl_entry", cat: gate.CatFileSystem, bracket: userRing, arity: 5, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				patStr, err := k.readUserString(ctx, args[3], args[4])
+				if err != nil {
+					return nil, err
+				}
+				pat, err := acl.ParsePattern(patStr)
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.RemoveACL(p.Principal, p.Label, uid, pat)
+			}},
+		{name: "hcs_$list_acl", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
+			}},
+		{name: "hcs_$status", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				return statusWords(obj), nil
+			}},
+		{name: "hcs_$set_bc", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 1,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
+					return nil, err
+				}
+				obj, err := k.hier.Object(uid)
+				if err != nil {
+					return nil, err
+				}
+				obj.BitCount = int(args[3])
+				return nil, nil
+			}},
+		{name: "hcs_$set_max_length", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 1,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, err := entryUID(ctx, p, args[0], args[1], args[2])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.hier.SetLength(p.Principal, p.Label, uid, int(args[3]))
+			}},
+	}
 }
 
 // labelForLevel builds an MLS label from a packed level word (level only;

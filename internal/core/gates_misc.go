@@ -11,184 +11,108 @@ import (
 	"repro/internal/mem"
 )
 
-// registerProcessGates installs the process and IPC interface, identical in
-// shape at every stage: the new base-level IPC whose use is governed by the
-// standard memory protection on the channel's governing segment.
-func (k *Kernel) registerProcessGates() {
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$create_ev_chn", Category: gate.CatIPC, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$create_ev_chn", args, 1); err != nil {
-				return nil, err
-			}
-			uid, ok := p.KST.UIDForSegNo(machine.SegNo(args[0]))
-			if !ok {
-				return nil, fmt.Errorf("core: segment %d not known", args[0])
-			}
-			id, err := k.createChannel(p, uid)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{id}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$delete_ev_chn", Category: gate.CatIPC, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$delete_ev_chn", args, 1); err != nil {
-				return nil, err
-			}
-			return nil, k.deleteChannel(p, args[0])
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$wakeup", Category: gate.CatIPC, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$wakeup", args, 2); err != nil {
-				return nil, err
-			}
-			kc, err := k.channelByID(p, args[0], ipc.OpSignal)
-			if err != nil {
-				return nil, err
-			}
-			var sp = p.sched
-			return nil, kc.ch.Signal(sp, ipc.Event{From: p.Name, Data: args[1]})
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$block", Category: gate.CatProcess, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$block", args, 1); err != nil {
-				return nil, err
-			}
-			kc, err := k.channelByID(p, args[0], ipc.OpAwait)
-			if err != nil {
-				return nil, err
-			}
-			if p.pc == nil {
-				return nil, fmt.Errorf("core: hcs_$block requires a scheduled process (use Proc.Run)")
-			}
-			ev, err := kc.ch.Await(p.pc)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{ev.Data}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$read_events", Category: gate.CatIPC, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$read_events", args, 1); err != nil {
-				return nil, err
-			}
-			kc, err := k.channelByID(p, args[0], ipc.OpAwait)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(kc.ch.Pending())}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$set_timer", Category: gate.CatProcess, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("hcs_$set_timer", args, 3); err != nil {
-				return nil, err
-			}
-			kc, err := k.channelByID(p, args[1], ipc.OpSignal)
-			if err != nil {
-				return nil, err
-			}
-			data := args[2]
-			k.sch.At(k.clock.Now()+int64(args[0]), func() {
-				_ = kc.ch.Signal(nil, ipc.Event{From: "timer", Data: data})
-			})
-			return nil, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$get_usage", Category: gate.CatProcess, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			var cycles int64
-			if p.sched != nil {
-				cycles = p.sched.CPUCycles
-			}
-			return []uint64{uint64(cycles)}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$get_process_id", Category: gate.CatProcess, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			for i, q := range k.procs {
-				if q == p {
-					return []uint64{uint64(i) + 1}, nil
+// processGates is the process and IPC table, identical in shape at every
+// stage: the new base-level IPC whose use is governed by the standard
+// memory protection on the channel's governing segment.
+func (k *Kernel) processGates() []gdef {
+	return []gdef{
+		{name: "hcs_$create_ev_chn", cat: gate.CatIPC, bracket: userRing, arity: 1, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				uid, ok := p.KST.UIDForSegNo(machine.SegNo(args[0]))
+				if !ok {
+					return nil, fmt.Errorf("core: segment %d not known", args[0])
 				}
-			}
-			return nil, fmt.Errorf("core: calling process not in process table")
-		},
-	})
-}
-
-// registerIOGates installs the external I/O interface of the stage.
-func (k *Kernel) registerIOGates() {
-	mkAttach := func(name string, class iosys.DeviceClass, units int) {
-		k.regUser.MustRegister(gate.Def{
-			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
-			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				p, err := k.caller(ctx)
+				id, err := k.createChannel(p, uid)
 				if err != nil {
 					return nil, err
 				}
+				return []uint64{id}, nil
+			}},
+		{name: "hcs_$delete_ev_chn", cat: gate.CatIPC, bracket: userRing, arity: 1, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return nil, k.deleteChannel(p, args[0])
+			}},
+		{name: "hcs_$wakeup", cat: gate.CatIPC, bracket: userRing, arity: 2, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				kc, err := k.channelByID(p, args[0], ipc.OpSignal)
+				if err != nil {
+					return nil, err
+				}
+				var sp = p.sched
+				return nil, kc.ch.Signal(sp, ipc.Event{From: p.Name, Data: args[1]})
+			}},
+		{name: "hcs_$block", cat: gate.CatProcess, bracket: userRing, arity: 1, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				kc, err := k.channelByID(p, args[0], ipc.OpAwait)
+				if err != nil {
+					return nil, err
+				}
+				if p.pc == nil {
+					return nil, fmt.Errorf("core: hcs_$block requires a scheduled process (use Proc.Run)")
+				}
+				ev, err := kc.ch.Await(p.pc)
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{ev.Data}, nil
+			}},
+		{name: "hcs_$read_events", cat: gate.CatIPC, bracket: userRing, arity: 1, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				kc, err := k.channelByID(p, args[0], ipc.OpAwait)
+				if err != nil {
+					return nil, err
+				}
+				return []uint64{uint64(kc.ch.Pending())}, nil
+			}},
+		{name: "hcs_$set_timer", cat: gate.CatProcess, bracket: userRing, arity: 3, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				kc, err := k.channelByID(p, args[1], ipc.OpSignal)
+				if err != nil {
+					return nil, err
+				}
+				data := args[2]
+				k.sch.At(k.clock.Now()+int64(args[0]), func() {
+					_ = kc.ch.Signal(nil, ipc.Event{From: "timer", Data: data})
+				})
+				return nil, nil
+			}},
+		{name: "hcs_$get_usage", cat: gate.CatProcess, bracket: userRing, units: 2,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				var cycles int64
+				if p.sched != nil {
+					cycles = p.sched.CPUCycles
+				}
+				return []uint64{uint64(cycles)}, nil
+			}},
+		{name: "hcs_$get_process_id", cat: gate.CatProcess, bracket: userRing, units: 1,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				for i, q := range k.procs {
+					if q == p {
+						return []uint64{uint64(i) + 1}, nil
+					}
+				}
+				return nil, fmt.Errorf("core: calling process not in process table")
+			}},
+	}
+}
+
+// ioGates is the external I/O table of the stage, built from per-verb row
+// factories: the attach/read/write/detach/status shapes are identical
+// across device classes, only the name, class, and weight vary.
+func (k *Kernel) ioGates() []gdef {
+	mkAttach := func(name string, class iosys.DeviceClass, units int) gdef {
+		return gdef{name: name, cat: gate.CatIO, bracket: userRing, units: units,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
 				id, err := k.devices.attach(p, class)
 				if err != nil {
 					return nil, err
 				}
 				return []uint64{id}, nil
-			},
-		})
+			}}
 	}
-	mkRead := func(name string, units int) {
-		k.regUser.MustRegister(gate.Def{
-			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
-			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				p, err := k.caller(ctx)
-				if err != nil {
-					return nil, err
-				}
-				if err := gate.NeedArgs(name, args, 1); err != nil {
-					return nil, err
-				}
+	mkRead := func(name string, units int) gdef {
+		return gdef{name: name, cat: gate.CatIO, bracket: userRing, arity: 1, units: units,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
 				d, err := k.devices.lookup(p, args[0])
 				if err != nil {
 					return nil, err
@@ -201,344 +125,249 @@ func (k *Kernel) registerIOGates() {
 					return []uint64{0, 0}, nil
 				}
 				return []uint64{m.Data, 1}, nil
-			},
-		})
+			}}
 	}
-	mkWrite := func(name string, units int) {
-		k.regUser.MustRegister(gate.Def{
-			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
-			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				p, err := k.caller(ctx)
-				if err != nil {
-					return nil, err
-				}
-				if err := gate.NeedArgs(name, args, 2); err != nil {
-					return nil, err
-				}
+	mkWrite := func(name string, units int) gdef {
+		return gdef{name: name, cat: gate.CatIO, bracket: userRing, arity: 2, units: units,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
 				if _, err := k.devices.lookup(p, args[0]); err != nil {
 					return nil, err
 				}
 				// Output is a sink in this model; latency is charged.
 				k.clock.Advance(5)
 				return nil, nil
-			},
-		})
+			}}
 	}
-	mkDetach := func(name string, units int) {
-		k.regUser.MustRegister(gate.Def{
-			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
-			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				p, err := k.caller(ctx)
-				if err != nil {
-					return nil, err
-				}
-				if err := gate.NeedArgs(name, args, 1); err != nil {
-					return nil, err
-				}
+	mkDetach := func(name string, units int) gdef {
+		return gdef{name: name, cat: gate.CatIO, bracket: userRing, arity: 1, units: units,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
 				return nil, k.devices.detach(p, args[0])
-			},
-		})
+			}}
 	}
-
-	mkStatus := func(name string, units int) {
-		k.regUser.MustRegister(gate.Def{
-			Name: name, Category: gate.CatIO, UserAvailable: true, CodeUnits: units,
-			Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				p, err := k.caller(ctx)
-				if err != nil {
-					return nil, err
-				}
-				if err := gate.NeedArgs(name, args, 1); err != nil {
-					return nil, err
-				}
+	mkStatus := func(name string, units int) gdef {
+		return gdef{name: name, cat: gate.CatIO, bracket: userRing, arity: 1, units: units,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
 				d, err := k.devices.lookup(p, args[0])
 				if err != nil {
 					return nil, err
 				}
 				return []uint64{uint64(d.buf.Len()), uint64(d.buf.Lost())}, nil
-			},
-		})
+			}}
 	}
 
 	if k.cfg.Stage >= S5IOConsolidated {
 		// The single network-attachment path.
-		mkAttach("net_$attach", iosys.DevNetwork, 5)
-		mkRead("net_$read", 4)
-		mkWrite("net_$write", 2)
-		mkDetach("net_$detach", 1)
-		mkStatus("net_$status", 1)
-		return
+		return []gdef{
+			mkAttach("net_$attach", iosys.DevNetwork, 5),
+			mkRead("net_$read", 4),
+			mkWrite("net_$write", 2),
+			mkDetach("net_$detach", 1),
+			mkStatus("net_$status", 1),
+		}
 	}
 	// The legacy per-device-class drivers.
-	mkAttach("ios_$tty_attach", iosys.DevTerminal, 4)
-	mkRead("ios_$tty_read", 4)
-	mkWrite("ios_$tty_write", 3)
-	mkWrite("ios_$tty_order", 3)
-	mkDetach("ios_$tty_detach", 1)
-	mkAttach("ios_$tape_attach", iosys.DevTape, 4)
-	mkRead("ios_$tape_read", 3)
-	mkWrite("ios_$tape_write", 3)
-	mkAttach("ios_$crd_attach", iosys.DevCardReader, 3)
-	mkRead("ios_$crd_read", 3)
-	mkAttach("ios_$cpn_attach", iosys.DevCardPunch, 3)
-	mkWrite("ios_$cpn_write", 3)
-	mkAttach("ios_$prt_attach", iosys.DevPrinter, 4)
-	mkWrite("ios_$prt_write", 4)
+	return []gdef{
+		mkAttach("ios_$tty_attach", iosys.DevTerminal, 4),
+		mkRead("ios_$tty_read", 4),
+		mkWrite("ios_$tty_write", 3),
+		mkWrite("ios_$tty_order", 3),
+		mkDetach("ios_$tty_detach", 1),
+		mkAttach("ios_$tape_attach", iosys.DevTape, 4),
+		mkRead("ios_$tape_read", 3),
+		mkWrite("ios_$tape_write", 3),
+		mkAttach("ios_$crd_attach", iosys.DevCardReader, 3),
+		mkRead("ios_$crd_read", 3),
+		mkAttach("ios_$cpn_attach", iosys.DevCardPunch, 3),
+		mkWrite("ios_$cpn_write", 3),
+		mkAttach("ios_$prt_attach", iosys.DevPrinter, 4),
+		mkWrite("ios_$prt_write", 4),
+	}
 }
 
-// registerLoginGates installs the privileged answering-service interface of
-// the baseline kernel (S0–S3). From S4 the answering service is an
-// unprivileged subsystem and these gates no longer exist.
-func (k *Kernel) registerLoginGates() {
-	k.regUser.MustRegister(gate.Def{
-		Name: "as_$login", Category: gate.CatLogin, UserAvailable: true, CodeUnits: 10,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if _, err := k.caller(ctx); err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("as_$login", args, 7); err != nil {
-				return nil, err
-			}
-			person, err := k.readUserString(ctx, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			project, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			password, err := k.readUserString(ctx, args[4], args[5])
-			if err != nil {
-				return nil, err
-			}
-			label, err := labelForLevel(args[6])
-			if err != nil {
-				return nil, err
-			}
-			sess, err := k.answer.Login(person, project, password, label)
-			if err != nil {
-				return nil, err
-			}
-			np, err := k.CreateProcess(sess.Principal.String(), sess.Principal, sess.Label, machine.UserRing)
-			if err != nil {
-				return nil, err
-			}
-			for i, q := range k.procs {
-				if q == np {
-					return []uint64{uint64(i) + 1}, nil
+// loginGates is the privileged answering-service table of the baseline
+// kernel (S0–S3). From S4 the answering service is an unprivileged
+// subsystem and these gates no longer exist.
+func (k *Kernel) loginGates() []gdef {
+	return []gdef{
+		{name: "as_$login", cat: gate.CatLogin, bracket: userRing, arity: 7, units: 10,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				person, err := k.readUserString(ctx, args[0], args[1])
+				if err != nil {
+					return nil, err
 				}
-			}
-			return nil, fmt.Errorf("core: created process not in table")
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "as_$logout", Category: gate.CatLogin, UserAvailable: true, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if _, err := k.caller(ctx); err != nil {
-				return nil, err
-			}
-			return nil, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "as_$change_password", Category: gate.CatLogin, UserAvailable: true, CodeUnits: 5,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("as_$change_password", args, 4); err != nil {
-				return nil, err
-			}
-			oldPw, err := k.readUserString(ctx, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			newPw, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			return nil, k.registry.ChangePassword(p.Principal.Person, oldPw, newPw)
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "as_$new_proc", Category: gate.CatLogin, UserAvailable: true, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			np, err := k.CreateProcess(p.Name+".new", p.Principal, p.Label, machine.UserRing)
-			if err != nil {
-				return nil, err
-			}
-			for i, q := range k.procs {
-				if q == np {
-					return []uint64{uint64(i) + 1}, nil
+				project, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
 				}
-			}
-			return nil, fmt.Errorf("core: created process not in table")
-		},
-	})
+				password, err := k.readUserString(ctx, args[4], args[5])
+				if err != nil {
+					return nil, err
+				}
+				label, err := labelForLevel(args[6])
+				if err != nil {
+					return nil, err
+				}
+				sess, err := k.answer.Login(person, project, password, label)
+				if err != nil {
+					return nil, err
+				}
+				np, err := k.CreateProcess(sess.Principal.String(), sess.Principal, sess.Label, machine.UserRing)
+				if err != nil {
+					return nil, err
+				}
+				for i, q := range k.procs {
+					if q == np {
+						return []uint64{uint64(i) + 1}, nil
+					}
+				}
+				return nil, fmt.Errorf("core: created process not in table")
+			}},
+		{name: "as_$logout", cat: gate.CatLogin, bracket: userRing, units: 3,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return nil, nil
+			}},
+		{name: "as_$change_password", cat: gate.CatLogin, bracket: userRing, arity: 4, units: 5,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				oldPw, err := k.readUserString(ctx, args[0], args[1])
+				if err != nil {
+					return nil, err
+				}
+				newPw, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
+				}
+				return nil, k.registry.ChangePassword(p.Principal.Person, oldPw, newPw)
+			}},
+		{name: "as_$new_proc", cat: gate.CatLogin, bracket: userRing, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				np, err := k.CreateProcess(p.Name+".new", p.Principal, p.Label, machine.UserRing)
+				if err != nil {
+					return nil, err
+				}
+				for i, q := range k.procs {
+					if q == np {
+						return []uint64{uint64(i) + 1}, nil
+					}
+				}
+				return nil, fmt.Errorf("core: created process not in table")
+			}},
+	}
 }
 
-// registerMiscGates installs the small status gates present at every stage.
-func (k *Kernel) registerMiscGates() {
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$get_system_info", Category: gate.CatMisc, UserAvailable: true, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(k.cfg.Stage), uint64(k.clock.Now())}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$get_authorization", Category: gate.CatMisc, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			return []uint64{uint64(p.Label.Level)}, nil
-		},
-	})
-	k.regUser.MustRegister(gate.Def{
-		Name: "hcs_$total_cpu_time", Category: gate.CatMisc, UserAvailable: true, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			return []uint64{uint64(k.clock.Now())}, nil
-		},
-	})
+// miscGates is the small status table present at every stage.
+func (k *Kernel) miscGates() []gdef {
+	return []gdef{
+		{name: "hcs_$get_system_info", cat: gate.CatMisc, bracket: userRing, units: 2, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return []uint64{uint64(k.cfg.Stage), uint64(k.clock.Now())}, nil
+			}},
+		{name: "hcs_$get_authorization", cat: gate.CatMisc, bracket: userRing, units: 1,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return []uint64{uint64(p.Label.Level)}, nil
+			}},
+		{name: "hcs_$total_cpu_time", cat: gate.CatMisc, bracket: userRing, units: 1, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return []uint64{uint64(k.clock.Now())}, nil
+			}},
+	}
 }
 
-// registerPrivilegedGates installs the phcs_ interface: entries reachable
-// only from inner non-kernel rings (the policy ring and protected
-// subsystems in ring 2), never from the user ring — the hardware gate
-// brackets enforce it.
-func (k *Kernel) registerPrivilegedGates() {
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$create_process", Category: gate.CatProcess, UserAvailable: false, CodeUnits: 4,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			p, err := k.caller(ctx)
-			if err != nil {
-				return nil, err
-			}
-			if err := gate.NeedArgs("phcs_$create_process", args, 5); err != nil {
-				return nil, err
-			}
-			person, err := k.readUserString(ctx, args[0], args[1])
-			if err != nil {
-				return nil, err
-			}
-			project, err := k.readUserString(ctx, args[2], args[3])
-			if err != nil {
-				return nil, err
-			}
-			label, err := labelForLevel(args[4])
-			if err != nil {
-				return nil, err
-			}
-			// The calling subsystem vouches for authentication; the kernel
-			// still refuses labels above the registered clearance.
-			clearance, err := k.registry.Clearance(person)
-			if err != nil {
-				return nil, err
-			}
-			if !clearance.Dominates(label) {
-				return nil, fmt.Errorf("core: label %v above clearance %v", label, clearance)
-			}
-			who := acl.Principal{Person: person, Project: project, Tag: "a"}
-			np, err := k.CreateProcess(who.String(), who, label, machine.UserRing)
-			if err != nil {
-				return nil, err
-			}
-			_ = p
-			for i, q := range k.procs {
-				if q == np {
-					return []uint64{uint64(i) + 1}, nil
+// privilegedGates is the phcs_ table: entries reachable only from inner
+// non-kernel rings (the policy ring and protected subsystems in ring 2),
+// never from the user ring — the hardware gate brackets enforce it.
+func (k *Kernel) privilegedGates() []gdef {
+	return []gdef{
+		{name: "phcs_$create_process", cat: gate.CatProcess, bracket: machine.SupervisorRing, arity: 5, units: 4,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				person, err := k.readUserString(ctx, args[0], args[1])
+				if err != nil {
+					return nil, err
 				}
-			}
-			return nil, fmt.Errorf("core: created process not in table")
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$ring0_peek", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if err := gate.NeedArgs("phcs_$ring0_peek", args, 1); err != nil {
-				return nil, err
-			}
-			// Reads raw frame metadata for system debugging.
-			f, err := k.store.FrameInfo(mem.FrameID(args[0]))
-			if err != nil {
-				return nil, err
-			}
-			var bits uint64
-			if !f.Free {
-				bits = 1
-			}
-			return []uint64{bits, f.PID.SegUID}, nil
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$wire_frame", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if err := gate.NeedArgs("phcs_$wire_frame", args, 2); err != nil {
-				return nil, err
-			}
-			return nil, k.store.Wire(mem.FrameID(args[0]), args[1] != 0)
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$set_clock", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 1,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if err := gate.NeedArgs("phcs_$set_clock", args, 1); err != nil {
-				return nil, err
-			}
-			k.clock.AdvanceTo(int64(args[0]))
-			return nil, nil
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$salvage", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 3,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			// Hierarchy consistency sweep (the salvager): arg 0 non-zero
-			// requests repair. Returns objects walked, problems found, and
-			// problems repaired.
-			if err := gate.NeedArgs("phcs_$salvage", args, 1); err != nil {
-				return nil, err
-			}
-			rep, err := k.hier.Salvage(args[0] != 0)
-			if err != nil {
-				return nil, err
-			}
-			repaired := 0
-			for _, pr := range rep.Problems {
-				if pr.Repaired {
-					repaired++
+				project, err := k.readUserString(ctx, args[2], args[3])
+				if err != nil {
+					return nil, err
 				}
-			}
-			return []uint64{uint64(rep.ObjectsWalked), uint64(len(rep.Problems)), uint64(repaired)}, nil
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$reclassify", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			if err := gate.NeedArgs("phcs_$reclassify", args, 2); err != nil {
-				return nil, err
-			}
-			obj, err := k.hier.Object(args[0])
-			if err != nil {
-				return nil, err
-			}
-			label, err := labelForLevel(args[1])
-			if err != nil {
-				return nil, err
-			}
-			obj.Label = label
-			return nil, nil
-		},
-	})
-	k.regPriv.MustRegister(gate.Def{
-		Name: "phcs_$shutdown", Category: gate.CatMisc, UserAvailable: false, CodeUnits: 2,
-		Impl: func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			return nil, nil // orderly-shutdown marker
-		},
-	})
+				label, err := labelForLevel(args[4])
+				if err != nil {
+					return nil, err
+				}
+				// The calling subsystem vouches for authentication; the kernel
+				// still refuses labels above the registered clearance.
+				clearance, err := k.registry.Clearance(person)
+				if err != nil {
+					return nil, err
+				}
+				if !clearance.Dominates(label) {
+					return nil, fmt.Errorf("core: label %v above clearance %v", label, clearance)
+				}
+				who := acl.Principal{Person: person, Project: project, Tag: "a"}
+				np, err := k.CreateProcess(who.String(), who, label, machine.UserRing)
+				if err != nil {
+					return nil, err
+				}
+				_ = p
+				for i, q := range k.procs {
+					if q == np {
+						return []uint64{uint64(i) + 1}, nil
+					}
+				}
+				return nil, fmt.Errorf("core: created process not in table")
+			}},
+		{name: "phcs_$ring0_peek", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 1, units: 2, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				// Reads raw frame metadata for system debugging.
+				f, err := k.store.FrameInfo(mem.FrameID(args[0]))
+				if err != nil {
+					return nil, err
+				}
+				var bits uint64
+				if !f.Free {
+					bits = 1
+				}
+				return []uint64{bits, f.PID.SegUID}, nil
+			}},
+		{name: "phcs_$wire_frame", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 2, units: 2, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return nil, k.store.Wire(mem.FrameID(args[0]), args[1] != 0)
+			}},
+		{name: "phcs_$set_clock", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 1, units: 1, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				k.clock.AdvanceTo(int64(args[0]))
+				return nil, nil
+			}},
+		{name: "phcs_$salvage", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 1, units: 3, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				// Hierarchy consistency sweep (the salvager): arg 0 non-zero
+				// requests repair. Returns objects walked, problems found, and
+				// problems repaired.
+				rep, err := k.hier.Salvage(args[0] != 0)
+				if err != nil {
+					return nil, err
+				}
+				repaired := 0
+				for _, pr := range rep.Problems {
+					if pr.Repaired {
+						repaired++
+					}
+				}
+				return []uint64{uint64(rep.ObjectsWalked), uint64(len(rep.Problems)), uint64(repaired)}, nil
+			}},
+		{name: "phcs_$reclassify", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 2, units: 2, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				obj, err := k.hier.Object(args[0])
+				if err != nil {
+					return nil, err
+				}
+				label, err := labelForLevel(args[1])
+				if err != nil {
+					return nil, err
+				}
+				obj.Label = label
+				return nil, nil
+			}},
+		{name: "phcs_$shutdown", cat: gate.CatMisc, bracket: machine.SupervisorRing, units: 2, anon: true,
+			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
+				return nil, nil // orderly-shutdown marker
+			}},
+	}
 }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gate"
+)
+
+// statFor finds one gate's stat row by name.
+func statFor(t *testing.T, stats []gate.Stat, name string) gate.Stat {
+	t.Helper()
+	for _, s := range stats {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("no stat row for %s", name)
+	return gate.Stat{}
+}
+
+// TestGateStatsAccounting exercises the declarative tables through real
+// ring crossings and checks the spine's per-gate accounting: calls and
+// vcycles accumulate, rejections land in the rejected counter, and every
+// crossing shows up in the kernel's trace ring.
+func TestGateStatsAccounting(t *testing.T) {
+	k := newKernel(t, S0Baseline)
+	p := userProc(t, k, alice, unc)
+
+	if _, err := p.CallGate("hcs_$get_wdir"); err != nil {
+		t.Fatalf("get_wdir: %v", err)
+	}
+	// Wrong arity: rejected by the central validator, still counted.
+	if _, err := p.CallGate("hcs_$terminate_seg"); gate.Classify(err) != gate.ClassBadArgs {
+		t.Fatalf("missing argument classified %v (%v)", gate.Classify(err), err)
+	}
+
+	stats := k.GateStats()
+	wdir := statFor(t, stats, "hcs_$get_wdir")
+	if wdir.Calls != 1 || wdir.Errors != 0 || wdir.VCycles <= 0 {
+		t.Errorf("get_wdir stats = %+v, want 1 clean call with positive vcycles", wdir)
+	}
+	term := statFor(t, stats, "hcs_$terminate_seg")
+	if term.Calls != 1 || term.Errors != 1 || term.Rejected != 1 {
+		t.Errorf("terminate_seg stats = %+v, want 1 call, 1 error, 1 rejected", term)
+	}
+
+	// Both crossings are in the trace ring, classified.
+	var ok, bad bool
+	for _, ev := range k.TraceRing().Snapshot() {
+		if ev.Stage != gate.StageGate {
+			continue
+		}
+		switch {
+		case ev.Name == "hcs_$get_wdir" && ev.Outcome == gate.ClassOK && ev.Cost > 0:
+			ok = true
+		case ev.Name == "hcs_$terminate_seg" && ev.Outcome == gate.ClassBadArgs:
+			bad = true
+		}
+	}
+	if !ok || !bad {
+		t.Errorf("trace ring missing crossings: ok=%v bad=%v", ok, bad)
+	}
+}
+
+// TestGateStatsCoverBothRegistries checks the privileged registry's rows
+// ride along in GateStats.
+func TestGateStatsCoverBothRegistries(t *testing.T) {
+	k := newKernel(t, S0Baseline)
+	names := make(map[string]bool)
+	for _, s := range k.GateStats() {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"hcs_$initiate", "phcs_$create_process"} {
+		if !names[want] {
+			t.Errorf("GateStats missing %s", want)
+		}
+	}
+	if len(names) != k.UserGates().Count()+k.PrivGates().Count() {
+		t.Errorf("GateStats rows %d != %d user + %d priv",
+			len(names), k.UserGates().Count(), k.PrivGates().Count())
+	}
+}

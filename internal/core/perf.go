@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/mem"
+import (
+	"repro/internal/gate"
+	"repro/internal/mem"
+)
 
 // PerfCounters is the hot-path performance summary of one kernel: the
 // associative-memory effectiveness across every live processor, and the
@@ -45,4 +48,12 @@ func (k *Kernel) PerfCounters() PerfCounters {
 	out.BlockSteals = c.BlockSteals
 	out.Transfers = k.store.Stats()
 	return out
+}
+
+// GateStats reports per-gate call/error/rejection/vcycle accounting for
+// every gate of the stage, user-available entries first, in registration
+// order — the boundary-crossing companion to PerfCounters.
+func (k *Kernel) GateStats() []gate.Stat {
+	out := k.regUser.Stats()
+	return append(out, k.regPriv.Stats()...)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/acl"
+	"repro/internal/gate"
 	"repro/internal/kst"
 	"repro/internal/linker"
 	"repro/internal/machine"
@@ -70,6 +71,19 @@ func (k *Kernel) CreateProcess(name string, who acl.Principal, label mls.Label, 
 	if k.cfg.Stage < S2RefNamesRemoved {
 		p.kernelNames = refname.New()
 	}
+	// Fault delivery feeds the kernel-crossing trace spine: every fault
+	// this processor charges becomes a StageFault event in the ring.
+	cpu.SetFaultTrace(func(f *machine.Fault) {
+		k.trace.Record(gate.TraceEvent{
+			Stage:   gate.StageFault,
+			Name:    f.Class.String(),
+			Ring:    f.Ring,
+			Subject: uint64(f.Seg),
+			Arg:     uint64(f.Offset),
+			Outcome: gate.Classify(f),
+			Detail:  f.Detail,
+		})
+	})
 
 	// The user-available gate segment: callable from any ring via its
 	// declared gates, executing in ring 0.

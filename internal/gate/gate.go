@@ -51,6 +51,10 @@ type Def struct {
 	// CodeUnits approximates the amount of protected code behind the gate,
 	// in arbitrary units (used by the kernel-inventory experiment).
 	CodeUnits int
+	// Arity, when positive, is the exact argument count the gatekeeper
+	// enforces before the body runs. Zero leaves the count unchecked
+	// (gates with optional or variadic argument lists validate inline).
+	Arity int
 	// Impl is the simulated implementation.
 	Impl machine.EntryFunc
 }
@@ -58,8 +62,11 @@ type Def struct {
 // Registry collects the gate definitions of one kernel configuration and
 // compiles them into the kernel's gate procedure segment.
 type Registry struct {
-	defs   []Def
-	byName map[string]int // name -> entry index
+	defs     []Def
+	byName   map[string]int // name -> entry index
+	counters []*counters    // parallel to defs
+	ring     *TraceRing     // trace spine destination, nil = off
+	extra    []Middleware   // extra links installed with Use
 }
 
 // NewRegistry returns an empty registry.
@@ -83,6 +90,7 @@ func (r *Registry) Register(d Def) error {
 	}
 	r.byName[d.Name] = len(r.defs)
 	r.defs = append(r.defs, d)
+	r.counters = append(r.counters, &counters{})
 	return nil
 }
 
@@ -171,13 +179,28 @@ func (r *Registry) Defs() []Def {
 }
 
 // BuildProcedure compiles the registry into the kernel's gate segment: a
-// machine.Procedure whose entry i is gate i, wrapped with the gatekeeper's
-// argument validation. Every entry is a declared gate (machine.SDW.Gates
+// machine.Procedure whose entry i is gate i, wrapped in the gatekeeper's
+// middleware spine. Every entry is a declared gate (machine.SDW.Gates
 // should be set to Count()).
+//
+// The spine, outermost first:
+//
+//	counters → trace → extra (Use) → validation → classification → body
+//
+// Counters and trace sit outside validation deliberately: a rejected
+// argument list must still be counted and traced — the paper's review
+// activity started from exactly such invisible malformed calls.
 func (r *Registry) BuildProcedure() *machine.Procedure {
 	entries := make([]machine.EntryFunc, len(r.defs))
 	for i, d := range r.defs {
-		entries[i] = wrapValidated(d)
+		fn := classifyMW(d, d.Impl)
+		fn = validateMW(d, fn)
+		for j := len(r.extra) - 1; j >= 0; j-- {
+			fn = r.extra[j](d, fn)
+		}
+		fn = traceMW(r)(d, fn)
+		fn = countMW(r.counters[i])(d, fn)
+		entries[i] = fn
 	}
 	return &machine.Procedure{Name: "kernel_gates", Entries: entries}
 }
@@ -188,20 +211,11 @@ func (r *Registry) BuildProcedure() *machine.Procedure {
 // supervisor crashes).
 const MaxArgs = 16
 
-func wrapValidated(d Def) machine.EntryFunc {
-	return func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-		if len(args) > MaxArgs {
-			return nil, fmt.Errorf("gate %s: argument list of %d exceeds maximum %d", d.Name, len(args), MaxArgs)
-		}
-		return d.Impl(ctx, args)
-	}
-}
-
 // Arg safely fetches argument i, returning an error rather than letting the
 // kernel index out of range on a malformed call.
 func Arg(name string, args []uint64, i int) (uint64, error) {
 	if i < 0 || i >= len(args) {
-		return 0, fmt.Errorf("gate %s: missing argument %d (got %d)", name, i, len(args))
+		return 0, BadArgs(name, fmt.Errorf("gate %s: missing argument %d (got %d)", name, i, len(args)))
 	}
 	return args[i], nil
 }
@@ -209,7 +223,7 @@ func Arg(name string, args []uint64, i int) (uint64, error) {
 // NeedArgs verifies the argument count is exactly n.
 func NeedArgs(name string, args []uint64, n int) error {
 	if len(args) != n {
-		return fmt.Errorf("gate %s: want %d arguments, got %d", name, n, len(args))
+		return BadArgs(name, fmt.Errorf("gate %s: want %d arguments, got %d", name, n, len(args)))
 	}
 	return nil
 }

@@ -1,0 +1,196 @@
+package gate
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassOK},
+		{BadArgs("g", errors.New("x")), ClassBadArgs},
+		{AccessDenied("g", errors.New("x")), ClassAccessDenied},
+		{Malfunction("g", errors.New("x")), ClassMalfunction},
+		{Busy("g", errors.New("x")), ClassBusy},
+		{fmt.Errorf("wrapped: %w", Malfunction("g", errors.New("x"))), ClassMalfunction},
+		{&machine.Fault{Class: machine.FaultRing}, ClassAccessDenied},
+		{&machine.Fault{Class: machine.FaultGate}, ClassAccessDenied},
+		{&machine.Fault{Class: machine.FaultAccess}, ClassAccessDenied},
+		{&machine.Fault{Class: machine.FaultSegment}, ClassFailed},
+		{mem.ErrBusy, ClassBusy},
+		{errors.New("anything else"), ClassFailed},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// Classification must never rewrite the error text.
+	err := BadArgs("g", fmt.Errorf("gate g: want 2 arguments, got 1"))
+	if err.Error() != "gate g: want 2 arguments, got 1" {
+		t.Errorf("classified error text changed: %q", err.Error())
+	}
+}
+
+// TestRejectedCounter is the accounting fix: MaxArgs rejections, declared-
+// arity failures, and body-level NeedArgs failures must all land in the
+// per-gate rejected counter (and in errors), while other failures must not.
+func TestRejectedCounter(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Def{Name: "strict", Category: CatMisc, CodeUnits: 1, Arity: 2, Impl: echo})
+	r.MustRegister(Def{Name: "inline", Category: CatMisc, CodeUnits: 1,
+		Impl: func(_ *machine.ExecContext, args []uint64) ([]uint64, error) {
+			if err := NeedArgs("inline", args, 1); err != nil {
+				return nil, err
+			}
+			return args, nil
+		}})
+	r.MustRegister(Def{Name: "broken", Category: CatMisc, CodeUnits: 1,
+		Impl: func(_ *machine.ExecContext, _ []uint64) ([]uint64, error) {
+			return nil, errors.New("internal failure")
+		}})
+	proc := r.BuildProcedure()
+
+	// strict: one good call, one oversized list, one wrong arity.
+	if _, err := proc.Entries[0](nil, []uint64{1, 2}); err != nil {
+		t.Fatalf("good call: %v", err)
+	}
+	if _, err := proc.Entries[0](nil, make([]uint64, MaxArgs+1)); Classify(err) != ClassBadArgs {
+		t.Fatalf("oversized list classified %v (%v)", Classify(err), err)
+	}
+	if _, err := proc.Entries[0](nil, []uint64{1}); Classify(err) != ClassBadArgs {
+		t.Fatalf("wrong arity classified %v (%v)", Classify(err), err)
+	}
+	// inline: the body's own NeedArgs failure must count as rejected too.
+	if _, err := proc.Entries[1](nil, nil); Classify(err) != ClassBadArgs {
+		t.Fatalf("body NeedArgs classified %v (%v)", Classify(err), err)
+	}
+	// broken: an ordinary body failure is an error but not a rejection.
+	if _, err := proc.Entries[2](nil, nil); Classify(err) != ClassFailed {
+		t.Fatalf("body failure classified %v (%v)", Classify(err), err)
+	}
+
+	st := r.Stats()
+	if st[0].Name != "strict" || st[0].Calls != 3 || st[0].Errors != 2 || st[0].Rejected != 2 {
+		t.Errorf("strict stats = %+v, want calls 3 errors 2 rejected 2", st[0])
+	}
+	if st[1].Calls != 1 || st[1].Errors != 1 || st[1].Rejected != 1 {
+		t.Errorf("inline stats = %+v, want calls 1 errors 1 rejected 1", st[1])
+	}
+	if st[2].Calls != 1 || st[2].Errors != 1 || st[2].Rejected != 0 {
+		t.Errorf("broken stats = %+v, want calls 1 errors 1 rejected 0", st[2])
+	}
+}
+
+func TestArgBoundaries(t *testing.T) {
+	args := make([]uint64, MaxArgs)
+	for i := range args {
+		args[i] = uint64(i)
+	}
+	// Negative index and one-past-the-end both reject as bad-args.
+	if _, err := Arg("g", args, -1); Classify(err) != ClassBadArgs {
+		t.Errorf("negative index: %v", err)
+	}
+	if _, err := Arg("g", args, MaxArgs); Classify(err) != ClassBadArgs {
+		t.Errorf("index past end: %v", err)
+	}
+	if v, err := Arg("g", args, MaxArgs-1); err != nil || v != uint64(MaxArgs-1) {
+		t.Errorf("last valid index = %d, %v", v, err)
+	}
+	// Exactly MaxArgs passes the gatekeeper; MaxArgs+1 does not.
+	r := NewRegistry()
+	r.MustRegister(Def{Name: "wide", Category: CatMisc, CodeUnits: 1, Impl: echo})
+	proc := r.BuildProcedure()
+	if _, err := proc.Entries[0](nil, args); err != nil {
+		t.Errorf("exactly MaxArgs rejected: %v", err)
+	}
+	if _, err := proc.Entries[0](nil, append(args, 99)); Classify(err) != ClassBadArgs {
+		t.Errorf("MaxArgs+1 not rejected: %v", err)
+	}
+	if err := NeedArgs("g", args, MaxArgs); err != nil {
+		t.Errorf("NeedArgs at MaxArgs: %v", err)
+	}
+}
+
+// TestTraceRingWraparound hammers a small ring from many goroutines (run
+// under -race by scripts/check.sh): every write must land, sequence
+// numbers must stay unique, and the snapshot must hold the ring capacity
+// once the cursor has lapped it.
+func TestTraceRingWraparound(t *testing.T) {
+	ring := NewTraceRing(16)
+	if ring.Cap() != 16 {
+		t.Fatalf("cap = %d", ring.Cap())
+	}
+	const writers = 8
+	const perWriter = 100
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ring.Record(TraceEvent{Stage: StageGate, Name: "hammer", Subject: uint64(w), Arg: uint64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := ring.Written(); got != writers*perWriter {
+		t.Fatalf("written = %d, want %d", got, writers*perWriter)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != ring.Cap() {
+		t.Fatalf("snapshot holds %d events, want %d", len(snap), ring.Cap())
+	}
+	seen := make(map[uint64]bool)
+	for _, ev := range snap {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate sequence %d in snapshot", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Seq >= uint64(writers*perWriter) {
+			t.Fatalf("sequence %d beyond cursor", ev.Seq)
+		}
+	}
+	// Disabled rings drop events without advancing the cursor.
+	ring.SetEnabled(false)
+	before := ring.Written()
+	ring.Record(TraceEvent{Name: "dropped"})
+	if ring.Written() != before {
+		t.Errorf("disabled ring still recorded")
+	}
+}
+
+// TestTraceMW verifies the trace link records one event per crossing with
+// the right outcome, and that a nil or disabled ring costs nothing.
+func TestTraceMW(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(Def{Name: "strict", Category: CatMisc, CodeUnits: 1, Arity: 1, Impl: echo})
+	ring := NewTraceRing(64)
+	r.SetTraceRing(ring)
+	proc := r.BuildProcedure()
+
+	if _, err := proc.Entries[0](nil, []uint64{42}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Entries[0](nil, nil); Classify(err) != ClassBadArgs {
+		t.Fatalf("rejection: %v", err)
+	}
+	snap := ring.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("ring holds %d events, want 2", len(snap))
+	}
+	if snap[0].Name != "strict" || snap[0].Outcome != ClassOK || snap[0].Arg != 42 {
+		t.Errorf("first event = %+v", snap[0])
+	}
+	if snap[1].Outcome != ClassBadArgs || snap[1].Detail == "" {
+		t.Errorf("second event = %+v", snap[1])
+	}
+}

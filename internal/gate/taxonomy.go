@@ -1,0 +1,118 @@
+package gate
+
+import (
+	"errors"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+)
+
+// Class is the gatekeeper's error taxonomy. Every error that escapes a
+// gate body is classified into one of these buckets so callers — the
+// kernel-malfunction accounting, the audit suite, the trace ring — can
+// reason about outcomes without matching on error strings.
+type Class int
+
+const (
+	// ClassOK: the gate call succeeded.
+	ClassOK Class = iota
+	// ClassBadArgs: the argument list was malformed (oversized, wrong
+	// arity, missing argument) and was rejected by the gatekeeper or by
+	// the gate body's own validation.
+	ClassBadArgs
+	// ClassAccessDenied: the reference monitor refused the request (ring
+	// bracket, access mode, gate, or mandatory-policy violation).
+	ClassAccessDenied
+	// ClassMalfunction: the supervisor itself failed — the condition the
+	// paper's review activity calls a "supervisor malfunction".
+	ClassMalfunction
+	// ClassBusy: a resource was transiently unavailable (e.g. a frame
+	// changed state mid-transfer); the caller may retry.
+	ClassBusy
+	// ClassFailed: any other gate-body failure (no such entry, bad mode,
+	// quota exceeded, ...).
+	ClassFailed
+)
+
+// String names the class for traces and reports.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassBadArgs:
+		return "bad-args"
+	case ClassAccessDenied:
+		return "access-denied"
+	case ClassMalfunction:
+		return "kernel-malfunction"
+	case ClassBusy:
+		return "resource-busy"
+	case ClassFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Error is a classified gate error. Error() returns the underlying
+// message verbatim — classification adds metadata, never rewrites the
+// text — so existing callers that match on message content keep working.
+type Error struct {
+	// Gate is the gate name, when known.
+	Gate string
+	// Class is the taxonomy bucket.
+	Class Class
+	// Err is the underlying error.
+	Err error
+}
+
+func (e *Error) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// BadArgs wraps err as an argument-validation failure.
+func BadArgs(gate string, err error) error {
+	return &Error{Gate: gate, Class: ClassBadArgs, Err: err}
+}
+
+// AccessDenied wraps err as a reference-monitor refusal.
+func AccessDenied(gate string, err error) error {
+	return &Error{Gate: gate, Class: ClassAccessDenied, Err: err}
+}
+
+// Malfunction wraps err as a supervisor malfunction.
+func Malfunction(gate string, err error) error {
+	return &Error{Gate: gate, Class: ClassMalfunction, Err: err}
+}
+
+// Busy wraps err as a transient resource-busy condition.
+func Busy(gate string, err error) error {
+	return &Error{Gate: gate, Class: ClassBusy, Err: err}
+}
+
+// Classify maps an arbitrary error from a gate call into the taxonomy.
+// Explicitly classified errors (*Error anywhere in the chain) win;
+// machine faults and mem contention are recognized structurally; every
+// other failure is ClassFailed.
+func Classify(err error) Class {
+	if err == nil {
+		return ClassOK
+	}
+	var ge *Error
+	if errors.As(err, &ge) {
+		return ge.Class
+	}
+	var f *machine.Fault
+	if errors.As(err, &f) {
+		switch f.Class {
+		case machine.FaultAccess, machine.FaultRing, machine.FaultGate:
+			return ClassAccessDenied
+		}
+		return ClassFailed
+	}
+	if errors.Is(err, mem.ErrBusy) {
+		return ClassBusy
+	}
+	return ClassFailed
+}

@@ -71,6 +71,9 @@ type Processor struct {
 	assoc *AssocMemory
 	// traceFn, when set, observes every call for the audit subsystem.
 	traceFn func(ev TraceEvent)
+	// faultFn, when set, observes every delivered fault for the
+	// kernel-crossing trace spine.
+	faultFn func(f *Fault)
 }
 
 // TraceEvent describes one call observed by the processor trace hook.
@@ -130,6 +133,11 @@ func (p *Processor) ResetStats() {
 // SetTrace installs fn as the call-trace observer; nil disables tracing.
 func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
 
+// SetFaultTrace installs fn as the fault-delivery observer; nil disables
+// it. The observer sees every fault the processor charges, including page
+// and linkage faults that are subsequently handled.
+func (p *Processor) SetFaultTrace(fn func(f *Fault)) { p.faultFn = fn }
+
 // SnapLink records a resolved link so later symbolic calls bypass the
 // linkage fault. It is exposed so a user-ring linker can snap links for the
 // process it runs in.
@@ -154,6 +162,9 @@ func (p *Processor) SnappedLinkCount(inSeg SegNo) int { return len(p.linkage[inS
 func (p *Processor) fault(f *Fault) *Fault {
 	p.stats.Faults[f.Class]++
 	p.Clock.Advance(p.Cost.FaultOverhead)
+	if p.faultFn != nil {
+		p.faultFn(f)
+	}
 	return f
 }
 
@@ -241,6 +252,9 @@ func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val 
 		}
 		p.stats.Faults[FaultPage]++
 		p.Clock.Advance(p.Cost.FaultOverhead)
+		if p.faultFn != nil {
+			p.faultFn(&Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()})
+		}
 		if p.Pager == nil || attempt > 0 {
 			return 0, &Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()}
 		}
@@ -386,6 +400,9 @@ func (p *Processor) CallSym(inSeg SegNo, ref LinkRef, args []uint64) ([]uint64, 
 	}
 	p.stats.Faults[FaultLinkage]++
 	p.Clock.Advance(p.Cost.FaultOverhead)
+	if p.faultFn != nil {
+		p.faultFn(&Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring, Detail: ref.SegName + "$" + ref.EntryName})
+	}
 	if p.Linker == nil {
 		return nil, &Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring,
 			Detail: fmt.Sprintf("no linker registered to resolve %v", ref)}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/gate"
 	"repro/internal/iosys"
 	"repro/internal/mls"
 )
@@ -230,6 +231,7 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.state = StateDraining
+	fe.emit(gate.TraceEvent{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
 	if err := fe.drainLocked(c); err != nil {
 		return err
 	}

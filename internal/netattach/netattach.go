@@ -41,6 +41,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/gate"
 	"repro/internal/iosys"
 	"repro/internal/ipc"
 	"repro/internal/mem"
@@ -170,6 +171,10 @@ type Frontend struct {
 	attachLats []int64
 	closed     bool
 
+	// sink, when set, receives a copy of every lifecycle trace event the
+	// front-end emits (the kernel's trace ring always gets them).
+	sink gate.TraceSink
+
 	// Running totals (closed connections fold in on finishClose).
 	accepted, rejected               int64
 	delivered, processed, replies    int64
@@ -229,6 +234,26 @@ func New(k *core.Kernel, login LoginFunc, cfg Config) (*Frontend, error) {
 
 // Kernel returns the kernel this front-end serves.
 func (fe *Frontend) Kernel() *core.Kernel { return fe.k }
+
+// SetTraceSink installs an additional observer for the front-end's
+// lifecycle trace events; nil removes it. Events always reach the
+// kernel's trace ring regardless.
+func (fe *Frontend) SetTraceSink(sink gate.TraceSink) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	fe.sink = sink
+}
+
+// emit records one StageNet lifecycle event into the kernel-crossing
+// trace spine and the optional sink. Caller holds fe.mu (directly or by
+// running inside the simulation under pump).
+func (fe *Frontend) emit(ev gate.TraceEvent) {
+	ev.Stage = gate.StageNet
+	fe.k.TraceRing().Record(ev)
+	if fe.sink != nil {
+		fe.sink.Record(ev)
+	}
+}
 
 // pump advances the simulation until quiescent. Caller holds fe.mu.
 func (fe *Frontend) pump() { fe.sch.Run(0) }
@@ -314,15 +339,13 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 	proc, err := fe.login(c.person, c.project, c.password, c.level)
 	c.password = ""
 	if err != nil {
-		fe.rejected++
-		c.fail(err)
+		fe.reject(c, err)
 		return
 	}
 	c.proc = proc
 	out, err := proc.CallGate(fe.attachGate())
 	if err != nil {
-		fe.rejected++
-		c.fail(fmt.Errorf("netattach: attach gate: %w", err))
+		fe.reject(c, fmt.Errorf("netattach: attach gate: %w", err))
 		return
 	}
 	c.dev = out[0]
@@ -331,16 +354,14 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 		fe.nextOutUID++
 		c.out, err = iosys.NewInfiniteBuffer(fe.outStore, uid)
 		if err != nil {
-			fe.rejected++
-			c.fail(fmt.Errorf("netattach: reply buffer: %w", err))
+			fe.reject(c, fmt.Errorf("netattach: reply buffer: %w", err))
 			return
 		}
 		c.outUID = uid
 	} else {
 		c.out, err = iosys.NewCircularBuffer(legacyReplySlots)
 		if err != nil {
-			fe.rejected++
-			c.fail(err)
+			fe.reject(c, err)
 			return
 		}
 	}
@@ -348,6 +369,14 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 	c.attachLat = pc.Now() - c.dialedAt
 	fe.attachLats = append(fe.attachLats, c.attachLat)
 	fe.accepted++
+	fe.emit(gate.TraceEvent{Name: "attach", Subject: c.id, Cost: c.attachLat, Outcome: gate.ClassOK})
+}
+
+// reject records a failed accept. Caller holds fe.mu via the simulation.
+func (fe *Frontend) reject(c *Conn, err error) {
+	fe.rejected++
+	c.fail(err)
+	fe.emit(gate.TraceEvent{Name: "reject", Subject: c.id, Outcome: gate.Classify(err), Detail: err.Error()})
 }
 
 // markRunnable queues the connection for the worker pool (idempotent) and
@@ -457,6 +486,7 @@ func (fe *Frontend) execute(pc *sched.ProcCtx, c *Conn, word uint64) {
 	}
 	c.processed++
 	fe.processed++
+	fe.emit(gate.TraceEvent{Name: "request", Subject: c.id, Arg: word, Outcome: gate.ClassOK})
 	fe.enqueueReply(c, reply)
 }
 
@@ -530,6 +560,7 @@ func (fe *Frontend) finishClose(c *Conn) error {
 	}
 	c.state = StateClosed
 	delete(fe.conns, c.id)
+	fe.emit(gate.TraceEvent{Name: "close", Subject: c.id, Arg: uint64(c.processed), Outcome: gate.ClassOK})
 	return nil
 }
 
@@ -547,6 +578,7 @@ func (fe *Frontend) Close() error {
 		switch c.state {
 		case StateAttached, StateDraining:
 			c.state = StateDraining
+			fe.emit(gate.TraceEvent{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
 			if err := fe.drainLocked(c); err != nil && firstErr == nil {
 				firstErr = err
 			}

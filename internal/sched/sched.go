@@ -137,8 +137,15 @@ type Scheduler struct {
 	// starve another by staying ready.
 	dedHand int
 
+	// traceFn, when set, observes every dispatch with the process name and
+	// the virtual cycles it consumed before yielding.
+	traceFn func(name string, elapsed int64)
+
 	shutdown bool
 }
+
+// SetTrace installs fn as the dispatch observer; nil disables it.
+func (s *Scheduler) SetTrace(fn func(name string, elapsed int64)) { s.traceFn = fn }
 
 // New returns a scheduler over the given clock.
 func New(clock *machine.Clock) *Scheduler {
@@ -297,6 +304,9 @@ func (s *Scheduler) dispatch(p *Process) {
 	p.CPUCycles += elapsed
 	if vp != nil {
 		vp.busyCycles += elapsed
+	}
+	if s.traceFn != nil {
+		s.traceFn(p.Name, elapsed)
 	}
 	s.running = nil
 	switch p.state {

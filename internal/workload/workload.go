@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"hash"
 	"math/rand"
+	"sort"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/gate"
 	"repro/internal/mem"
 	"repro/internal/netattach"
 	"repro/multics"
@@ -64,6 +66,12 @@ type Config struct {
 	// front-end's high-water mark). Parallelism > 1 is what drives the
 	// concurrent memory store from many goroutines at once.
 	Parallelism int
+	// TraceSink, when set, receives every attachment-lifecycle trace
+	// event (gate.StageNet) the front-end emits during the run, in
+	// emission order. The engine always collects these events itself to
+	// compute Report.TraceDigest; the sink is a tee for callers that
+	// want the raw stream.
+	TraceSink gate.TraceSink
 }
 
 func (c *Config) setDefaults() error {
@@ -112,6 +120,13 @@ type Report struct {
 	// Digest is a sha256 over the full reply transcript and the final
 	// counters: the determinism witness.
 	Digest string
+	// TraceDigest is a sha256 over the front-end's attachment-lifecycle
+	// trace stream, folded per connection in ascending connection-id
+	// order. Each connection's events (attach → request* → drain →
+	// close) are FIFO within the connection, so the fold is independent
+	// of how worker goroutines interleave: the digest is byte-identical
+	// at Parallelism 1 and Parallelism 8.
+	TraceDigest string
 }
 
 // Format renders the report for the terminal.
@@ -121,12 +136,13 @@ func (r Report) Format() string {
 			"delivered %d  processed %d  replies %d  reply-drops %d\n"+
 			"input-lost %d  reply-lost %d  peak-in %d  peak-out %d\n"+
 			"attach p50 %d cy  p99 %d cy  cycles %d  throughput %.2f req/kcy\n"+
-			"digest %s\n",
+			"digest %s\n"+
+			"trace-digest %s\n",
 		r.Conns, r.Steps, r.Sent, r.Received, r.Throttled,
 		r.Stats.Delivered, r.Stats.Processed, r.Stats.Replies, r.Stats.ReplyDrops,
 		r.Stats.InputLost, r.Stats.ReplyLost, r.Stats.PeakInput, r.Stats.PeakOutput,
 		r.Stats.AttachP50, r.Stats.AttachP99, r.Cycles, r.Throughput,
-		r.Digest)
+		r.Digest, r.TraceDigest)
 }
 
 // GenScripts deterministically generates n session scripts from the
@@ -213,6 +229,12 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 			return nil, err
 		}
 	}
+	// The canonical trace collector sees every lifecycle event the run
+	// produces; a caller-supplied TraceSink rides along as a tee.
+	tc := &traceCollector{tee: cfg.TraceSink, byID: make(map[uint64][]gate.TraceEvent)}
+	fe.SetTraceSink(tc)
+	defer fe.SetTraceSink(nil)
+
 	scripts := GenScripts(cfg)
 	start := sys.Kernel.Clock().Now()
 
@@ -366,7 +388,51 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		rep.Sent, rep.Received, rep.Throttled,
 		rep.Stats.InputLost, rep.Stats.ReplyLost, rep.Stats.ReplyDrops)
 	rep.Digest = hex.EncodeToString(h.Sum(nil))
+	rep.TraceDigest = tc.digest()
 	return rep, nil
+}
+
+// traceCollector is the engine's canonical trace consumer: it groups
+// the front-end's lifecycle events by connection id and optionally tees
+// the raw stream to a caller-supplied sink. The front-end serializes
+// emission under its own lock, but the collector carries its own mutex
+// so it is a valid TraceSink regardless of who calls it.
+type traceCollector struct {
+	mu   sync.Mutex
+	tee  gate.TraceSink
+	byID map[uint64][]gate.TraceEvent
+}
+
+func (tc *traceCollector) Record(ev gate.TraceEvent) {
+	tc.mu.Lock()
+	tc.byID[ev.Subject] = append(tc.byID[ev.Subject], ev)
+	tc.mu.Unlock()
+	if tc.tee != nil {
+		tc.tee.Record(ev)
+	}
+}
+
+// digest folds the per-connection event streams in ascending
+// connection-id order. Within a connection the stream is FIFO (attach
+// happens under the single-threaded Flush, requests drain in input
+// order, drain/close fire in table order), so the result does not
+// depend on worker interleaving.
+func (tc *traceCollector) digest() string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	ids := make([]uint64, 0, len(tc.byID))
+	for id := range tc.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := sha256.New()
+	for _, id := range ids {
+		for _, ev := range tc.byID[id] {
+			fmt.Fprintf(h, "%d %v %s %d %d %v %s\n",
+				id, ev.Stage, ev.Name, ev.Arg, ev.Cost, ev.Outcome, ev.Detail)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // RunAt boots a fresh system at the stage, runs the workload, shuts the

@@ -1,8 +1,10 @@
 package workload_test
 
 import (
+	"sync"
 	"testing"
 
+	"repro/internal/gate"
 	"repro/internal/workload"
 	"repro/multics"
 )
@@ -139,5 +141,56 @@ func TestParallelReplayDigestInvariant(t *testing.T) {
 		if d := run(par); d != d1 {
 			t.Errorf("digest at parallelism %d differs from parallelism 1:\n%s\n%s", par, d, d1)
 		}
+	}
+}
+
+// countingSink counts trace events delivered through the Config.TraceSink
+// tee.
+type countingSink struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *countingSink) Record(gate.TraceEvent) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// TestTraceStreamParallelismInvariant is the trace-spine half of the
+// determinism guarantee: the attachment-lifecycle trace stream, folded
+// per connection, is byte-identical at parallelism 1 and 8, and the
+// caller-supplied TraceSink tee sees the full stream (one attach, one
+// event per request, one drain, one close per connection).
+func TestTraceStreamParallelismInvariant(t *testing.T) {
+	base := workload.Config{Conns: 24, Steps: 12, Burst: 12, Seed: 75}
+
+	run := func(par int) (string, int) {
+		cfg := base
+		cfg.Parallelism = par
+		sink := &countingSink{}
+		cfg.TraceSink = sink
+		r, err := workload.RunAt(multics.StageRestructured, cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if r.TraceDigest == "" {
+			t.Fatalf("parallelism %d: empty trace digest", par)
+		}
+		return r.TraceDigest, sink.n
+	}
+
+	d1, n1 := run(1)
+	// attach + one event per processed request + drain + close, per conn.
+	want := base.Conns*3 + base.Conns*base.Steps
+	if n1 != want {
+		t.Fatalf("tee saw %d events, want %d", n1, want)
+	}
+	d8, n8 := run(8)
+	if n8 != n1 {
+		t.Fatalf("tee saw %d events at parallelism 8, %d at 1", n8, n1)
+	}
+	if d8 != d1 {
+		t.Fatalf("trace digest differs between parallelism 1 and 8:\n%s\n%s", d1, d8)
 	}
 }

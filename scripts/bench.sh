@@ -3,6 +3,8 @@
 # in BENCH_<yyyymmdd>.json at the repository root, so perf regressions can
 # be diffed across commits. Wall time, allocations, and the simulation's
 # own metrics (vcycles/call, req/kvcycle, ...) are all captured.
+# After archiving, a delta report compares ns/op against the previous
+# archive (an earlier run today, or else the most recent BENCH_*.json).
 #
 # Usage: scripts/bench.sh [bench-regex]   (default: all benchmarks)
 set -eu
@@ -11,7 +13,26 @@ cd "$(dirname "$0")/.."
 pattern="${1:-.}"
 out="BENCH_$(date +%Y%m%d).json"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+snap=""
+trap 'rm -f "$raw" ${snap:+"$snap"}' EXIT
+
+# Pick the delta baseline before we overwrite anything: today's earlier
+# archive if one exists (snapshotted to a temp file), else the newest
+# archive from a previous day.
+base=""
+baselabel=""
+if [ -e "$out" ]; then
+	snap="$(mktemp)"
+	cp "$out" "$snap"
+	base="$snap"
+	baselabel="$out (previous run today)"
+else
+	prevfile="$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)"
+	if [ -n "$prevfile" ]; then
+		base="$prevfile"
+		baselabel="$prevfile"
+	fi
+fi
 
 go test -run '^$' -bench "$pattern" -benchmem . | tee "$raw"
 
@@ -34,3 +55,25 @@ END { print "]" }
 ' "$raw" > "$out"
 
 echo "wrote $out"
+
+if [ -n "$base" ]; then
+	echo ""
+	echo "delta vs $baselabel:"
+	awk '
+	FNR == 1 { fileno++ }
+	match($0, /"name": "[^"]*"/) {
+	    name = substr($0, RSTART + 9, RLENGTH - 10)
+	    if (match($0, /"ns\/op": [0-9.eE+-]+/)) {
+	        ns = substr($0, RSTART + 9, RLENGTH - 9)
+	        if (fileno == 1) {
+	            old[name] = ns
+	        } else if (name in old) {
+	            printf "  %-52s %14s -> %14s ns/op  %+.1f%%\n",
+	                name, old[name], ns, (ns - old[name]) / old[name] * 100
+	        } else {
+	            printf "  %-52s %33s ns/op  (new)\n", name, ns
+	        }
+	    }
+	}
+	' "$base" "$out"
+fi

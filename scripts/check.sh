@@ -4,6 +4,26 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gate-registration lint"
+# Gate tables are declarative and live in internal/core only: no other
+# package may register gates behind the spine's back. (internal/gate is
+# the registry implementation itself and its tests.) Heuristic: a file
+# that imports repro/internal/gate and calls .Register(/MustRegister( is
+# registering gates; other Register methods (e.g. the interrupt
+# controller's) don't trip it because those files don't import gate.
+bad=""
+for f in $(grep -rl 'MustRegister(\|\.Register(' --include='*.go' internal/ cmd/ multics/ 2>/dev/null |
+	grep -v '^internal/core/' | grep -v '^internal/gate/' || true); do
+	if grep -q '"repro/internal/gate"' "$f"; then
+		bad="$bad
+$(grep -n 'MustRegister(\|\.Register(' "$f" | sed "s|^|$f:|")"
+	fi
+done
+if [ -n "$bad" ]; then
+	echo "gate registration outside internal/core:$bad" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
