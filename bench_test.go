@@ -16,6 +16,7 @@ import (
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/iosys"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -514,13 +515,13 @@ func BenchmarkAblationPolicyInRing(b *testing.B) {
 func benchGateDispatch(b *testing.B, traceOn bool) float64 {
 	b.Helper()
 	k := buildKernel(b, core.S6Restructured)
-	k.TraceRing().SetEnabled(traceOn)
+	k.Services().Trace.SetEnabled(traceOn)
 	p, err := k.CreateProcess("bench", acl.Principal{Person: "Bench", Project: "Perf", Tag: "a"},
 		mls.NewLabel(mls.Unclassified), machine.UserRing)
 	if err != nil {
 		b.Fatal(err)
 	}
-	idx, err := k.UserGates().EntryIndex("hcs_$get_system_info")
+	idx, err := k.Services().UserGates.EntryIndex("hcs_$get_system_info")
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -528,7 +529,7 @@ func benchGateDispatch(b *testing.B, traceOn bool) float64 {
 	if _, err := p.CPU.Call(core.SegHCS, idx, nil); err != nil {
 		b.Fatal(err)
 	}
-	clk := k.Clock()
+	clk := k.Services().Clock
 	start := clk.Now()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -574,6 +575,50 @@ func BenchmarkAblationWaterMarks(b *testing.B) {
 				wait = float64(stats.WaitCycles) / float64(stats.Faults)
 			}
 			b.ReportMetric(wait, "vcycles-wait/fault")
+		})
+	}
+}
+
+// BenchmarkE15FaultStorm replays the standard session storm under the
+// deterministic fault plane at increasing uniform fault rates. The
+// rate-0.0% sub-benchmark is the zero-fault baseline scripts/bench.sh
+// archives; the survival and vcycle metrics quantify what the recovery
+// paths (page-in retry, drain-and-requeue, salvager) cost when faults
+// are landing.
+func BenchmarkE15FaultStorm(b *testing.B) {
+	for _, rate := range []float64{0, 0.001, 0.01} {
+		b.Run(fmt.Sprintf("rate-%.1f%%", rate*100), func(b *testing.B) {
+			spec := faults.UniformSpec(7501, rate, 6)
+			cfg := workload.Config{
+				Conns: 32, Steps: 12, Burst: 12, Seed: 75, Faults: &spec,
+			}
+			var survival, cycles, injected float64
+			for i := 0; i < b.N; i++ {
+				sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err := workload.Run(sys, cfg)
+				if err != nil {
+					sys.Shutdown()
+					b.Fatal(err)
+				}
+				svc := sys.Kernel.Services()
+				if _, _, err := svc.Faults.CrashAndSalvage(svc.Hierarchy); err != nil {
+					sys.Shutdown()
+					b.Fatal(err)
+				}
+				survival = 100 * (1 - float64(rep.Failed)/float64(rep.Conns))
+				cycles = float64(rep.Cycles)
+				injected = float64(svc.Faults.Counts().Total())
+				sys.Shutdown()
+			}
+			if survival < 99 {
+				b.Fatalf("survival %.1f%% below the 99%% floor", survival)
+			}
+			b.ReportMetric(survival, "%survival")
+			b.ReportMetric(cycles, "vcycles")
+			b.ReportMetric(injected, "injected")
 		})
 	}
 }

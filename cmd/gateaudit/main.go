@@ -107,7 +107,7 @@ func runtimeStats(s multics.Stage, top int, seed int64) {
 	fmt.Printf("\ntotals: %d gates exercised, %d calls, %d errors, %d rejected, %d vcycles\n",
 		len(used), calls, errs, rejected, vcycles)
 	fmt.Printf("trace ring: %d events recorded (capacity %d)\n",
-		sys.Kernel.TraceRing().Written(), sys.Kernel.TraceRing().Cap())
+		sys.Kernel.Services().Trace.Written(), sys.Kernel.Services().Trace.Cap())
 }
 
 func newKernel(s core.Stage) *core.Kernel {
@@ -139,9 +139,9 @@ func detail(s core.Stage) {
 	fmt.Printf("kernel inventory for %v\n\n", inv.Stage)
 
 	fmt.Println("user-available gates (hcs_):")
-	printGates(k.UserGates())
+	printGates(k.Services().UserGates)
 	fmt.Println("\nprivileged gates (phcs_, rings <= 2 only):")
-	printGates(k.PrivGates())
+	printGates(k.Services().PrivGates)
 
 	fmt.Println("\nnon-gate kernel modules:")
 	for _, m := range inv.Modules {

@@ -9,12 +9,19 @@
 //	loadgen -n 1000               # 1000 connections against the S6 kernel
 //	loadgen -n 100 -seed 42       # different traffic, still deterministic
 //	loadgen -n 32 -compare        # same storm on the legacy path vs S5+
+//	loadgen -n 32 -fault-rate 0.01 -fault-seed 7   # storm under injected faults
 //
 // With -compare the same scripts are replayed against the pre-S5 legacy
 // per-device drivers (fixed circular buffers, silent overwrites counted
 // by the kernel) and against the consolidated attachment path (infinite
 // VM-backed buffers): the legacy run loses traffic, the S5+ run loses
 // none.
+//
+// With -fault-rate > 0 the kernel is booted with a deterministic fault
+// plan (see internal/faults): backing-store errors, connection resets
+// and stalls land per the seeded plan, the recovery paths absorb them,
+// and sessions that still die are counted in the report's failed column
+// instead of aborting the run.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/workload"
 	"repro/multics"
 )
@@ -33,16 +41,50 @@ func main() {
 	burst := flag.Int("burst", 0, "requests fired back-to-back per connection (default: steps)")
 	users := flag.Int("users", 0, "distinct accounts (default: min(n, 8))")
 	seed := flag.Int64("seed", 75, "script generator seed")
+	par := flag.Int("par", 1, "worker goroutines replaying the connections")
 	stage := flag.Int("stage", int(core.S6Restructured), "kernel stage (0..6)")
 	compare := flag.Bool("compare", false, "also replay the same storm on the legacy S0 path")
+	faultRate := flag.Float64("fault-rate", 0, "uniform fault-injection rate in [0, 1]; 0 disables the fault plane")
+	faultSeed := flag.Int64("fault-seed", 1, "fault plan seed (only with -fault-rate > 0)")
 	flag.Parse()
 
-	if *stage < int(core.S0Baseline) || *stage > int(core.S6Restructured) {
-		fmt.Fprintf(os.Stderr, "loadgen: stage %d out of range 0..6\n", *stage)
+	// Contradictory flags are a usage error, not a workload: reject them
+	// up front with exit code 2 rather than letting the engine translate
+	// them into a half-configured run.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+		flag.Usage()
 		os.Exit(2)
 	}
+	if *n < 1 {
+		fail("-n %d: need at least one connection", *n)
+	}
+	if *steps < 1 {
+		fail("-steps %d: need at least one request per session", *steps)
+	}
+	if *burst < 0 {
+		fail("-burst %d: cannot be negative", *burst)
+	}
+	if *users < 0 {
+		fail("-users %d: cannot be negative", *users)
+	}
+	if *par < 1 {
+		fail("-par %d: need at least one worker", *par)
+	}
+	if *faultRate < 0 || *faultRate > 1 || *faultRate != *faultRate {
+		fail("-fault-rate %v: must be a probability in [0, 1]", *faultRate)
+	}
+	if *stage < int(core.S0Baseline) || *stage > int(core.S6Restructured) {
+		fail("-stage %d: out of range 0..6", *stage)
+	}
+
 	cfg := workload.Config{
 		Conns: *n, Steps: *steps, Burst: *burst, Users: *users, Seed: *seed,
+		Parallelism: *par,
+	}
+	if *faultRate > 0 {
+		spec := faults.UniformSpec(*faultSeed, *faultRate, 0)
+		cfg.Faults = &spec
 	}
 
 	rep, err := workload.RunAt(multics.Stage(*stage), cfg)

@@ -46,7 +46,7 @@ func run(stage core.Stage, pentest bool) error {
 	defer sys.Shutdown()
 	k := sys.Kernel
 	fmt.Printf("  boot pattern: %s (%d privileged steps), machine: %s\n",
-		k.BootReport, k.PrivilegedBootSteps, k.Cost().Name)
+		k.BootReport, k.PrivilegedBootSteps, k.Services().Cost.Name)
 	inv := k.Inventory()
 	fmt.Printf("  kernel: %d gates (%d user-available), %d code units\n\n",
 		inv.Gates, inv.UserGates, inv.TotalUnits)
@@ -166,7 +166,7 @@ func run(stage core.Stage, pentest bool) error {
 	fmt.Println("secret session: read down allowed, write down denied (*-property)")
 
 	fmt.Printf("\nvirtual time elapsed: %d cycles; page faults handled: %d\n",
-		k.Clock().Now(), k.Pager().Stats().Faults)
+		k.Services().Clock.Now(), k.Services().Pager.Stats().Faults)
 
 	if pentest {
 		fmt.Println("\npenetration suite:")

@@ -37,7 +37,7 @@ func main() {
 
 	// An upgraded segment: created at the low level, labelled secret, with
 	// a wide-open discretionary ACL — only the mandatory rules govern.
-	h := sys.Kernel.Hierarchy()
+	h := sys.Kernel.Services().Hierarchy
 	world := acl.New(acl.Entry{
 		Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
 		Mode: acl.ModeRead | acl.ModeWrite,

@@ -88,8 +88,8 @@ func runStorm(stage multics.Stage) {
 			}
 		})
 	}
-	sys.Kernel.Scheduler().Run(0)
-	if blocked := sys.Kernel.Scheduler().BlockedProcesses(); len(blocked) > 0 {
+	sys.Kernel.Services().Scheduler.Run(0)
+	if blocked := sys.Kernel.Services().Scheduler.BlockedProcesses(); len(blocked) > 0 {
 		for _, b := range blocked {
 			if b.State() == sched.StateBlocked && b.Name != "core-freeing" && b.Name != "bulk-freeing" {
 				log.Fatalf("deadlock: %s blocked on %s", b.Name, b.BlockReason())
@@ -97,15 +97,15 @@ func runStorm(stage multics.Stage) {
 		}
 	}
 
-	st := sys.Kernel.Pager().Stats()
-	ts := sys.Kernel.Store().Stats()
+	st := sys.Kernel.Services().Pager.Stats()
+	ts := sys.Kernel.Services().Store.Stats()
 	fmt.Printf("  faults: %d, faulter ops: %d, faulter evictions: %d, max cascade: %d\n",
 		st.Faults, st.FaulterSteps, st.FaulterEvictions, st.MaxCascade)
 	fmt.Printf("  transfers: core->bulk %d, bulk->disk %d, bulk->core %d, disk->core %d\n",
 		ts.CoreToBulk, ts.BulkToDisk, ts.BulkToCore, ts.DiskToCore)
 	fmt.Printf("  mean fault wait: %d vcycles; total virtual time: %d\n",
-		st.WaitCycles/max64(st.Faults, 1), sys.Kernel.Clock().Now())
-	for _, vp := range sys.Kernel.Scheduler().VPs() {
+		st.WaitCycles/max64(st.Faults, 1), sys.Kernel.Services().Clock.Now())
+	for _, vp := range sys.Kernel.Services().Scheduler.VPs() {
 		if vp.Dedicated {
 			fmt.Printf("  kernel process on %-18s busy %d vcycles\n", vp.Name, vp.BusyCycles())
 		}

@@ -91,5 +91,5 @@ func main() {
 	fmt.Println("fib(20) via dynamic link =", out[0])
 
 	fmt.Printf("virtual time: %d cycles, page faults: %d\n",
-		sys.Kernel.Clock().Now(), sys.Kernel.Pager().Stats().Faults)
+		sys.Kernel.Services().Clock.Now(), sys.Kernel.Services().Pager.Stats().Faults)
 }

@@ -121,7 +121,7 @@ func (s *Suite) gateArgumentAbuse() (res Result) {
 	}()
 	crashesBefore := s.k.SystemCrashes
 	tried, rejected, malfunctions := 0, 0, 0
-	for _, name := range s.k.UserGates().Names() {
+	for _, name := range s.k.Services().UserGates.Names() {
 		for _, args := range [][]uint64{
 			nil,
 			{0xffffffffffffffff},
@@ -156,7 +156,7 @@ func (s *Suite) gateArgumentAbuse() (res Result) {
 	}
 	res.Outcome = Blocked
 	res.Detail = fmt.Sprintf("%d malformed calls across %d gates all rejected cleanly (%d by the argument validator)",
-		tried, len(s.k.UserGates().Names()), rejected)
+		tried, len(s.k.Services().UserGates.Names()), rejected)
 	return res
 }
 
@@ -166,7 +166,7 @@ func (s *Suite) gateArgumentAbuse() (res Result) {
 // attacker's own ring (contained).
 func (s *Suite) malformedLinkerInput() Result {
 	res := Result{Attack: "malformed-linker-input"}
-	h := s.k.Hierarchy()
+	h := s.k.Services().Hierarchy
 	lib, err := h.Create(attackerID, unc, fs.RootUID, "mallory_lib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
 	if err != nil {
 		res.Outcome = Blocked
@@ -192,7 +192,7 @@ func (s *Suite) malformedLinkerInput() Result {
 	}
 
 	crashesBefore := s.k.SystemCrashes
-	if s.k.Stage() < core.S1LinkerRemoved {
+	if s.k.Services().Stage < core.S1LinkerRemoved {
 		// The kernel linker parses it via the gate.
 		lOff, lLen, _ := s.attacker.GateString(">mallory_lib")
 		if _, err := s.attacker.CallGate("hcs_$add_search_rule", lOff, lLen); err != nil {
@@ -205,7 +205,7 @@ func (s *Suite) malformedLinkerInput() Result {
 		_, err = s.attacker.CallGate("hcs_$link_snap", sOff, sLen, eOff, eLen)
 	} else {
 		// The user-ring linker parses it.
-		ul := linker.New(&uidEnv{p: s.attacker, uid: uid, stage: s.k.Stage()}, machine.UserRing)
+		ul := linker.New(&uidEnv{p: s.attacker, uid: uid, stage: s.k.Services().Stage}, machine.UserRing)
 		s.attacker.CPU.Linker = ul
 		_, err = s.attacker.CPU.CallSym(core.SegArgs, machine.LinkRef{SegName: "evil", EntryName: "main"}, nil)
 		s.attacker.CPU.Linker = nil
@@ -275,7 +275,7 @@ func (s *Suite) directRingViolation() Result {
 // declared gates.
 func (s *Suite) nonGateEntryProbe() Result {
 	res := Result{Attack: "non-gate-entry-probe"}
-	n := s.k.UserGates().Count()
+	n := s.k.Services().UserGates.Count()
 	for probe := n; probe < n+8; probe++ {
 		if _, err := s.attacker.CPU.Call(core.SegHCS, probe, nil); !machine.IsFaultClass(err, machine.FaultGate) {
 			res.Outcome = SupervisorCompromise
@@ -291,7 +291,7 @@ func (s *Suite) nonGateEntryProbe() Result {
 // privilegedGateProbe calls every phcs_ gate from the user ring.
 func (s *Suite) privilegedGateProbe() Result {
 	res := Result{Attack: "privileged-gate-probe"}
-	for _, name := range s.k.PrivGates().Names() {
+	for _, name := range s.k.Services().PrivGates.Names() {
 		if _, err := s.attacker.CallGate(name, 0, 0); !machine.IsFaultClass(err, machine.FaultRing) {
 			res.Outcome = SupervisorCompromise
 			res.Detail = fmt.Sprintf("%s reachable from user ring: %v", name, err)
@@ -299,14 +299,14 @@ func (s *Suite) privilegedGateProbe() Result {
 		}
 	}
 	res.Outcome = Blocked
-	res.Detail = fmt.Sprintf("%d privileged gates all refused ring-4 callers", s.k.PrivGates().Count())
+	res.Detail = fmt.Sprintf("%d privileged gates all refused ring-4 callers", s.k.Services().PrivGates.Count())
 	return res
 }
 
 // aclBypassProbe tries to initiate the victim's private segment.
 func (s *Suite) aclBypassProbe() Result {
 	res := Result{Attack: "acl-bypass-probe"}
-	uid, err := s.k.Hierarchy().Create(victimID, unc, fs.RootUID, "victor_private", fs.CreateOptions{
+	uid, err := s.k.Services().Hierarchy.Create(victimID, unc, fs.RootUID, "victor_private", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: unc, Length: 8,
 	})
 	if err != nil {
@@ -327,7 +327,7 @@ func (s *Suite) aclBypassProbe() Result {
 
 // tryInitiate initiates a segment by path (stage-appropriately).
 func (s *Suite) tryInitiate(p *core.Proc, path string, uid uint64) error {
-	if s.k.Stage() < core.S2RefNamesRemoved {
+	if s.k.Services().Stage < core.S2RefNamesRemoved {
 		pOff, pLen, err := p.GateString(path)
 		if err != nil {
 			return err
@@ -343,7 +343,7 @@ func (s *Suite) tryInitiate(p *core.Proc, path string, uid uint64) error {
 // process that holds discretionary access.
 func (s *Suite) mlsReadUpProbe() Result {
 	res := Result{Attack: "mls-read-up-probe"}
-	uid, err := s.k.Hierarchy().Create(attackerID, unc, fs.RootUID, "upgraded", fs.CreateOptions{
+	uid, err := s.k.Services().Hierarchy.Create(attackerID, unc, fs.RootUID, "upgraded", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: mls.NewLabel(mls.Secret), Length: 8,
 		ACL: acl.New(acl.Entry{
 			Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
@@ -382,7 +382,7 @@ func (s *Suite) mlsReadUpProbe() Result {
 // cannot write.
 func (s *Suite) eventChannelAbuse() Result {
 	res := Result{Attack: "event-channel-abuse"}
-	h := s.k.Hierarchy()
+	h := s.k.Services().Hierarchy
 	uid, err := h.Create(victimID, unc, fs.RootUID, "victor_mailbox", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: unc, Length: 8,
 	})
@@ -477,7 +477,7 @@ func (s *Suite) trojanHorseConfined() Result {
 // <= 4 only) and runs borrowed attacker code in execRing that tries to
 // read it. It reports whether the secret leaked.
 func (s *Suite) stageTrojan(execRing machine.Ring) (bool, error) {
-	h := s.k.Hierarchy()
+	h := s.k.Services().Hierarchy
 	name := fmt.Sprintf("victor_notes_r%d", int(execRing))
 	uid, err := h.Create(victimID, unc, fs.RootUID, name, fs.CreateOptions{
 		Kind: fs.KindSegment, Label: unc, Length: 8,

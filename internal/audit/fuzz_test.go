@@ -29,7 +29,7 @@ func TestFuzzGateSurface(t *testing.T) {
 			}
 			p := s.attacker
 			rng := rand.New(rand.NewSource(1975))
-			names := k.UserGates().Names()
+			names := k.Services().UserGates.Names()
 
 			defer func() {
 				if r := recover(); r != nil {
@@ -85,7 +85,7 @@ func TestFuzzGateSurface(t *testing.T) {
 				}
 				uid = out2[0]
 			}
-			if _, err := k.Hierarchy().Object(uid); err != nil {
+			if _, err := k.Services().Hierarchy.Object(uid); err != nil {
 				t.Fatalf("post-fuzz object: %v", err)
 			}
 
@@ -113,7 +113,7 @@ func TestFuzzSymtabThroughKernelLinker(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := s.attacker
-	h := k.Hierarchy()
+	h := k.Services().Hierarchy
 	lib, err := h.Create(attackerID, unc, 1, "fuzzlib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
 	if err != nil {
 		t.Fatal(err)

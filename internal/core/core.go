@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/auth"
+	"repro/internal/faults"
 	"repro/internal/fs"
 	"repro/internal/gate"
 	"repro/internal/machine"
@@ -96,6 +97,11 @@ type Config struct {
 	DescriptorSlots int
 	// RootLabel is the mandatory label of the file-system root.
 	RootLabel mls.Label
+	// Faults, when non-nil, compiles a deterministic fault plan from the
+	// spec and installs its injector across the kernel's layers (backing
+	// store now; connections when a front-end wires itself in). This is
+	// the fault plane's single entry point — there is no post-hoc setter.
+	Faults *faults.Spec
 }
 
 // Well-known per-process segment numbers.
@@ -138,6 +144,10 @@ type Kernel struct {
 
 	registry *auth.Registry
 	answer   *auth.Service
+
+	// faults is the fault plane's injector, when Config.Faults asked for
+	// one; nil otherwise.
+	faults *faults.Injector
 
 	// programs maps segment UID -> executable body for initiated
 	// procedure segments.
@@ -214,10 +224,16 @@ func New(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building file hierarchy: %w", err)
 	}
+	if cfg.Faults != nil {
+		plan, err := faults.Compile(*cfg.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling fault plan: %w", err)
+		}
+		k.faults = faults.NewInjector(plan, k.clock, k.trace)
+		k.store.SetFaultHook(k.faults)
+	}
 	k.sch = sched.New(k.clock)
-	k.sch.SetTrace(func(name string, elapsed int64) {
-		k.trace.Record(gate.TraceEvent{Stage: gate.StageSched, Name: name, Cost: elapsed})
-	})
+	k.sch.SetSink(k.trace)
 	// Layer 1: a fixed set of virtual processors. Two pooled VPs serve the
 	// layer-2 Multics processes at every stage; the restructured kernel
 	// adds dedicated VPs for its kernel processes below.
@@ -255,45 +271,71 @@ func New(cfg Config) (*Kernel, error) {
 	return k, nil
 }
 
-// Accessors used by experiments, examples, and the facade.
+// Deprecated accessors, kept as thin shims over the Services facade
+// (facade.go) so out-of-tree callers migrate at their own pace; in-tree
+// callers use Services().
 
 // Stage returns the kernel's configuration stage.
+//
+// Deprecated: use Services().Stage.
 func (k *Kernel) Stage() Stage { return k.cfg.Stage }
 
 // Clock returns the system virtual clock.
+//
+// Deprecated: use Services().Clock.
 func (k *Kernel) Clock() *machine.Clock { return k.clock }
 
 // Cost returns the machine cost model in use.
+//
+// Deprecated: use Services().Cost.
 func (k *Kernel) Cost() machine.CostModel { return k.cost }
 
 // Store returns the memory hierarchy.
+//
+// Deprecated: use Services().Store.
 func (k *Kernel) Store() *mem.Store { return k.store }
 
 // Hierarchy returns the file hierarchy. It is exported for examples and
 // experiments; simulated user code must go through the gates.
+//
+// Deprecated: use Services().Hierarchy.
 func (k *Kernel) Hierarchy() *fs.Hierarchy { return k.hier }
 
 // Scheduler returns the process scheduler.
+//
+// Deprecated: use Services().Scheduler.
 func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
 
 // Pager returns the active page-control implementation.
+//
+// Deprecated: use Services().Pager.
 func (k *Kernel) Pager() pagectl.Pager { return k.pager }
 
 // UserRegistry returns the answering service's user data base.
+//
+// Deprecated: use Services().Users.
 func (k *Kernel) UserRegistry() *auth.Registry { return k.registry }
 
 // AnsweringService returns the login service.
+//
+// Deprecated: use Services().Answering.
 func (k *Kernel) AnsweringService() *auth.Service { return k.answer }
 
 // TraceRing returns the kernel-crossing trace ring. All layers of the
-// spine — gate dispatch, fault delivery, scheduling, network attachment —
-// record into this one ring.
+// spine — gate dispatch, fault delivery, scheduling, network attachment,
+// fault injection — record into this one ring.
+//
+// Deprecated: use Services().Trace.
 func (k *Kernel) TraceRing() *gate.TraceRing { return k.trace }
 
 // UserGates returns the user-available gate registry.
+//
+// Deprecated: use Services().UserGates.
 func (k *Kernel) UserGates() *gate.Registry { return k.regUser }
 
 // PrivGates returns the privileged gate registry.
+//
+// Deprecated: use Services().PrivGates.
 func (k *Kernel) PrivGates() *gate.Registry { return k.regPriv }
 
 // Shutdown stops kernel processes; the kernel is unusable afterwards.

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/auth"
+	"repro/internal/faults"
+	"repro/internal/fs"
+	"repro/internal/gate"
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/mls"
+	"repro/internal/pagectl"
+	"repro/internal/sched"
+)
+
+// Services is the kernel's service facade: every subsystem a caller
+// outside the kernel may legitimately touch, gathered in one value.
+// It replaces the crop of ad-hoc per-subsystem accessors that grew on
+// Kernel — one method per field, each added for one caller — with a
+// single surface that new subsystems (most recently the fault plane)
+// join without minting another accessor.
+//
+// The fields are live references into the running kernel, not copies;
+// a Services value is cheap to obtain and need not be retained.
+type Services struct {
+	// Stage is the kernel configuration stage.
+	Stage Stage
+	// Clock is the system virtual clock.
+	Clock *machine.Clock
+	// Cost is the machine cost model in use.
+	Cost machine.CostModel
+	// Store is the memory hierarchy.
+	Store *mem.Store
+	// Hierarchy is the file hierarchy. Simulated user code must go
+	// through the gates; this reference is for experiments and drivers.
+	Hierarchy *fs.Hierarchy
+	// Scheduler is the process scheduler.
+	Scheduler *sched.Scheduler
+	// Pager is the active page-control implementation.
+	Pager pagectl.Pager
+	// Users is the answering service's user data base.
+	Users *auth.Registry
+	// Answering is the login service.
+	Answering *auth.Service
+	// Trace is the kernel-crossing trace ring. Every layer of the spine
+	// — gate dispatch, fault delivery, scheduling, network attachment,
+	// fault injection — records into this one ring.
+	Trace *gate.TraceRing
+	// UserGates and PrivGates are the hcs_ / phcs_ gate registries.
+	UserGates *gate.Registry
+	PrivGates *gate.Registry
+	// Faults is the fault plane's injector, nil unless the kernel was
+	// built with a fault spec (Config.Faults / WithFaults).
+	Faults *faults.Injector
+}
+
+// Services returns the kernel's service facade.
+func (k *Kernel) Services() Services {
+	return Services{
+		Stage:     k.cfg.Stage,
+		Clock:     k.clock,
+		Cost:      k.cost,
+		Store:     k.store,
+		Hierarchy: k.hier,
+		Scheduler: k.sch,
+		Pager:     k.pager,
+		Users:     k.registry,
+		Answering: k.answer,
+		Trace:     k.trace,
+		UserGates: k.regUser,
+		PrivGates: k.regPriv,
+		Faults:    k.faults,
+	}
+}
+
+// Option configures kernel construction. Options compose left to right
+// over a zero Config, so NewKernel(WithStage(s)) is New(Config{Stage: s}).
+type Option func(*Config)
+
+// WithStage selects the kernel configuration stage.
+func WithStage(s Stage) Option { return func(c *Config) { c.Stage = s } }
+
+// WithCost sets the machine cost model, overriding the stage default.
+func WithCost(cm machine.CostModel) Option { return func(c *Config) { c.Cost = &cm } }
+
+// WithMem sizes the memory hierarchy.
+func WithMem(mc mem.Config) Option { return func(c *Config) { c.Mem = &mc } }
+
+// WithDescriptorSlots sets the per-process descriptor-segment size.
+func WithDescriptorSlots(n int) Option { return func(c *Config) { c.DescriptorSlots = n } }
+
+// WithRootLabel sets the mandatory label of the file-system root.
+func WithRootLabel(l mls.Label) Option { return func(c *Config) { c.RootLabel = l } }
+
+// WithFaults installs a deterministic fault plan compiled from spec.
+// This is how the fault plane hooks into the kernel — at construction,
+// through the same door as every other parameter, not via a setter
+// bolted on after boot.
+func WithFaults(spec faults.Spec) Option { return func(c *Config) { c.Faults = &spec } }
+
+// NewKernel builds and boots a kernel from functional options. It is
+// equivalent to New with the composed Config and is the preferred
+// construction path.
+func NewKernel(opts ...Option) (*Kernel, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}

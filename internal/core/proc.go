@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/acl"
-	"repro/internal/gate"
 	"repro/internal/kst"
 	"repro/internal/linker"
 	"repro/internal/machine"
@@ -73,17 +72,7 @@ func (k *Kernel) CreateProcess(name string, who acl.Principal, label mls.Label, 
 	}
 	// Fault delivery feeds the kernel-crossing trace spine: every fault
 	// this processor charges becomes a StageFault event in the ring.
-	cpu.SetFaultTrace(func(f *machine.Fault) {
-		k.trace.Record(gate.TraceEvent{
-			Stage:   gate.StageFault,
-			Name:    f.Class.String(),
-			Ring:    f.Ring,
-			Subject: uint64(f.Seg),
-			Arg:     uint64(f.Offset),
-			Outcome: gate.Classify(f),
-			Detail:  f.Detail,
-		})
-	})
+	cpu.SetSink(k.trace)
 
 	// The user-available gate segment: callable from any ring via its
 	// declared gates, executing in ring 0.

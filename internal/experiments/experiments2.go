@@ -399,5 +399,8 @@ func RunAll() []Report {
 		E11MLSPartitioning(),
 		E12BootComplexity(),
 		E13NetAttach(),
+		// E14 measures wall-clock scaling and is registered only in
+		// cmd/experiments; E15 is deterministic and belongs here.
+		E15FaultStorm(),
 	}
 }

@@ -25,6 +25,7 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/acl"
 	"repro/internal/machine"
@@ -155,6 +156,18 @@ func (h *Hierarchy) Store() *mem.Store { return h.store }
 
 // Count returns the number of live objects in the hierarchy.
 func (h *Hierarchy) Count() int { return len(h.objects) }
+
+// UIDs returns every live object UID in ascending order. The fault
+// plane uses the list to choose deterministic corruption targets for a
+// simulated crash; the salvager's own walk does not need it.
+func (h *Hierarchy) UIDs() []uint64 {
+	out := make([]uint64, 0, len(h.objects))
+	for uid := range h.objects {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 // Object returns the object with the given UID.
 func (h *Hierarchy) Object(uid uint64) (*Object, error) {

@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // The salvager: the hierarchy consistency checker that the real system ran
@@ -92,6 +93,32 @@ func (r *SalvageReport) Count(k ProblemKind) int {
 
 // Clean reports whether no problems were found.
 func (r *SalvageReport) Clean() bool { return len(r.Problems) == 0 }
+
+// Repaired returns the number of problems the salvager fixed.
+func (r *SalvageReport) Repaired() int {
+	n := 0
+	for _, p := range r.Problems {
+		if p.Repaired {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders the report canonically — a summary line followed by one
+// line per problem in walk order. The walk is deterministic (sorted
+// names, sorted UIDs), so two runs that found the same damage produce
+// byte-identical renderings; the fault-storm experiment compares reports
+// across parallelism levels this way.
+func (r *SalvageReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "salvage: walked %d objects, %d problems, %d repaired\n",
+		r.ObjectsWalked, len(r.Problems), r.Repaired())
+	for _, p := range r.Problems {
+		fmt.Fprintf(&b, "  %s\n", p)
+	}
+	return b.String()
+}
 
 // Salvage walks the hierarchy and verifies its invariants. With repair set
 // it fixes what it safely can: dangling entries are removed, orphans are

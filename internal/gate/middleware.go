@@ -111,10 +111,11 @@ func traceMW(r *Registry) Middleware {
 			var clk *machine.Clock
 			var before int64
 			if ctx != nil {
-				ev.Ring = ctx.Ring()
+				ev.Ring = int(ctx.Ring())
 				if p := ctx.Processor(); p != nil && p.Clock != nil {
 					clk = p.Clock
 					before = clk.Now()
+					ev.At = before
 				}
 			}
 			out, err := next(ctx, args)

@@ -5,54 +5,37 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
-// Class is the gatekeeper's error taxonomy. Every error that escapes a
-// gate body is classified into one of these buckets so callers — the
-// kernel-malfunction accounting, the audit suite, the trace ring — can
-// reason about outcomes without matching on error strings.
-type Class int
+// Class is the gatekeeper's error taxonomy. The vocabulary lives in the
+// leaf package repro/internal/trace (so the whole spine shares one
+// outcome type); the structural classifier below stays here because it
+// knows the machine and mem error shapes.
+//
+// Deprecated: use trace.Class.
+type Class = trace.Class
 
 const (
 	// ClassOK: the gate call succeeded.
-	ClassOK Class = iota
+	ClassOK = trace.ClassOK
 	// ClassBadArgs: the argument list was malformed (oversized, wrong
 	// arity, missing argument) and was rejected by the gatekeeper or by
 	// the gate body's own validation.
-	ClassBadArgs
+	ClassBadArgs = trace.ClassBadArgs
 	// ClassAccessDenied: the reference monitor refused the request (ring
 	// bracket, access mode, gate, or mandatory-policy violation).
-	ClassAccessDenied
+	ClassAccessDenied = trace.ClassAccessDenied
 	// ClassMalfunction: the supervisor itself failed — the condition the
 	// paper's review activity calls a "supervisor malfunction".
-	ClassMalfunction
+	ClassMalfunction = trace.ClassMalfunction
 	// ClassBusy: a resource was transiently unavailable (e.g. a frame
 	// changed state mid-transfer); the caller may retry.
-	ClassBusy
+	ClassBusy = trace.ClassBusy
 	// ClassFailed: any other gate-body failure (no such entry, bad mode,
 	// quota exceeded, ...).
-	ClassFailed
+	ClassFailed = trace.ClassFailed
 )
-
-// String names the class for traces and reports.
-func (c Class) String() string {
-	switch c {
-	case ClassOK:
-		return "ok"
-	case ClassBadArgs:
-		return "bad-args"
-	case ClassAccessDenied:
-		return "access-denied"
-	case ClassMalfunction:
-		return "kernel-malfunction"
-	case ClassBusy:
-		return "resource-busy"
-	case ClassFailed:
-		return "failed"
-	default:
-		return "unknown"
-	}
-}
 
 // Error is a classified gate error. Error() returns the underlying
 // message verbatim — classification adds metadata, never rewrites the

@@ -1,153 +1,49 @@
 package gate
 
 import (
-	"sort"
-	"sync/atomic"
-
-	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
+// The trace spine — event, stage, sink, and ring — lives in the leaf
+// package repro/internal/trace so machine, sched, netattach, and faults
+// can all accept a trace.Sink without import cycles. The historical
+// gate.Trace* names are preserved here as aliases; new code should use
+// package trace directly.
+
 // TraceStage identifies which layer of the kernel-crossing pipeline
-// emitted a trace event. One ring buffer tells the whole story of a
-// request: gate entry, fault delivery, scheduler dispatch, and network
-// attachment lifecycle all record into the same spine.
-type TraceStage int
+// emitted a trace event.
+//
+// Deprecated: use trace.Stage.
+type TraceStage = trace.Stage
 
 const (
 	// StageGate: a gate entry was invoked through the gatekeeper.
-	StageGate TraceStage = iota
+	StageGate = trace.StageGate
 	// StageFault: the processor delivered a fault.
-	StageFault
+	StageFault = trace.StageFault
 	// StageSched: the scheduler dispatched a process.
-	StageSched
+	StageSched = trace.StageSched
 	// StageNet: a network attachment lifecycle transition.
-	StageNet
+	StageNet = trace.StageNet
 )
 
-func (s TraceStage) String() string {
-	switch s {
-	case StageGate:
-		return "gate"
-	case StageFault:
-		return "fault"
-	case StageSched:
-		return "sched"
-	case StageNet:
-		return "net"
-	default:
-		return "?"
-	}
-}
-
 // TraceEvent is one record in the kernel-crossing trace.
-type TraceEvent struct {
-	// Seq is the event's claim order in the ring (monotonic).
-	Seq uint64
-	// Stage is the pipeline layer that emitted the event.
-	Stage TraceStage
-	// Name identifies the crossing: gate name, fault class, process
-	// name, or lifecycle transition.
-	Name string
-	// Ring is the caller's ring of execution at the crossing.
-	Ring machine.Ring
-	// Subject identifies the actor (connection id, process ordinal, ...)
-	// where the stage has one; zero otherwise.
-	Subject uint64
-	// Arg carries one stage-specific operand (first gate argument,
-	// request word, fault segment, ...).
-	Arg uint64
-	// Outcome classifies how the crossing ended.
-	Outcome Class
-	// Cost is the virtual-time cost charged to the crossing, in vcycles.
-	Cost int64
-	// Detail is an optional human-readable annotation.
-	Detail string
-}
+//
+// Deprecated: use trace.Event.
+type TraceEvent = trace.Event
 
-// TraceSink receives trace events. Implementations must be safe for
-// concurrent use; the spine calls Record from every worker.
-type TraceSink interface {
-	Record(ev TraceEvent)
-}
+// TraceSink receives trace events.
+//
+// Deprecated: use trace.Sink.
+type TraceSink = trace.Sink
 
 // TraceRing is a fixed-size lock-free ring buffer of trace events.
-// Writers claim a slot with a single atomic add and publish the event
-// with an atomic pointer store; the ring never blocks and old events are
-// overwritten once the ring wraps. A disabled ring drops events at the
-// cost of one atomic load.
-type TraceRing struct {
-	slots   []atomic.Pointer[TraceEvent]
-	mask    uint64
-	cursor  atomic.Uint64
-	enabled atomic.Bool
-}
+//
+// Deprecated: use trace.Ring.
+type TraceRing = trace.Ring
 
 // NewTraceRing returns an enabled ring holding at least size events
 // (rounded up to a power of two; minimum 16).
-func NewTraceRing(size int) *TraceRing {
-	n := 16
-	for n < size {
-		n <<= 1
-	}
-	r := &TraceRing{slots: make([]atomic.Pointer[TraceEvent], n), mask: uint64(n - 1)}
-	r.enabled.Store(true)
-	return r
-}
-
-// SetEnabled turns recording on or off. Disabling is how benchmarks
-// measure the spine's overhead floor.
-func (r *TraceRing) SetEnabled(on bool) {
-	if r != nil {
-		r.enabled.Store(on)
-	}
-}
-
-// Enabled reports whether the ring is recording.
-func (r *TraceRing) Enabled() bool { return r != nil && r.enabled.Load() }
-
-// Record claims the next slot and publishes ev. Safe for concurrent
-// writers; a nil or disabled ring drops the event.
-func (r *TraceRing) Record(ev TraceEvent) {
-	if r == nil || !r.enabled.Load() {
-		return
-	}
-	seq := r.cursor.Add(1) - 1
-	ev.Seq = seq
-	e := ev
-	r.slots[seq&r.mask].Store(&e)
-}
-
-// Written returns the number of events recorded since creation,
-// including events already overwritten by wraparound.
-func (r *TraceRing) Written() uint64 {
-	if r == nil {
-		return 0
-	}
-	return r.cursor.Load()
-}
-
-// Cap returns the ring capacity in events.
-func (r *TraceRing) Cap() int {
-	if r == nil {
-		return 0
-	}
-	return len(r.slots)
-}
-
-// Snapshot copies the currently published events out of the ring, oldest
-// first by sequence number. Under concurrent writers the snapshot is a
-// best-effort cut: each slot is read atomically, but slots race with
-// overwrites, so Snapshot is for inspection and post-run reporting.
-func (r *TraceRing) Snapshot() []TraceEvent {
-	if r == nil {
-		return nil
-	}
-	out := make([]TraceEvent, 0, len(r.slots))
-	for i := range r.slots {
-		if p := r.slots[i].Load(); p != nil {
-			out = append(out, *p)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
-	return out
-}
+//
+// Deprecated: use trace.NewRing.
+func NewTraceRing(size int) *TraceRing { return trace.NewRing(size) }

@@ -157,6 +157,27 @@ func (b *InfiniteBuffer) wordOf(msgIndex int) int { return msgIndex * wordsPerMe
 
 // writeWord stores one word, paging the frame in on demand (the buffer IS
 // the virtual memory).
+// pageRetryLimit bounds the buffer's page-in retries on transient
+// conditions — an injected backing-store I/O error (mem.ErrIO) or a
+// frame raced away mid-transfer (mem.ErrBusy). Buffers run outside any
+// process context, so the retry is immediate rather than backed off;
+// the bound converts a persistent fault into an error for the caller.
+const pageRetryLimit = 8
+
+// pageInRetry is store.PageIn with bounded retry on transient errors.
+func (b *InfiniteBuffer) pageInRetry(pid mem.PageID) error {
+	var err error
+	for attempt := 0; attempt < pageRetryLimit; attempt++ {
+		if _, _, err = b.store.PageIn(pid); err == nil {
+			return nil
+		}
+		if !errors.Is(err, mem.ErrIO) && !errors.Is(err, mem.ErrBusy) {
+			return err
+		}
+	}
+	return err
+}
+
 func (b *InfiniteBuffer) writeWord(off int, val uint64) error {
 	pw := b.store.Config().PageWords
 	pid := mem.PageID{SegUID: b.uid, Index: off / pw}
@@ -165,7 +186,7 @@ func (b *InfiniteBuffer) writeWord(off int, val uint64) error {
 		return err
 	}
 	if loc.Level != mem.LevelCore {
-		if _, _, err := b.store.PageIn(pid); err != nil {
+		if err := b.pageInRetry(pid); err != nil {
 			return err
 		}
 		loc, err = b.store.Locate(pid)
@@ -184,7 +205,7 @@ func (b *InfiniteBuffer) readWord(off int) (uint64, error) {
 		return 0, err
 	}
 	if loc.Level != mem.LevelCore {
-		if _, _, err := b.store.PageIn(pid); err != nil {
+		if err := b.pageInRetry(pid); err != nil {
 			return 0, err
 		}
 		loc, err = b.store.Locate(pid)

@@ -2,6 +2,8 @@ package machine
 
 import (
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // Procedure is the simulated code body of an executable segment. Each entry
@@ -71,9 +73,11 @@ type Processor struct {
 	assoc *AssocMemory
 	// traceFn, when set, observes every call for the audit subsystem.
 	traceFn func(ev TraceEvent)
-	// faultFn, when set, observes every delivered fault for the
-	// kernel-crossing trace spine.
+	// faultFn, when set, observes every delivered fault.
 	faultFn func(f *Fault)
+	// sink, when set, receives one trace.Event per delivered fault — the
+	// uniform spine hookup shared with sched, netattach, and faults.
+	sink trace.Sink
 }
 
 // TraceEvent describes one call observed by the processor trace hook.
@@ -136,7 +140,43 @@ func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
 // SetFaultTrace installs fn as the fault-delivery observer; nil disables
 // it. The observer sees every fault the processor charges, including page
 // and linkage faults that are subsequently handled.
+//
+// Deprecated: use SetSink, which records uniform trace.Events.
 func (p *Processor) SetFaultTrace(fn func(f *Fault)) { p.faultFn = fn }
+
+// SetSink directs fault delivery at s: every fault the processor
+// charges — including page and linkage faults that are subsequently
+// handled — is recorded as a trace.Event with Stage trace.StageFault,
+// stamped with the virtual cycle at delivery. A nil sink disables it.
+func (p *Processor) SetSink(s trace.Sink) { p.sink = s }
+
+// emitFault fans a delivered fault out to both observers.
+func (p *Processor) emitFault(f *Fault) {
+	if p.faultFn != nil {
+		p.faultFn(f)
+	}
+	if p.sink != nil {
+		outcome := trace.ClassFailed
+		switch f.Class {
+		case FaultAccess, FaultRing, FaultGate:
+			outcome = trace.ClassAccessDenied
+		}
+		var at int64
+		if p.Clock != nil {
+			at = p.Clock.Now()
+		}
+		p.sink.Record(trace.Event{
+			Stage:   trace.StageFault,
+			Name:    f.Class.String(),
+			Ring:    int(f.Ring),
+			Subject: uint64(f.Seg),
+			Arg:     uint64(f.Offset),
+			Outcome: outcome,
+			At:      at,
+			Detail:  f.Detail,
+		})
+	}
+}
 
 // SnapLink records a resolved link so later symbolic calls bypass the
 // linkage fault. It is exposed so a user-ring linker can snap links for the
@@ -162,9 +202,7 @@ func (p *Processor) SnappedLinkCount(inSeg SegNo) int { return len(p.linkage[inS
 func (p *Processor) fault(f *Fault) *Fault {
 	p.stats.Faults[f.Class]++
 	p.Clock.Advance(p.Cost.FaultOverhead)
-	if p.faultFn != nil {
-		p.faultFn(f)
-	}
+	p.emitFault(f)
 	return f
 }
 
@@ -252,9 +290,7 @@ func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val 
 		}
 		p.stats.Faults[FaultPage]++
 		p.Clock.Advance(p.Cost.FaultOverhead)
-		if p.faultFn != nil {
-			p.faultFn(&Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()})
-		}
+		p.emitFault(&Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()})
 		if p.Pager == nil || attempt > 0 {
 			return 0, &Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()}
 		}
@@ -400,9 +436,7 @@ func (p *Processor) CallSym(inSeg SegNo, ref LinkRef, args []uint64) ([]uint64, 
 	}
 	p.stats.Faults[FaultLinkage]++
 	p.Clock.Advance(p.Cost.FaultOverhead)
-	if p.faultFn != nil {
-		p.faultFn(&Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring, Detail: ref.SegName + "$" + ref.EntryName})
-	}
+	p.emitFault(&Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring, Detail: ref.SegName + "$" + ref.EntryName})
 	if p.Linker == nil {
 		return nil, &Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring,
 			Detail: fmt.Sprintf("no linker registered to resolve %v", ref)}

@@ -186,11 +186,15 @@ type Store struct {
 	freeFrames [numShards]freeShard
 	freeBlocks [numShards]freeShard
 
-	bulkToCore, diskToCore         atomic.Int64
-	coreToBulk, coreToDisk         atomic.Int64
-	bulkToDisk, diskToBulk         atomic.Int64
-	zeroFills                      atomic.Int64
-	frameSteals, blockSteals       atomic.Int64
+	bulkToCore, diskToCore   atomic.Int64
+	coreToBulk, coreToDisk   atomic.Int64
+	bulkToDisk, diskToBulk   atomic.Int64
+	zeroFills                atomic.Int64
+	frameSteals, blockSteals atomic.Int64
+
+	// hook, when set, interposes on every backing-store transfer; see
+	// faulthook.go.
+	hook atomic.Pointer[faultHookBox]
 }
 
 // SegmentPages is the page table of one segment. All access to it goes
@@ -570,6 +574,9 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 	}
 	loc, ok := sp.pages[pid.Index]
 	if !ok {
+		if err := s.checkIO(OpMaterialize, pid); err != nil {
+			return 0, 0, err
+		}
 		f, err := s.materializeZeroLocked(sp, pid)
 		return f, 0, err
 	}
@@ -577,6 +584,9 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 	case LevelCore:
 		return loc.Frame, 0, nil
 	case LevelBulk:
+		if err := s.checkIO(OpBulkRead, pid); err != nil {
+			return 0, 0, err
+		}
 		f, ok := s.takeFrame(pid)
 		if !ok {
 			return 0, 0, ErrNoFreeFrame
@@ -594,6 +604,9 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 		s.bulkToCore.Add(1)
 		return f, s.cfg.BulkRead, nil
 	case LevelDisk:
+		if err := s.checkIO(OpDiskRead, pid); err != nil {
+			return 0, 0, err
+		}
 		f, ok := s.takeFrame(pid)
 		if !ok {
 			return 0, 0, ErrNoFreeFrame
@@ -676,6 +689,9 @@ func (s *Store) EvictToBulk(f FrameID) (BlockID, int64, error) {
 	if sp.deleted {
 		return 0, 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
 	}
+	if err := s.checkIO(OpBulkWrite, pid); err != nil {
+		return 0, 0, err
+	}
 	b, ok := s.takeBlock(pid)
 	if !ok {
 		return 0, 0, ErrNoFreeBlock
@@ -685,6 +701,7 @@ func (s *Store) EvictToBulk(f FrameID) (BlockID, int64, error) {
 		putFree(&s.freeBlocks, int(b))
 		return 0, 0, err
 	}
+	s.pageOut(OpBulkWrite, pid, data)
 	bi := int(b) & stripeMask
 	s.blockMu[bi].Lock()
 	s.blocks[b] = block{pid: pid, data: data}
@@ -712,10 +729,14 @@ func (s *Store) EvictToDisk(f FrameID) (int64, error) {
 	if sp.deleted {
 		return 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
 	}
+	if err := s.checkIO(OpDiskWrite, pid); err != nil {
+		return 0, err
+	}
 	data, err := s.stripFrame(f, pid)
 	if err != nil {
 		return 0, err
 	}
+	s.pageOut(OpDiskWrite, pid, data)
 	s.diskMu.Lock()
 	s.disk[pid] = data
 	s.diskMu.Unlock()
@@ -750,6 +771,9 @@ func (s *Store) BulkToDisk(b BlockID) (int64, error) {
 	if sp.deleted {
 		return 0, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, pid.SegUID)
 	}
+	if err := s.checkIO(OpBulkToDisk, pid); err != nil {
+		return 0, err
+	}
 	s.blockMu[bi].Lock()
 	bl = &s.blocks[b]
 	if bl.free || bl.pid != pid {
@@ -761,6 +785,7 @@ func (s *Store) BulkToDisk(b BlockID) (int64, error) {
 	s.blockMu[bi].Unlock()
 	putFree(&s.freeBlocks, int(b))
 
+	s.pageOut(OpBulkToDisk, pid, data)
 	s.diskMu.Lock()
 	s.disk[pid] = data
 	s.diskMu.Unlock()

@@ -47,6 +47,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mls"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Errors returned by the front-end.
@@ -140,6 +141,11 @@ type Stats struct {
 	// observed.
 	PeakInput, PeakOutput int
 
+	// Stalls and Resets count injected connection faults absorbed by the
+	// drain-and-requeue recovery path: the service pass backed off and the
+	// connection was requeued with its input intact.
+	Stalls, Resets int64
+
 	// AttachP50/AttachP99 are attach-latency percentiles over all
 	// accepted connections (dial to attached, virtual cycles).
 	AttachP50, AttachP99 int64
@@ -149,6 +155,7 @@ type Stats struct {
 type Frontend struct {
 	mu    sync.Mutex
 	k     *core.Kernel
+	svc   core.Services
 	cfg   Config
 	login LoginFunc
 	sch   *sched.Scheduler
@@ -173,12 +180,16 @@ type Frontend struct {
 
 	// sink, when set, receives a copy of every lifecycle trace event the
 	// front-end emits (the kernel's trace ring always gets them).
-	sink gate.TraceSink
+	sink trace.Sink
+
+	// faults, when set, decides injected connection faults; see FaultPlane.
+	faults FaultPlane
 
 	// Running totals (closed connections fold in on finishClose).
 	accepted, rejected               int64
 	delivered, processed, replies    int64
 	drops, throttled                 int64
+	stalls, resets                   int64
 	closedInputLost, closedReplyLost int64
 	peakInput, peakOutput            int
 }
@@ -193,16 +204,23 @@ func New(k *core.Kernel, login LoginFunc, cfg Config) (*Frontend, error) {
 	if err := cfg.setDefaults(); err != nil {
 		return nil, err
 	}
+	svc := k.Services()
 	fe := &Frontend{
 		k:          k,
+		svc:        svc,
 		cfg:        cfg,
 		login:      login,
-		sch:        k.Scheduler(),
+		sch:        svc.Scheduler,
 		conns:      make(map[uint64]*Conn),
 		nextID:     1,
 		nextOutUID: 1,
 	}
-	if k.Stage() >= core.S5IOConsolidated {
+	// A kernel built with a fault plan extends the plan to connections:
+	// the front-end is the fault plane's netattach interposition point.
+	if svc.Faults != nil {
+		fe.faults = svc.Faults
+	}
+	if svc.Stage >= core.S5IOConsolidated {
 		mc := mem.DefaultConfig()
 		mc.CoreFrames = 2 * cfg.MaxConns
 		if mc.CoreFrames < 512 {
@@ -235,21 +253,51 @@ func New(k *core.Kernel, login LoginFunc, cfg Config) (*Frontend, error) {
 // Kernel returns the kernel this front-end serves.
 func (fe *Frontend) Kernel() *core.Kernel { return fe.k }
 
-// SetTraceSink installs an additional observer for the front-end's
-// lifecycle trace events; nil removes it. Events always reach the
-// kernel's trace ring regardless.
-func (fe *Frontend) SetTraceSink(sink gate.TraceSink) {
+// FaultPlane decides injected connection faults; the deterministic
+// implementation is the fault plane's injector (internal/faults). The
+// front-end calls the methods from inside the simulation, serialized
+// under its lock; a true return means the current service pass backs
+// off and the connection is requeued with its input intact — the
+// drain-and-requeue recovery path. Implementations must be
+// deterministic per connection, never dependent on scheduling.
+type FaultPlane interface {
+	// ConnReset reports whether the connection's pending read is reset
+	// mid-flight.
+	ConnReset(conn uint64) bool
+	// ConnStall reports whether the connection's service pass stalls.
+	ConnStall(conn uint64) bool
+}
+
+// SetFaultPlane installs fp as the front-end's connection fault
+// decider; nil removes it.
+func (fe *Frontend) SetFaultPlane(fp FaultPlane) {
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	fe.faults = fp
+}
+
+// SetSink installs an additional observer for the front-end's lifecycle
+// trace events; nil removes it. Events always reach the kernel's trace
+// ring regardless. This is the uniform spine hookup shared with
+// machine.Processor.SetSink and sched.Scheduler.SetSink.
+func (fe *Frontend) SetSink(sink trace.Sink) {
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
 	fe.sink = sink
 }
+
+// SetTraceSink installs an additional observer for the front-end's
+// lifecycle trace events; nil removes it.
+//
+// Deprecated: use SetSink; the signatures are identical.
+func (fe *Frontend) SetTraceSink(sink trace.Sink) { fe.SetSink(sink) }
 
 // emit records one StageNet lifecycle event into the kernel-crossing
 // trace spine and the optional sink. Caller holds fe.mu (directly or by
 // running inside the simulation under pump).
 func (fe *Frontend) emit(ev gate.TraceEvent) {
 	ev.Stage = gate.StageNet
-	fe.k.TraceRing().Record(ev)
+	fe.svc.Trace.Record(ev)
 	if fe.sink != nil {
 		fe.sink.Record(ev)
 	}
@@ -274,7 +322,7 @@ func (fe *Frontend) DialAsync(person, project, password string, level mls.Level)
 	c := &Conn{
 		fe: fe, id: fe.nextID,
 		person: person, project: project, password: password, level: level,
-		state: StatePending, dialedAt: fe.k.Clock().Now(),
+		state: StatePending, dialedAt: fe.svc.Clock.Now(),
 	}
 	fe.nextID++
 	fe.conns[c.id] = c
@@ -426,10 +474,35 @@ func (fe *Frontend) workerBody(pc *sched.ProcCtx) {
 	}
 }
 
+// resetPenalty and stallDelay are the virtual-time costs of the two
+// injected connection faults: a reset charges CPU for the re-attach
+// bookkeeping, a stall parks the worker before the connection is
+// requeued. Neither consumes input, so recovery is lossless.
+const (
+	resetPenalty = 16
+	stallDelay   = 64
+)
+
 // service reads the connection's queued input through the stage's read
-// gate and executes each request.
+// gate and executes each request. When a fault plane is installed, each
+// read attempt may be reset or stalled: the pass returns early without
+// consuming anything and workerBody requeues the connection while input
+// remains — drain-and-requeue, never data loss. (The fault plane itself
+// emits the injected-fault trace events; the front-end only counts.)
 func (fe *Frontend) service(pc *sched.ProcCtx, c *Conn) {
 	for c.state == StateAttached || c.state == StateDraining {
+		if fp := fe.faults; fp != nil {
+			if fp.ConnReset(c.id) {
+				fe.resets++
+				pc.Consume(resetPenalty)
+				return
+			}
+			if fp.ConnStall(c.id) {
+				fe.stalls++
+				pc.Sleep(stallDelay)
+				return
+			}
+		}
 		out, err := c.proc.CallGate(fe.readGate(), c.dev)
 		if err != nil {
 			c.fail(fmt.Errorf("netattach: read gate: %w", err))
@@ -617,6 +690,7 @@ func (fe *Frontend) Stats() Stats {
 		Accepted: fe.accepted, Rejected: fe.rejected, Active: len(fe.conns),
 		Delivered: fe.delivered, Processed: fe.processed, Replies: fe.replies,
 		ReplyDrops: fe.drops, Throttled: fe.throttled,
+		Stalls: fe.stalls, Resets: fe.resets,
 		InputLost: fe.closedInputLost, ReplyLost: fe.closedReplyLost,
 		PeakInput: fe.peakInput, PeakOutput: fe.peakOutput,
 	}
@@ -659,21 +733,21 @@ func (fe *Frontend) ReplyPages() int {
 
 // Gate names for the stage's attachment path.
 func (fe *Frontend) attachGate() string {
-	if fe.k.Stage() >= core.S5IOConsolidated {
+	if fe.svc.Stage >= core.S5IOConsolidated {
 		return "net_$attach"
 	}
 	return "ios_$tty_attach"
 }
 
 func (fe *Frontend) readGate() string {
-	if fe.k.Stage() >= core.S5IOConsolidated {
+	if fe.svc.Stage >= core.S5IOConsolidated {
 		return "net_$read"
 	}
 	return "ios_$tty_read"
 }
 
 func (fe *Frontend) detachGate() string {
-	if fe.k.Stage() >= core.S5IOConsolidated {
+	if fe.svc.Stage >= core.S5IOConsolidated {
 		return "net_$detach"
 	}
 	return "ios_$tty_detach"

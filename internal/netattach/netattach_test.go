@@ -258,19 +258,19 @@ func TestStormLossLegacyVsConsolidated(t *testing.T) {
 
 func TestDetachFreesBufferSegment(t *testing.T) {
 	sys, fe := boot(t, multics.StageRestructured, netattach.Config{})
-	before := len(sys.Kernel.Store().SegmentUIDs())
+	before := len(sys.Kernel.Services().Store.SegmentUIDs())
 	c, err := fe.Dial("Schroeder", "CSR", "multics75", multics.Unclassified)
 	if err != nil {
 		t.Fatal(err)
 	}
-	during := len(sys.Kernel.Store().SegmentUIDs())
+	during := len(sys.Kernel.Services().Store.SegmentUIDs())
 	if during != before+1 {
 		t.Fatalf("attach created %d kernel segments, want 1", during-before)
 	}
 	if err := c.Close(); err != nil {
 		t.Fatal(err)
 	}
-	after := len(sys.Kernel.Store().SegmentUIDs())
+	after := len(sys.Kernel.Services().Store.SegmentUIDs())
 	if after != before {
 		t.Errorf("detach left %d kernel segments, want %d", after, before)
 	}

@@ -123,7 +123,19 @@ type FaultStats struct {
 	// MaxCascade is the deepest eviction cascade a single fault triggered
 	// in the faulting process.
 	MaxCascade int
+	// IORetries counts transient backing-store I/O errors (mem.ErrIO)
+	// absorbed by retry-with-backoff instead of failing the fault.
+	IORetries int64
 }
+
+// ioRetryLimit bounds retry-with-backoff on transient backing-store I/O
+// errors (mem.ErrIO): a fault is failed only after the limit is
+// exhausted. ioRetryBackoff is the first retry's sleep in vcycles,
+// doubled on each subsequent attempt.
+const (
+	ioRetryLimit   = 6
+	ioRetryBackoff = 8
+)
 
 // Pager is the interface both designs implement.
 type Pager interface {
@@ -171,6 +183,7 @@ func (s *SequentialPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error
 	}()
 	pid := mem.PageID{SegUID: pf.SegTag, Index: pf.Page}
 	cascade := 0
+	ioAttempts := 0
 	for {
 		frame, lat, err := s.store.PageIn(pid)
 		if err == nil {
@@ -183,6 +196,17 @@ func (s *SequentialPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error
 				s.stats.MaxCascade = cascade
 			}
 			return nil
+		}
+		if errors.Is(err, mem.ErrIO) {
+			// Transient backing-store error: back off and retry; the store
+			// is unchanged, so the page-in is safe to reissue.
+			ioAttempts++
+			if ioAttempts > ioRetryLimit {
+				return fmt.Errorf("pagectl(sequential): page-in of %v: %d retries exhausted: %w", pid, ioRetryLimit, err)
+			}
+			s.stats.IORetries++
+			pc.Sleep(ioRetryBackoff << (ioAttempts - 1))
+			continue
 		}
 		if !errors.Is(err, mem.ErrNoFreeFrame) {
 			return fmt.Errorf("pagectl(sequential): page-in of %v: %w", pid, err)

@@ -143,6 +143,13 @@ func (p *ParallelPager) coreFreeingBody(pc *sched.ProcCtx) {
 				// discard raced it away); choose another.
 				continue
 			}
+			if errors.Is(err, mem.ErrIO) {
+				// Injected transient I/O error: back off and retry rather
+				// than killing the dedicated process.
+				p.stats.IORetries++
+				pc.Sleep(ioRetryBackoff)
+				continue
+			}
 			if err != nil {
 				return
 			}
@@ -180,6 +187,11 @@ func (p *ParallelPager) bulkFreeingBody(pc *sched.ProcCtx) {
 			if errors.Is(err, mem.ErrBusy) {
 				continue // block raced away; pick another
 			}
+			if errors.Is(err, mem.ErrIO) {
+				p.stats.IORetries++
+				pc.Sleep(ioRetryBackoff)
+				continue
+			}
 			if err != nil {
 				return
 			}
@@ -205,6 +217,7 @@ func (p *ParallelPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error {
 		p.stats.WaitCycles += pc.Now() - start
 	}()
 	pid := mem.PageID{SegUID: pf.SegTag, Index: pf.Page}
+	ioAttempts := 0
 	for {
 		frame, lat, err := p.store.PageIn(pid)
 		if err == nil {
@@ -221,6 +234,17 @@ func (p *ParallelPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error {
 				}
 			}
 			return nil
+		}
+		if errors.Is(err, mem.ErrIO) {
+			// Transient backing-store error: back off and retry; the store
+			// is unchanged, so the page-in is safe to reissue.
+			ioAttempts++
+			if ioAttempts > ioRetryLimit {
+				return fmt.Errorf("pagectl(parallel): page-in of %v: %d retries exhausted: %w", pid, ioRetryLimit, err)
+			}
+			p.stats.IORetries++
+			pc.Sleep(ioRetryBackoff << (ioAttempts - 1))
+			continue
 		}
 		if !errors.Is(err, mem.ErrNoFreeFrame) {
 			return fmt.Errorf("pagectl(parallel): page-in of %v: %w", pid, err)

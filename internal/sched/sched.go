@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/trace"
 )
 
 // ProcState is the scheduling state of a simulated process.
@@ -137,6 +138,9 @@ type Scheduler struct {
 	// starve another by staying ready.
 	dedHand int
 
+	// sink, when set, receives one trace.Event per dispatch — the uniform
+	// spine hookup shared with machine, netattach, and faults.
+	sink trace.Sink
 	// traceFn, when set, observes every dispatch with the process name and
 	// the virtual cycles it consumed before yielding.
 	traceFn func(name string, elapsed int64)
@@ -145,7 +149,15 @@ type Scheduler struct {
 }
 
 // SetTrace installs fn as the dispatch observer; nil disables it.
+//
+// Deprecated: use SetSink, which records uniform trace.Events.
 func (s *Scheduler) SetTrace(fn func(name string, elapsed int64)) { s.traceFn = fn }
+
+// SetSink directs dispatch observation at sk: every dispatch is recorded
+// as a trace.Event with Stage trace.StageSched, the process name, the
+// elapsed vcycles as Cost, and the dispatch-end virtual cycle as At. A
+// nil sink disables it.
+func (s *Scheduler) SetSink(sk trace.Sink) { s.sink = sk }
 
 // New returns a scheduler over the given clock.
 func New(clock *machine.Clock) *Scheduler {
@@ -307,6 +319,9 @@ func (s *Scheduler) dispatch(p *Process) {
 	}
 	if s.traceFn != nil {
 		s.traceFn(p.Name, elapsed)
+	}
+	if s.sink != nil {
+		s.sink.Record(trace.Event{Stage: trace.StageSched, Name: p.Name, Cost: elapsed, At: s.Clock.Now()})
 	}
 	s.running = nil
 	switch p.state {

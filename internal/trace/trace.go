@@ -1,0 +1,231 @@
+// Package trace is the kernel-crossing trace spine: one event type, one
+// sink interface, one lock-free ring buffer. Every layer that observes a
+// crossing — the gatekeeper, the processor's fault delivery, the
+// scheduler's dispatch loop, the network attachment front-end, and the
+// fault-injection plane — records the same Event shape into the same
+// spine, so a single replay transcript tells the whole story of a run,
+// including exactly which virtual cycle each injected fault landed on.
+//
+// The package is a leaf: it imports only the standard library, so the
+// machine, sched, netattach, and faults layers can all accept a
+// trace.Sink uniformly without import cycles. Package gate re-exports
+// these types under their historical names (gate.TraceEvent,
+// gate.TraceRing, ...) as type aliases.
+package trace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Stage identifies which layer of the kernel-crossing pipeline emitted a
+// trace event.
+type Stage int
+
+const (
+	// StageGate: a gate entry was invoked through the gatekeeper.
+	StageGate Stage = iota
+	// StageFault: the processor delivered a fault.
+	StageFault
+	// StageSched: the scheduler dispatched a process.
+	StageSched
+	// StageNet: a network attachment lifecycle transition.
+	StageNet
+	// StageInject: the fault plane injected a deterministic fault.
+	// Only internal/faults may construct events with this stage
+	// (enforced by the scripts/check.sh lint).
+	StageInject
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StageGate:
+		return "gate"
+	case StageFault:
+		return "fault"
+	case StageSched:
+		return "sched"
+	case StageNet:
+		return "net"
+	case StageInject:
+		return "inject"
+	default:
+		return "?"
+	}
+}
+
+// Class is the spine's outcome taxonomy. Every error that escapes a
+// crossing is classified into one of these buckets so consumers — the
+// kernel-malfunction accounting, the audit suite, the trace ring — can
+// reason about outcomes without matching on error strings. The
+// structural classifier lives in package gate (gate.Classify), which
+// knows the machine and mem error shapes; this package only defines the
+// vocabulary.
+type Class int
+
+const (
+	// ClassOK: the crossing succeeded.
+	ClassOK Class = iota
+	// ClassBadArgs: the argument list was malformed (oversized, wrong
+	// arity, missing argument) and was rejected by the gatekeeper or by
+	// the gate body's own validation.
+	ClassBadArgs
+	// ClassAccessDenied: the reference monitor refused the request (ring
+	// bracket, access mode, gate, or mandatory-policy violation).
+	ClassAccessDenied
+	// ClassMalfunction: the supervisor itself failed — the condition the
+	// paper's review activity calls a "supervisor malfunction".
+	ClassMalfunction
+	// ClassBusy: a resource was transiently unavailable (e.g. a frame
+	// changed state mid-transfer); the caller may retry.
+	ClassBusy
+	// ClassFailed: any other failure (no such entry, bad mode, quota
+	// exceeded, ...).
+	ClassFailed
+)
+
+// String names the class for traces and reports.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassBadArgs:
+		return "bad-args"
+	case ClassAccessDenied:
+		return "access-denied"
+	case ClassMalfunction:
+		return "kernel-malfunction"
+	case ClassBusy:
+		return "resource-busy"
+	case ClassFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one record in the kernel-crossing trace.
+type Event struct {
+	// Seq is the event's claim order in the ring (monotonic).
+	Seq uint64
+	// Stage is the pipeline layer that emitted the event.
+	Stage Stage
+	// Name identifies the crossing: gate name, fault class, process
+	// name, lifecycle transition, or injected-fault kind.
+	Name string
+	// Ring is the caller's ring of execution at the crossing.
+	Ring int
+	// Subject identifies the actor (connection id, process ordinal,
+	// segment UID, ...) where the stage has one; zero otherwise.
+	Subject uint64
+	// Arg carries one stage-specific operand (first gate argument,
+	// request word, fault offset, page index, ...).
+	Arg uint64
+	// Outcome classifies how the crossing ended.
+	Outcome Class
+	// Cost is the virtual-time cost charged to the crossing, in vcycles.
+	Cost int64
+	// At is the virtual cycle at which the crossing was observed. The
+	// fault plane stamps every injected fault with the clock reading so
+	// a replay transcript shows exactly when each fault landed.
+	At int64
+	// Detail is an optional human-readable annotation.
+	Detail string
+}
+
+// Sink receives trace events. Implementations must be safe for
+// concurrent use; the spine calls Record from every worker. This is the
+// one interface accepted uniformly by machine.Processor.SetSink,
+// sched.Scheduler.SetSink, netattach.Frontend.SetSink, and
+// faults.NewInjector.
+type Sink interface {
+	Record(ev Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ev Event)
+
+// Record calls f(ev).
+func (f SinkFunc) Record(ev Event) { f(ev) }
+
+// Ring is a fixed-size lock-free ring buffer of trace events.
+// Writers claim a slot with a single atomic add and publish the event
+// with an atomic pointer store; the ring never blocks and old events are
+// overwritten once the ring wraps. A disabled ring drops events at the
+// cost of one atomic load.
+type Ring struct {
+	slots   []atomic.Pointer[Event]
+	mask    uint64
+	cursor  atomic.Uint64
+	enabled atomic.Bool
+}
+
+// NewRing returns an enabled ring holding at least size events
+// (rounded up to a power of two; minimum 16).
+func NewRing(size int) *Ring {
+	n := 16
+	for n < size {
+		n <<= 1
+	}
+	r := &Ring{slots: make([]atomic.Pointer[Event], n), mask: uint64(n - 1)}
+	r.enabled.Store(true)
+	return r
+}
+
+// SetEnabled turns recording on or off. Disabling is how benchmarks
+// measure the spine's overhead floor.
+func (r *Ring) SetEnabled(on bool) {
+	if r != nil {
+		r.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the ring is recording.
+func (r *Ring) Enabled() bool { return r != nil && r.enabled.Load() }
+
+// Record claims the next slot and publishes ev. Safe for concurrent
+// writers; a nil or disabled ring drops the event.
+func (r *Ring) Record(ev Event) {
+	if r == nil || !r.enabled.Load() {
+		return
+	}
+	seq := r.cursor.Add(1) - 1
+	ev.Seq = seq
+	e := ev
+	r.slots[seq&r.mask].Store(&e)
+}
+
+// Written returns the number of events recorded since creation,
+// including events already overwritten by wraparound.
+func (r *Ring) Written() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cursor.Load()
+}
+
+// Cap returns the ring capacity in events.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Snapshot copies the currently published events out of the ring, oldest
+// first by sequence number. Under concurrent writers the snapshot is a
+// best-effort cut: each slot is read atomically, but slots race with
+// overwrites, so Snapshot is for inspection and post-run reporting.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if p := r.slots[i].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

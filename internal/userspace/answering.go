@@ -24,8 +24,8 @@ type AnsweringSubsystem struct {
 // NewAnsweringSubsystem stands up the subsystem. It fails on kernels
 // before S4, where login is still privileged kernel code.
 func NewAnsweringSubsystem(k *core.Kernel) (*AnsweringSubsystem, error) {
-	if k.Stage() < core.S4LoginDemoted {
-		return nil, fmt.Errorf("userspace: stage %v still has a privileged answering service", k.Stage())
+	if svc := k.Services(); svc.Stage < core.S4LoginDemoted {
+		return nil, fmt.Errorf("userspace: stage %v still has a privileged answering service", svc.Stage)
 	}
 	sysPrincipal, err := acl.ParsePrincipal("Initializer.SysDaemon.z")
 	if err != nil {
@@ -36,7 +36,7 @@ func NewAnsweringSubsystem(k *core.Kernel) (*AnsweringSubsystem, error) {
 		return nil, fmt.Errorf("userspace: creating subsystem process: %w", err)
 	}
 	a := &AnsweringSubsystem{k: k, proc: proc}
-	a.svc = auth.NewService(auth.Subsystem, k.UserRegistry(), a.createProcess)
+	a.svc = auth.NewService(auth.Subsystem, k.Services().Users, a.createProcess)
 	return a, nil
 }
 

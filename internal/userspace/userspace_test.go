@@ -31,7 +31,7 @@ func newKernel(t *testing.T, stage core.Stage) *core.Kernel {
 
 func setupTree(t *testing.T, k *core.Kernel) (libUID, segUID uint64) {
 	t.Helper()
-	h := k.Hierarchy()
+	h := k.Services().Hierarchy
 	lib, err := h.Create(alice, unc, fs.RootUID, "lib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
 	if err != nil {
 		t.Fatal(err)
@@ -86,7 +86,7 @@ func TestResolvePathKernelDelegationPreS2(t *testing.T) {
 func TestLinkChasedInUserRing(t *testing.T) {
 	k := newKernel(t, core.S2RefNamesRemoved)
 	_, segUID := setupTree(t, k)
-	if err := k.Hierarchy().AddLink(alice, unc, fs.RootUID, "shortcut", ">lib>data"); err != nil {
+	if err := k.Services().Hierarchy.AddLink(alice, unc, fs.RootUID, "shortcut", ">lib>data"); err != nil {
 		t.Fatal(err)
 	}
 	p := userProc(t, k)
@@ -121,7 +121,7 @@ func TestInitiateBindsPrivateName(t *testing.T) {
 func TestUserRingLinkerEndToEnd(t *testing.T) {
 	for _, stage := range []core.Stage{core.S1LinkerRemoved, core.S2RefNamesRemoved, core.S6Restructured} {
 		k := newKernel(t, stage)
-		lib, err := k.Hierarchy().Create(alice, unc, fs.RootUID, "lib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
+		lib, err := k.Services().Hierarchy.Create(alice, unc, fs.RootUID, "lib", fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func TestLinkerSearchRulesMiss(t *testing.T) {
 
 func TestAnsweringSubsystemLogin(t *testing.T) {
 	k := newKernel(t, core.S4LoginDemoted)
-	if err := k.UserRegistry().AddUser("Schroeder", "CSR", "multics75", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Schroeder", "CSR", "multics75", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 	as, err := NewAnsweringSubsystem(k)
@@ -204,7 +204,7 @@ func TestUserProcessCannotCreateProcesses(t *testing.T) {
 	// from ring 2 but NOT from ring 4 — a user process cannot mint
 	// arbitrary principals.
 	k := newKernel(t, core.S4LoginDemoted)
-	if err := k.UserRegistry().AddUser("Victim", "CSR", "password", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Victim", "CSR", "password", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 	p := userProc(t, k)

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/gate"
 	"repro/internal/mem"
 	"repro/internal/netattach"
@@ -72,6 +73,12 @@ type Config struct {
 	// compute Report.TraceDigest; the sink is a tee for callers that
 	// want the raw stream.
 	TraceSink gate.TraceSink
+	// Faults, when set, boots the system with a deterministic fault plan
+	// (see internal/faults) and switches the engine into survival mode:
+	// a connection whose session errors out is counted in Report.Failed
+	// instead of aborting the whole run. With Faults nil the engine
+	// keeps its historical fail-fast behavior.
+	Faults *faults.Spec
 }
 
 func (c *Config) setDefaults() error {
@@ -112,6 +119,11 @@ type Report struct {
 	// Front-end counters at the end of the run (see netattach.Stats).
 	Stats netattach.Stats
 
+	// Failed counts connections whose sessions errored out despite the
+	// recovery paths; zero unless the run injected faults (Config.Faults)
+	// and a session exhausted its retries.
+	Failed int64
+
 	// Cycles is the virtual time the run took.
 	Cycles int64
 	// Throughput is requests processed per thousand virtual cycles.
@@ -132,13 +144,13 @@ type Report struct {
 // Format renders the report for the terminal.
 func (r Report) Format() string {
 	return fmt.Sprintf(
-		"conns %d  steps %d  sent %d  received %d  throttled %d\n"+
+		"conns %d  steps %d  sent %d  received %d  throttled %d  failed %d\n"+
 			"delivered %d  processed %d  replies %d  reply-drops %d\n"+
 			"input-lost %d  reply-lost %d  peak-in %d  peak-out %d\n"+
 			"attach p50 %d cy  p99 %d cy  cycles %d  throughput %.2f req/kcy\n"+
 			"digest %s\n"+
 			"trace-digest %s\n",
-		r.Conns, r.Steps, r.Sent, r.Received, r.Throttled,
+		r.Conns, r.Steps, r.Sent, r.Received, r.Throttled, r.Failed,
 		r.Stats.Delivered, r.Stats.Processed, r.Stats.Replies, r.Stats.ReplyDrops,
 		r.Stats.InputLost, r.Stats.ReplyLost, r.Stats.PeakInput, r.Stats.PeakOutput,
 		r.Stats.AttachP50, r.Stats.AttachP99, r.Cycles, r.Throughput,
@@ -189,7 +201,7 @@ func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
 	mc := mem.DefaultConfig()
 	mc.CoreFrames = frames
 	mc.BulkBlocks = frames
-	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc})
+	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc, Faults: cfg.Faults})
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +248,7 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	defer fe.SetTraceSink(nil)
 
 	scripts := GenScripts(cfg)
-	start := sys.Kernel.Clock().Now()
+	start := sys.Kernel.Services().Clock.Now()
 
 	// Login storm: every dial is queued before the listener process runs
 	// once, so attach latency spreads across the accept queue.
@@ -249,14 +261,18 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		conns[i] = c
 	}
 	fe.Flush()
+	rep := &Report{Conns: cfg.Conns, Steps: cfg.Steps}
+	dead := make([]bool, len(conns))
 	for i, c := range conns {
 		if c.State() != netattach.StateAttached {
-			return nil, fmt.Errorf("workload: connection %d not attached: %v (%v)",
-				i, c.State(), c.Err())
+			if cfg.Faults == nil {
+				return nil, fmt.Errorf("workload: connection %d not attached: %v (%v)",
+					i, c.State(), c.Err())
+			}
+			dead[i] = true
+			rep.Failed++
 		}
 	}
-
-	rep := &Report{Conns: cfg.Conns, Steps: cfg.Steps}
 
 	// Each connection accumulates its own transcript hash and counters;
 	// workers never touch another worker's tallies, and the fold at the
@@ -276,6 +292,11 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		hs := make(map[int]hash.Hash, len(owned))
 		for _, i := range owned {
 			hs[i] = sha256.New()
+		}
+		for _, i := range owned {
+			if dead[i] {
+				tallies[i].err = fmt.Errorf("workload: connection %d never attached", i)
+			}
 		}
 		for base := 0; base < cfg.Steps; base += cfg.Burst {
 			hi := base + cfg.Burst
@@ -358,7 +379,16 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	}
 	for i := range tallies {
 		if tallies[i].err != nil {
-			return nil, tallies[i].err
+			if cfg.Faults == nil {
+				return nil, tallies[i].err
+			}
+			if !dead[i] {
+				// Already counted when the attach failed; count fresh
+				// session failures here.
+				rep.Failed++
+				dead[i] = true
+			}
+			continue
 		}
 		rep.Sent += tallies[i].sent
 		rep.Received += tallies[i].received
@@ -368,12 +398,15 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	// Logout in table order.
 	for i, c := range conns {
 		if err := c.Close(); err != nil {
-			return nil, fmt.Errorf("workload: close %d: %w", i, err)
+			if cfg.Faults == nil {
+				return nil, fmt.Errorf("workload: close %d: %w", i, err)
+			}
+			continue
 		}
 	}
 
 	rep.Stats = fe.Stats()
-	rep.Cycles = sys.Kernel.Clock().Now() - start
+	rep.Cycles = sys.Kernel.Services().Clock.Now() - start
 	if rep.Cycles > 0 {
 		rep.Throughput = float64(rep.Stats.Processed) / float64(rep.Cycles) * 1000
 	}
@@ -381,11 +414,11 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	// run-wide counters: the determinism witness.
 	h := sha256.New()
 	for i := range tallies {
-		fmt.Fprintf(h, "conn %d %x sent %d received %d throttled %d\n",
-			i, tallies[i].digest, tallies[i].sent, tallies[i].received, tallies[i].throttled)
+		fmt.Fprintf(h, "conn %d %x sent %d received %d throttled %d dead %v\n",
+			i, tallies[i].digest, tallies[i].sent, tallies[i].received, tallies[i].throttled, dead[i])
 	}
-	fmt.Fprintf(h, "sent %d received %d throttled %d lost %d/%d drops %d\n",
-		rep.Sent, rep.Received, rep.Throttled,
+	fmt.Fprintf(h, "sent %d received %d throttled %d failed %d lost %d/%d drops %d\n",
+		rep.Sent, rep.Received, rep.Throttled, rep.Failed,
 		rep.Stats.InputLost, rep.Stats.ReplyLost, rep.Stats.ReplyDrops)
 	rep.Digest = hex.EncodeToString(h.Sum(nil))
 	rep.TraceDigest = tc.digest()

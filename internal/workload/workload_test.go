@@ -1,10 +1,15 @@
 package workload_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/acl"
+	"repro/internal/faults"
+	"repro/internal/fs"
 	"repro/internal/gate"
+	"repro/internal/mls"
 	"repro/internal/workload"
 	"repro/multics"
 )
@@ -192,5 +197,82 @@ func TestTraceStreamParallelismInvariant(t *testing.T) {
 	}
 	if d8 != d1 {
 		t.Fatalf("trace digest differs between parallelism 1 and 8:\n%s\n%s", d1, d8)
+	}
+}
+
+func TestFaultPlanDigestAndSalvageParallelismInvariant(t *testing.T) {
+	// Same fault plan, parallelism 1 vs 8: the reply transcript digest
+	// AND the salvager's repair report must be byte-identical — injected
+	// faults are a function of the plan, never of worker interleaving.
+	run := func(par int) (string, string) {
+		spec := faults.UniformSpec(4242, 0.01, 4)
+		cfg := workload.Config{Conns: 24, Steps: 10, Burst: 10, Seed: 31, Parallelism: par, Faults: &spec}
+		sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Shutdown()
+		rep, err := workload.Run(sys, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("parallelism %d: %d sessions failed despite recovery paths", par, rep.Failed)
+		}
+		svc := sys.Kernel.Services()
+		// Grow the same deterministic tree in both runs so the crash has
+		// identical victims to choose from.
+		who := acl.Principal{Person: "Crash", Project: "Test", Tag: "a"}
+		unc := mls.NewLabel(mls.Unclassified)
+		dir, err := svc.Hierarchy.Create(who, unc, fs.RootUID, "crashdir",
+			fs.CreateOptions{Kind: fs.KindDirectory, Label: unc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := svc.Hierarchy.Create(who, unc, dir, fmt.Sprintf("s%d", i),
+				fs.CreateOptions{Kind: fs.KindSegment, Label: unc, Length: 32}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		corrupted, salvageRep, err := svc.Faults.CrashAndSalvage(svc.Hierarchy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrupted == 0 {
+			t.Fatal("crash corrupted nothing — the salvage comparison would be vacuous")
+		}
+		verify, err := svc.Hierarchy.Salvage(false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !verify.Clean() {
+			t.Fatalf("parallelism %d: hierarchy dirty after salvage: %v", par, verify.Problems)
+		}
+		return rep.Digest, salvageRep.Format()
+	}
+	d1, s1 := run(1)
+	d8, s8 := run(8)
+	if d1 != d8 {
+		t.Errorf("transcript digest differs across parallelism:\n 1: %s\n 8: %s", d1, d8)
+	}
+	if s1 != s8 {
+		t.Errorf("salvage report differs across parallelism:\n 1: %q\n 8: %q", s1, s8)
+	}
+}
+
+func TestFaultPlanSameSeedSameReport(t *testing.T) {
+	spec := faults.UniformSpec(777, 0.005, 0)
+	cfg := workload.Config{Conns: 16, Steps: 8, Burst: 8, Seed: 5, Faults: &spec}
+	r1, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Digest != r2.Digest {
+		t.Errorf("same plan, different digests: %s vs %s", r1.Digest, r2.Digest)
 	}
 }

@@ -102,7 +102,7 @@ func canonicalWorkload(t *testing.T, stage Stage) string {
 	}
 
 	// Links.
-	if err := sys.Kernel.Hierarchy().AddLink(owner.Proc.Principal, owner.Proc.Label,
+	if err := sys.Kernel.Services().Hierarchy.AddLink(owner.Proc.Principal, owner.Proc.Label,
 		mustResolve(t, sys, owner, ">home"), "shortcut", ">home>sub>deep"); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func canonicalWorkload(t *testing.T, stage Stage) string {
 
 func mustResolve(t *testing.T, sys *System, se *Session, path string) uint64 {
 	t.Helper()
-	uid, err := sys.Kernel.Hierarchy().ResolvePath(se.Proc.Principal, se.Proc.Label, path)
+	uid, err := sys.Kernel.Services().Hierarchy.ResolvePath(se.Proc.Principal, se.Proc.Label, path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -76,7 +76,7 @@ func NewWithConfig(cfg core.Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{Kernel: k}
-	if k.Stage() >= core.S4LoginDemoted {
+	if k.Services().Stage >= core.S4LoginDemoted {
 		s.answering, err = userspace.NewAnsweringSubsystem(k)
 		if err != nil {
 			k.Shutdown()
@@ -137,7 +137,7 @@ func (s *System) Attach(person, project, password string, level Level) (*netatta
 
 // AddUser registers a user with the answering service.
 func (s *System) AddUser(person, project, password string, clearance Level) error {
-	return s.Kernel.UserRegistry().AddUser(person, project, password, mls.NewLabel(clearance))
+	return s.Kernel.Services().Users.AddUser(person, project, password, mls.NewLabel(clearance))
 }
 
 // Login authenticates and creates a process, using the stage-appropriate
@@ -185,7 +185,7 @@ func (s *System) Login(person, project, password string, level Level) (*Session,
 // by symbolic reference.
 func (s *System) InstallProgram(owner *Session, dirPath, name string,
 	proc *machine.Procedure, symbols []linker.Symbol) error {
-	dirUID, err := s.Kernel.Hierarchy().ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
+	dirUID, err := s.Kernel.Services().Hierarchy.ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
 	if err != nil {
 		return err
 	}

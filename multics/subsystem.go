@@ -38,7 +38,7 @@ func (s *System) InstallSubsystem(owner *Session, dirPath, name string,
 	if gates <= 0 || gates > len(proc.Entries) {
 		return nil, fmt.Errorf("multics: subsystem %q: %d gates for %d entries", name, gates, len(proc.Entries))
 	}
-	dirUID, err := s.Kernel.Hierarchy().ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
+	dirUID, err := s.Kernel.Services().Hierarchy.ResolvePath(owner.Proc.Principal, owner.Proc.Label, dirPath)
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ func (s *System) InstallSubsystem(owner *Session, dirPath, name string,
 	}
 	// The private data segment: readable and writable only from rings
 	// <= SubsystemRing, so the calling user's own code can never touch it.
-	if _, err := s.Kernel.Hierarchy().Create(owner.Proc.Principal, owner.Proc.Label, dirUID, name+".data",
+	if _, err := s.Kernel.Services().Hierarchy.Create(owner.Proc.Principal, owner.Proc.Label, dirUID, name+".data",
 		fs.CreateOptions{
 			Kind:   fs.KindSegment,
 			Label:  owner.Proc.Label,

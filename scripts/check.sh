@@ -24,6 +24,24 @@ if [ -n "$bad" ]; then
 	exit 1
 fi
 
+echo "== fault-event construction lint"
+# Injected-fault trace events (trace.StageInject) are constructed in one
+# place: the fault plane's injector. Any other package referring to
+# StageInject is either forging injected events or depending on the
+# plane's internals — both are wrong. The spine deliberately does not
+# alias StageInject into internal/gate, so a mention outside the trace
+# spine and internal/faults is always a violation.
+bad=""
+for f in $(grep -rl 'StageInject' --include='*.go' internal/ cmd/ multics/ examples/ ./*.go 2>/dev/null |
+	grep -v '^internal/trace/' | grep -v '^internal/faults/' || true); do
+	bad="$bad
+$(grep -n 'StageInject' "$f" | sed "s|^|$f:|")"
+done
+if [ -n "$bad" ]; then
+	echo "StageInject referenced outside internal/trace + internal/faults:$bad" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -35,5 +53,19 @@ go test -race ./...
 
 echo "== bench smoke (go test -bench E14 -benchtime 1x)"
 go test -run '^$' -bench E14 -benchtime 1x .
+
+echo "== fault-storm smoke (E15: one seeded run, salvage must be 100%)"
+out=$(go run ./cmd/experiments -run E15)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E15 fault storm did not meet its claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'salvager clean after crash'; then
+	echo "E15 fault storm: salvage success not reported clean" >&2
+	exit 1
+fi
 
 echo "ok"
