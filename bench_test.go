@@ -622,3 +622,64 @@ func BenchmarkE15FaultStorm(b *testing.B) {
 		})
 	}
 }
+
+// benchMetricsOverhead drives the same cached-SDW gate-call fast path as
+// benchGateDispatch with the unified metrics registry enabled or
+// disabled, and returns virtual cycles per call plus the exported
+// aggregate of the run. Metrics recording never touches the clock, so
+// both arms must report identical vcycles/call — the ≤1% overhead
+// budget holds with margin zero, by construction.
+func benchMetricsOverhead(b *testing.B, metricsOn bool) (float64, []byte) {
+	b.Helper()
+	k := buildKernel(b, core.S6Restructured)
+	svc := k.Services()
+	svc.Metrics.SetEnabled(metricsOn)
+	p, err := k.CreateProcess("bench", acl.Principal{Person: "Bench", Project: "Perf", Tag: "a"},
+		mls.NewLabel(mls.Unclassified), machine.UserRing)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := svc.UserGates.EntryIndex("hcs_$get_system_info")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.CPU.Call(core.SegHCS, idx, nil); err != nil {
+		b.Fatal(err)
+	}
+	clk := svc.Clock
+	start := clk.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.CPU.Call(core.SegHCS, idx, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cycles := float64(clk.Now()-start) / float64(b.N)
+	snap := svc.Metrics.Snapshot().Compact()
+	snap.At = 0
+	return cycles, snap.JSON()
+}
+
+// BenchmarkE16MetricsOverhead measures the cost of the unified metrics
+// plane on the hottest path in the system: with every gate, machine, and
+// memory counter live versus the registry disabled. The acceptance bar
+// is ≤1% virtual-cycle overhead; the design delivers exactly 0.
+func BenchmarkE16MetricsOverhead(b *testing.B) {
+	var on, off float64
+	b.Run("metrics-on", func(b *testing.B) {
+		on, _ = benchMetricsOverhead(b, true)
+		b.ReportMetric(on, "vcycles/call")
+	})
+	b.Run("metrics-off", func(b *testing.B) {
+		off, _ = benchMetricsOverhead(b, false)
+		b.ReportMetric(off, "vcycles/call")
+	})
+	if off == 0 {
+		b.Fatal("zero-cost gate call: cost model broken")
+	}
+	if over := (on - off) / off; over > 0.01 || over < -0.01 {
+		b.Fatalf("metrics plane changed the virtual cost of a gate call by %.2f%%: on %.1f, off %.1f",
+			over*100, on, off)
+	}
+	b.ReportMetric((on-off)/off*100, "overhead-%")
+}

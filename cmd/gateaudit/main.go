@@ -71,7 +71,8 @@ func runtimeStats(s multics.Stage, top int, seed int64) {
 		os.Exit(1)
 	}
 
-	all := sys.Kernel.GateStats()
+	svc := sys.Kernel.Services()
+	all := append(svc.UserGates.Stats(), svc.PrivGates.Stats()...)
 	used := make([]gate.Stat, 0, len(all))
 	for _, st := range all {
 		if st.Calls > 0 {
@@ -88,8 +89,7 @@ func runtimeStats(s multics.Stage, top int, seed int64) {
 		s, seed, cfg.Conns, cfg.Steps, rep.Stats.Processed)
 	fmt.Printf("%-28s %-16s %9s %7s %9s %12s %9s\n",
 		"gate", "category", "calls", "errors", "rejected", "vcycles", "vcy/call")
-	var calls, errs, rejected uint64
-	var vcycles int64
+	var calls, errs, rejected, vcycles int64
 	for _, st := range used {
 		calls += st.Calls
 		errs += st.Errors

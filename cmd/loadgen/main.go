@@ -10,6 +10,7 @@
 //	loadgen -n 100 -seed 42       # different traffic, still deterministic
 //	loadgen -n 32 -compare        # same storm on the legacy path vs S5+
 //	loadgen -n 32 -fault-rate 0.01 -fault-seed 7   # storm under injected faults
+//	loadgen -n 32 -metrics        # live metric deltas + final registry snapshot
 //
 // With -compare the same scripts are replayed against the pre-S5 legacy
 // per-device drivers (fixed circular buffers, silent overwrites counted
@@ -22,6 +23,10 @@
 // and stalls land per the seeded plan, the recovery paths absorb them,
 // and sessions that still die are counted in the report's failed column
 // instead of aborting the run.
+//
+// With -metrics the kernel's unified metrics registry is sampled every
+// -metrics-every virtual cycles; each sample prints one live delta line
+// and the full snapshot is printed after the run.
 package main
 
 import (
@@ -31,9 +36,57 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/multics"
 )
+
+// options is the parsed flag set, separated from flag.Parse so the
+// validation below is testable without forking a process.
+type options struct {
+	n, steps, burst, users int
+	par, stage             int
+	faultRate              float64
+	// faultSeedSet records whether -fault-seed appeared on the command
+	// line at all (its value is meaningful only with -fault-rate > 0).
+	faultSeedSet bool
+	metricsEvery int64
+}
+
+// validate rejects contradictory or out-of-range flag combinations.
+// Contradictory flags are a usage error, not a workload: main turns the
+// first error into exit code 2 rather than letting the engine translate
+// it into a half-configured run.
+func validate(o options) error {
+	if o.n < 1 {
+		return fmt.Errorf("-n %d: need at least one connection", o.n)
+	}
+	if o.steps < 1 {
+		return fmt.Errorf("-steps %d: need at least one request per session", o.steps)
+	}
+	if o.burst < 0 {
+		return fmt.Errorf("-burst %d: cannot be negative", o.burst)
+	}
+	if o.users < 0 {
+		return fmt.Errorf("-users %d: cannot be negative", o.users)
+	}
+	if o.par < 1 {
+		return fmt.Errorf("-par %d: need at least one worker", o.par)
+	}
+	if o.faultRate < 0 || o.faultRate > 1 || o.faultRate != o.faultRate {
+		return fmt.Errorf("-fault-rate %v: must be a probability in [0, 1]", o.faultRate)
+	}
+	if o.faultSeedSet && o.faultRate == 0 {
+		return fmt.Errorf("-fault-seed without -fault-rate > 0: the seed selects a fault plan, but no faults were requested")
+	}
+	if o.stage < int(core.S0Baseline) || o.stage > int(core.S6Restructured) {
+		return fmt.Errorf("-stage %d: out of range 0..6", o.stage)
+	}
+	if o.metricsEvery < 1 {
+		return fmt.Errorf("-metrics-every %d: need a positive sampling period", o.metricsEvery)
+	}
+	return nil
+}
 
 func main() {
 	n := flag.Int("n", 100, "concurrent connections")
@@ -46,36 +99,24 @@ func main() {
 	compare := flag.Bool("compare", false, "also replay the same storm on the legacy S0 path")
 	faultRate := flag.Float64("fault-rate", 0, "uniform fault-injection rate in [0, 1]; 0 disables the fault plane")
 	faultSeed := flag.Int64("fault-seed", 1, "fault plan seed (only with -fault-rate > 0)")
+	showMetrics := flag.Bool("metrics", false, "sample the metrics registry live and print the final snapshot")
+	metricsEvery := flag.Int64("metrics-every", 10000, "sampling period for -metrics, in virtual cycles")
 	flag.Parse()
 
-	// Contradictory flags are a usage error, not a workload: reject them
-	// up front with exit code 2 rather than letting the engine translate
-	// them into a half-configured run.
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	o := options{
+		n: *n, steps: *steps, burst: *burst, users: *users,
+		par: *par, stage: *stage, faultRate: *faultRate,
+		metricsEvery: *metricsEvery,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fault-seed" {
+			o.faultSeedSet = true
+		}
+	})
+	if err := validate(o); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *n < 1 {
-		fail("-n %d: need at least one connection", *n)
-	}
-	if *steps < 1 {
-		fail("-steps %d: need at least one request per session", *steps)
-	}
-	if *burst < 0 {
-		fail("-burst %d: cannot be negative", *burst)
-	}
-	if *users < 0 {
-		fail("-users %d: cannot be negative", *users)
-	}
-	if *par < 1 {
-		fail("-par %d: need at least one worker", *par)
-	}
-	if *faultRate < 0 || *faultRate > 1 || *faultRate != *faultRate {
-		fail("-fault-rate %v: must be a probability in [0, 1]", *faultRate)
-	}
-	if *stage < int(core.S0Baseline) || *stage > int(core.S6Restructured) {
-		fail("-stage %d: out of range 0..6", *stage)
 	}
 
 	cfg := workload.Config{
@@ -87,12 +128,36 @@ func main() {
 		cfg.Faults = &spec
 	}
 
-	rep, err := workload.RunAt(multics.Stage(*stage), cfg)
+	sys, err := workload.Boot(multics.Stage(*stage), cfg)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: boot: %v\n", err)
+		os.Exit(1)
+	}
+	if *showMetrics {
+		// Live reporting: every sample the sampler emits becomes one
+		// delta line on stderr as the run progresses.
+		live := trace.SinkFunc(func(ev trace.Event) {
+			if ev.Stage == trace.StageMetrics {
+				fmt.Fprintf(os.Stderr, "loadgen: [metrics @%d] %s\n", ev.At, ev.Detail)
+			}
+		})
+		sys.Kernel.EnableMetricsSampler(*metricsEvery, live)
+	}
+	rep, err := workload.Run(sys, cfg)
+	if err != nil {
+		sys.Shutdown()
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("--- stage S%d\n%s", *stage, rep.Format())
+	if *showMetrics {
+		svc := sys.Kernel.Services()
+		if s := sys.Kernel.Sampler(); s != nil {
+			s.Flush(svc.Clock.Now())
+		}
+		fmt.Printf("--- metrics snapshot\n%s", svc.Metrics.Snapshot().Compact().Text())
+	}
+	sys.Shutdown()
 
 	if *compare {
 		legacy, err := workload.RunAt(multics.StageBaseline, cfg)

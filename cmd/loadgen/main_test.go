@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// good returns a baseline options value that validate accepts; tests
+// mutate one field at a time.
+func good() options {
+	return options{
+		n: 100, steps: 24, burst: 0, users: 0,
+		par: 1, stage: int(core.S6Restructured),
+		metricsEvery: 10000,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validate(good()); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+	withFaults := good()
+	withFaults.faultRate = 0.01
+	withFaults.faultSeedSet = true
+	if err := validate(withFaults); err != nil {
+		t.Fatalf("fault-rate+fault-seed rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+		want string
+	}{
+		{"par zero", func(o *options) { o.par = 0 }, "-par 0"},
+		{"par negative", func(o *options) { o.par = -1 }, "-par -1"},
+		{"n zero", func(o *options) { o.n = 0 }, "-n 0"},
+		{"steps zero", func(o *options) { o.steps = 0 }, "-steps 0"},
+		{"burst negative", func(o *options) { o.burst = -1 }, "-burst -1"},
+		{"users negative", func(o *options) { o.users = -2 }, "-users -2"},
+		{"rate above one", func(o *options) { o.faultRate = 1.5 }, "-fault-rate"},
+		{"rate negative", func(o *options) { o.faultRate = -0.1 }, "-fault-rate"},
+		{"seed without rate", func(o *options) { o.faultSeedSet = true }, "-fault-seed without -fault-rate"},
+		{"stage out of range", func(o *options) { o.stage = 7 }, "-stage 7"},
+		{"metrics period zero", func(o *options) { o.metricsEvery = 0 }, "-metrics-every 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := good()
+			tc.mut(&o)
+			err := validate(o)
+			if err == nil {
+				t.Fatalf("options %+v accepted, want error containing %q", o, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateNaNFaultRate(t *testing.T) {
+	o := good()
+	o.faultRate = nan()
+	if err := validate(o); err == nil {
+		t.Fatal("NaN fault rate accepted")
+	}
+}
+
+// nan builds a NaN without importing math.
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}

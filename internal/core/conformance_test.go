@@ -19,7 +19,7 @@ func TestEveryS0GateConformance(t *testing.T) {
 	mkdir(t, k, alice, "udd")
 	installMath(t, k) // creates >lib and installs >lib>math (incr, square)
 	p := userProc(t, k, alice, unc)
-	if err := k.UserRegistry().AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -173,7 +173,7 @@ func TestEveryS0GateConformance(t *testing.T) {
 		}
 		got = out[0]
 	})
-	k.Scheduler().Run(0)
+	k.Services().Scheduler.Run(0)
 	if got != 77 {
 		t.Errorf("block data = %d", got)
 	}
@@ -227,7 +227,7 @@ func TestEveryS0GateConformance(t *testing.T) {
 
 	// Every user gate must have been exercised.
 	var missed []string
-	for _, name := range k.UserGates().Names() {
+	for _, name := range k.Services().UserGates.Names() {
 		if !called[name] {
 			missed = append(missed, name)
 		}
@@ -241,7 +241,7 @@ func TestEveryS0GateConformance(t *testing.T) {
 // ring-2 caller.
 func TestEveryPrivilegedGateConformance(t *testing.T) {
 	k := newKernel(t, S0Baseline)
-	if err := k.UserRegistry().AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 	sys, err := k.CreateProcess("sys", acl.Principal{Person: "Init", Project: "Sys", Tag: "z"},
@@ -267,7 +267,7 @@ func TestEveryPrivilegedGateConformance(t *testing.T) {
 	call("phcs_$create_process", pOff, pLen, jOff, jLen, uint64(mls.Unclassified))
 
 	// Materialize a frame to peek at and wire.
-	uid, err := k.Hierarchy().Create(alice, unc, 1, "wired", fs.CreateOptions{
+	uid, err := k.Services().Hierarchy.Create(alice, unc, 1, "wired", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: unc, Length: 8,
 	})
 	if err != nil {
@@ -279,7 +279,7 @@ func TestEveryPrivilegedGateConformance(t *testing.T) {
 	// Find the frame the write materialized; peek and wire that one.
 	var frame uint64
 	found := false
-	for _, f := range k.Store().Frames() {
+	for _, f := range k.Services().Store.Frames() {
 		if !f.Free && f.PID.SegUID == uid {
 			frame = uint64(f.ID)
 			found = true
@@ -295,19 +295,19 @@ func TestEveryPrivilegedGateConformance(t *testing.T) {
 	}
 	call("phcs_$wire_frame", frame, 1)
 	call("phcs_$wire_frame", frame, 0)
-	call("phcs_$set_clock", uint64(k.Clock().Now()))
+	call("phcs_$set_clock", uint64(k.Services().Clock.Now()))
 	if out := call("phcs_$salvage", 0); out[0] < 2 || out[1] != 0 {
 		t.Errorf("salvage = %v, want clean walk of >= 2 objects", out)
 	}
 	call("phcs_$reclassify", uid, uint64(mls.Secret))
-	obj, err := k.Hierarchy().Object(uid)
+	obj, err := k.Services().Hierarchy.Object(uid)
 	if err != nil || obj.Label.Level != mls.Secret {
 		t.Errorf("reclassify: %v, %v", obj, err)
 	}
 	call("phcs_$shutdown")
 
 	var missed []string
-	for _, name := range k.PrivGates().Names() {
+	for _, name := range k.Services().PrivGates.Names() {
 		if !called[name] {
 			missed = append(missed, name)
 		}
@@ -405,7 +405,7 @@ func TestEveryS2GateConformance(t *testing.T) {
 	call("ios_$prt_write", prt, 0)
 	aOff, aLen := str("Alice")
 	jOff, jLen := str("CSR")
-	if err := k.UserRegistry().AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Alice", "CSR", "alicepw1", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 	wOff, wLen := str("alicepw1")
@@ -417,7 +417,7 @@ func TestEveryS2GateConformance(t *testing.T) {
 	call("as_$logout")
 
 	var missed []string
-	for _, name := range k.UserGates().Names() {
+	for _, name := range k.Services().UserGates.Names() {
 		if !called[name] && name != "hcs_$block" { // block needs a scheduled process; covered elsewhere
 			missed = append(missed, name)
 		}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mls"
 	"repro/internal/pagectl"
 	"repro/internal/sched"
@@ -142,6 +143,15 @@ type Kernel struct {
 	// fault delivery, the scheduler, and the network front-end.
 	trace *gate.TraceRing
 
+	// metrics is the unified measurement plane: every instrumented
+	// subsystem (machine, mem, pagectl, sched, gate, netattach,
+	// workload) publishes into this one registry, exposed as
+	// Services().Metrics.
+	metrics *metrics.Registry
+	// sampler, when EnableMetricsSampler was called, emits periodic
+	// snapshot deltas into the trace spine.
+	sampler *metrics.Sampler
+
 	registry *auth.Registry
 	answer   *auth.Service
 
@@ -200,7 +210,9 @@ func New(cfg Config) (*Kernel, error) {
 		channels: make(map[uint64]*kernelChannel),
 		nextChn:  1,
 		trace:    gate.NewTraceRing(traceRingSize),
+		metrics:  metrics.New(),
 	}
+	k.metrics.SetNow(k.clock.Now)
 	if cfg.Cost != nil {
 		k.cost = *cfg.Cost
 	} else if cfg.Stage == S0Baseline {
@@ -214,6 +226,9 @@ func New(cfg Config) (*Kernel, error) {
 	memCfg.BulkBlocks = 2048
 	if cfg.Mem != nil {
 		memCfg = *cfg.Mem
+	}
+	if memCfg.Metrics == nil {
+		memCfg.Metrics = k.metrics
 	}
 	var err error
 	k.store, err = mem.NewStore(memCfg)
@@ -234,6 +249,7 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k.sch = sched.New(k.clock)
 	k.sch.SetSink(k.trace)
+	k.sch.SetMetrics(k.metrics)
 	// Layer 1: a fixed set of virtual processors. Two pooled VPs serve the
 	// layer-2 Multics processes at every stage; the restructured kernel
 	// adds dedicated VPs for its kernel processes below.
@@ -246,9 +262,12 @@ func New(cfg Config) (*Kernel, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: building parallel page control: %w", err)
 		}
+		pp.SetMetrics(k.metrics)
 		k.pager = pp
 	} else {
-		k.pager = pagectl.NewSequentialPager(k.store, nil)
+		sp := pagectl.NewSequentialPager(k.store, nil)
+		sp.SetMetrics(k.metrics)
+		k.pager = sp
 	}
 
 	k.registry = auth.NewRegistry()
@@ -271,72 +290,10 @@ func New(cfg Config) (*Kernel, error) {
 	return k, nil
 }
 
-// Deprecated accessors, kept as thin shims over the Services facade
-// (facade.go) so out-of-tree callers migrate at their own pace; in-tree
-// callers use Services().
-
-// Stage returns the kernel's configuration stage.
-//
-// Deprecated: use Services().Stage.
-func (k *Kernel) Stage() Stage { return k.cfg.Stage }
-
-// Clock returns the system virtual clock.
-//
-// Deprecated: use Services().Clock.
-func (k *Kernel) Clock() *machine.Clock { return k.clock }
-
-// Cost returns the machine cost model in use.
-//
-// Deprecated: use Services().Cost.
-func (k *Kernel) Cost() machine.CostModel { return k.cost }
-
-// Store returns the memory hierarchy.
-//
-// Deprecated: use Services().Store.
-func (k *Kernel) Store() *mem.Store { return k.store }
-
-// Hierarchy returns the file hierarchy. It is exported for examples and
-// experiments; simulated user code must go through the gates.
-//
-// Deprecated: use Services().Hierarchy.
-func (k *Kernel) Hierarchy() *fs.Hierarchy { return k.hier }
-
-// Scheduler returns the process scheduler.
-//
-// Deprecated: use Services().Scheduler.
-func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
-
-// Pager returns the active page-control implementation.
-//
-// Deprecated: use Services().Pager.
-func (k *Kernel) Pager() pagectl.Pager { return k.pager }
-
-// UserRegistry returns the answering service's user data base.
-//
-// Deprecated: use Services().Users.
-func (k *Kernel) UserRegistry() *auth.Registry { return k.registry }
-
-// AnsweringService returns the login service.
-//
-// Deprecated: use Services().Answering.
-func (k *Kernel) AnsweringService() *auth.Service { return k.answer }
-
-// TraceRing returns the kernel-crossing trace ring. All layers of the
-// spine — gate dispatch, fault delivery, scheduling, network attachment,
-// fault injection — record into this one ring.
-//
-// Deprecated: use Services().Trace.
-func (k *Kernel) TraceRing() *gate.TraceRing { return k.trace }
-
-// UserGates returns the user-available gate registry.
-//
-// Deprecated: use Services().UserGates.
-func (k *Kernel) UserGates() *gate.Registry { return k.regUser }
-
-// PrivGates returns the privileged gate registry.
-//
-// Deprecated: use Services().PrivGates.
-func (k *Kernel) PrivGates() *gate.Registry { return k.regPriv }
+// The twelve per-subsystem accessors deprecated when the Services facade
+// landed (Stage, Clock, Cost, Store, Hierarchy, Scheduler, Pager,
+// UserRegistry, AnsweringService, TraceRing, UserGates, PrivGates) have
+// been deleted; use Services().
 
 // Shutdown stops kernel processes; the kernel is unusable afterwards.
 func (k *Kernel) Shutdown() { k.sch.Shutdown() }

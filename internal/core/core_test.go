@@ -41,7 +41,7 @@ func userProc(t *testing.T, k *Kernel, who acl.Principal, label mls.Label) *Proc
 // gate paths are exercised by the gate tests).
 func mkdir(t *testing.T, k *Kernel, who acl.Principal, name string) uint64 {
 	t.Helper()
-	uid, err := k.Hierarchy().Create(who, unc, fs.RootUID, name, fs.CreateOptions{
+	uid, err := k.Services().Hierarchy.Create(who, unc, fs.RootUID, name, fs.CreateOptions{
 		Kind: fs.KindDirectory, Label: unc,
 		ACL: acl.New(
 			acl.Entry{Who: acl.Pattern{Person: who.Person, Project: acl.Wildcard, Tag: acl.Wildcard},
@@ -59,8 +59,8 @@ func mkdir(t *testing.T, k *Kernel, who acl.Principal, name string) uint64 {
 func TestKernelConstructionAllStages(t *testing.T) {
 	for s := S0Baseline; s < NumStages; s++ {
 		k := newKernel(t, s)
-		if k.Stage() != s {
-			t.Errorf("stage = %v", k.Stage())
+		if k.Services().Stage != s {
+			t.Errorf("stage = %v", k.Services().Stage)
 		}
 		inv := k.Inventory()
 		if inv.Gates == 0 || inv.UserGates == 0 || inv.TotalUnits == 0 {
@@ -81,10 +81,10 @@ func TestBootPatternByStage(t *testing.T) {
 }
 
 func TestCostModelByStage(t *testing.T) {
-	if got := newKernel(t, S0Baseline).Cost().Name; !strings.Contains(got, "645") {
+	if got := newKernel(t, S0Baseline).Services().Cost.Name; !strings.Contains(got, "645") {
 		t.Errorf("S0 cost model = %q", got)
 	}
-	if got := newKernel(t, S1LinkerRemoved).Cost().Name; !strings.Contains(got, "6180") {
+	if got := newKernel(t, S1LinkerRemoved).Services().Cost.Name; !strings.Contains(got, "6180") {
 		t.Errorf("S1 cost model = %q", got)
 	}
 }
@@ -143,7 +143,7 @@ func TestCreateAndUseSegmentThroughGatesS0(t *testing.T) {
 		t.Fatalf("append_branch: %v", err)
 	}
 	uid := out[0]
-	if err := k.Hierarchy().SetLength(alice, unc, uid, 64); err != nil {
+	if err := k.Services().Hierarchy.SetLength(alice, unc, uid, 64); err != nil {
 		t.Fatal(err)
 	}
 
@@ -215,11 +215,11 @@ func TestACLEnforcedThroughGates(t *testing.T) {
 		t.Fatalf("add_acl_entry: %v", err)
 	}
 	// Give the segment some pages so reads have something to hit.
-	segUID, err := k.Hierarchy().ResolvePath(alice, unc, ">udd>secret")
+	segUID, err := k.Services().Hierarchy.ResolvePath(alice, unc, ">udd>secret")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := k.Hierarchy().SetLength(alice, unc, segUID, 16); err != nil {
+	if err := k.Services().Hierarchy.SetLength(alice, unc, segUID, 16); err != nil {
 		t.Fatal(err)
 	}
 	out, err := pb.CallGate("hcs_$initiate", pOff, pLen, 0, 0)
@@ -243,7 +243,7 @@ func TestMLSEnforcedThroughGates(t *testing.T) {
 	// fine, and the child label may rise. Everyone gets discretionary rw
 	// so only the mandatory rules govern below.
 	secret := mls.NewLabel(mls.Secret)
-	uid, err := k.Hierarchy().Create(alice, unc, fs.RootUID, "intel", fs.CreateOptions{
+	uid, err := k.Services().Hierarchy.Create(alice, unc, fs.RootUID, "intel", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: secret, Length: 16,
 		ACL: acl.New(acl.Entry{
 			Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
@@ -359,7 +359,7 @@ func TestSegnoKeyedFSInterface(t *testing.T) {
 	}
 
 	// Initiate by UID and use the segment.
-	if err := k.Hierarchy().SetLength(alice, unc, uid, 16); err != nil {
+	if err := k.Services().Hierarchy.SetLength(alice, unc, uid, 16); err != nil {
 		t.Fatal(err)
 	}
 	out, err = p.CallGate("hcs_$initiate_uid", uid)
@@ -468,12 +468,12 @@ func TestBlockAndTimerUnderScheduler(t *testing.T) {
 		}
 		got = out[0]
 	})
-	k.Scheduler().Run(0)
+	k.Services().Scheduler.Run(0)
 	if got != 99 {
 		t.Errorf("timer data = %d, want 99", got)
 	}
-	if k.Clock().Now() < 500 {
-		t.Errorf("clock = %d, want >= 500", k.Clock().Now())
+	if k.Services().Clock.Now() < 500 {
+		t.Errorf("clock = %d, want >= 500", k.Services().Clock.Now())
 	}
 
 	// Blocking without a scheduled process is rejected cleanly.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mls"
 	"repro/internal/pagectl"
 	"repro/internal/sched"
@@ -51,6 +52,11 @@ type Services struct {
 	// Faults is the fault plane's injector, nil unless the kernel was
 	// built with a fault spec (Config.Faults / WithFaults).
 	Faults *faults.Injector
+	// Metrics is the unified measurement plane: one registry every
+	// instrumented subsystem publishes into, replacing the four ad-hoc
+	// stats surfaces (PerfCounters, GateStats, mem.TransferStats, and
+	// the netattach counters) as the way to observe a running kernel.
+	Metrics *metrics.Registry
 }
 
 // Services returns the kernel's service facade.
@@ -69,6 +75,7 @@ func (k *Kernel) Services() Services {
 		UserGates: k.regUser,
 		PrivGates: k.regPriv,
 		Faults:    k.faults,
+		Metrics:   k.metrics,
 	}
 }
 

@@ -64,6 +64,8 @@ func (k *Kernel) buildGates() error {
 	k.regPriv = gate.NewRegistry()
 	k.regUser.SetTraceRing(k.trace)
 	k.regPriv.SetTraceRing(k.trace)
+	k.regUser.SetMetrics(k.metrics)
+	k.regPriv.SetMetrics(k.metrics)
 
 	k.install(k.addressSpaceGates())
 	if k.cfg.Stage < S1LinkerRemoved {

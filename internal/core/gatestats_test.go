@@ -34,7 +34,8 @@ func TestGateStatsAccounting(t *testing.T) {
 		t.Fatalf("missing argument classified %v (%v)", gate.Classify(err), err)
 	}
 
-	stats := k.GateStats()
+	svc := k.Services()
+	stats := append(svc.UserGates.Stats(), svc.PrivGates.Stats()...)
 	wdir := statFor(t, stats, "hcs_$get_wdir")
 	if wdir.Calls != 1 || wdir.Errors != 0 || wdir.VCycles <= 0 {
 		t.Errorf("get_wdir stats = %+v, want 1 clean call with positive vcycles", wdir)
@@ -46,7 +47,7 @@ func TestGateStatsAccounting(t *testing.T) {
 
 	// Both crossings are in the trace ring, classified.
 	var ok, bad bool
-	for _, ev := range k.TraceRing().Snapshot() {
+	for _, ev := range k.Services().Trace.Snapshot() {
 		if ev.Stage != gate.StageGate {
 			continue
 		}
@@ -63,7 +64,8 @@ func TestGateStatsAccounting(t *testing.T) {
 }
 
 // TestGateStatsCoverBothRegistries checks the privileged registry's rows
-// ride along in GateStats.
+// ride along in the deprecated GateStats shim, and that the shim agrees
+// with the facade registries it now wraps.
 func TestGateStatsCoverBothRegistries(t *testing.T) {
 	k := newKernel(t, S0Baseline)
 	names := make(map[string]bool)
@@ -75,8 +77,8 @@ func TestGateStatsCoverBothRegistries(t *testing.T) {
 			t.Errorf("GateStats missing %s", want)
 		}
 	}
-	if len(names) != k.UserGates().Count()+k.PrivGates().Count() {
+	if len(names) != k.Services().UserGates.Count()+k.Services().PrivGates.Count() {
 		t.Errorf("GateStats rows %d != %d user + %d priv",
-			len(names), k.UserGates().Count(), k.PrivGates().Count())
+			len(names), k.Services().UserGates.Count(), k.Services().PrivGates.Count())
 	}
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"repro/internal/gate"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // PerfCounters is the hot-path performance summary of one kernel: the
@@ -13,15 +15,15 @@ import (
 type PerfCounters struct {
 	// AssocHits/AssocMisses/AssocInvalidations sum the associative-memory
 	// counters over all live processors.
-	AssocHits          int64
-	AssocMisses        int64
-	AssocInvalidations int64
+	AssocHits          int64 `json:"assoc_hits"`
+	AssocMisses        int64 `json:"assoc_misses"`
+	AssocInvalidations int64 `json:"assoc_invalidations"`
 	// FrameSteals/BlockSteals count free-list allocations that had to
 	// leave their home shard (contention or pool imbalance in the store).
-	FrameSteals int64
-	BlockSteals int64
+	FrameSteals int64 `json:"frame_steals"`
+	BlockSteals int64 `json:"block_steals"`
 	// Transfers is the store's page-movement totals.
-	Transfers mem.TransferStats
+	Transfers mem.TransferStats `json:"transfers"`
 }
 
 // HitRate returns the associative-memory hit fraction, or 0 with no lookups.
@@ -35,6 +37,11 @@ func (p PerfCounters) HitRate() float64 {
 
 // PerfCounters sums the performance counters over the kernel's processors
 // and its memory store.
+//
+// Deprecated: read Services().Metrics instead — the machine.* and mem.*
+// counters of the unified registry carry the same totals (and the
+// registry's Snapshot covers every other subsystem too). This shim stays
+// for one release.
 func (k *Kernel) PerfCounters() PerfCounters {
 	var out PerfCounters
 	for _, p := range k.procs {
@@ -53,7 +60,44 @@ func (k *Kernel) PerfCounters() PerfCounters {
 // GateStats reports per-gate call/error/rejection/vcycle accounting for
 // every gate of the stage, user-available entries first, in registration
 // order — the boundary-crossing companion to PerfCounters.
+//
+// Deprecated: use Services().UserGates.Stats() and
+// Services().PrivGates.Stats(), or read the gate.* counters from
+// Services().Metrics. This shim stays for one release.
 func (k *Kernel) GateStats() []gate.Stat {
 	out := k.regUser.Stats()
 	return append(out, k.regPriv.Stats()...)
 }
+
+// EnableMetricsSampler installs a virtual-time periodic sampler over the
+// kernel's metrics registry: once per `every` virtual cycles it emits one
+// StageMetrics trace event carrying the snapshot delta since the previous
+// sample. Events go into the kernel's trace ring and, when tee is
+// non-nil, into tee as well.
+//
+// The sampler is driven from the scheduler's dispatch events rather than
+// a self-rescheduling timer: a timer would keep the scheduler's run queue
+// non-empty forever, so Run(0) could never drain to completion. No
+// dispatches means no virtual time is passing, so there is nothing to
+// sample anyway.
+func (k *Kernel) EnableMetricsSampler(every int64, tee trace.Sink) *metrics.Sampler {
+	dest := trace.Sink(k.trace)
+	if tee != nil {
+		ring := k.trace
+		dest = trace.SinkFunc(func(ev trace.Event) {
+			ring.Record(ev)
+			tee.Record(ev)
+		})
+	}
+	s := metrics.NewSampler(k.metrics, dest, every)
+	k.sampler = s
+	inner := trace.Sink(k.trace)
+	k.sch.SetSink(trace.SinkFunc(func(ev trace.Event) {
+		inner.Record(ev)
+		s.Tick(ev.At)
+	}))
+	return s
+}
+
+// Sampler returns the sampler installed by EnableMetricsSampler, or nil.
+func (k *Kernel) Sampler() *metrics.Sampler { return k.sampler }

@@ -73,6 +73,7 @@ func (k *Kernel) CreateProcess(name string, who acl.Principal, label mls.Label, 
 	// Fault delivery feeds the kernel-crossing trace spine: every fault
 	// this processor charges becomes a StageFault event in the ring.
 	cpu.SetSink(k.trace)
+	cpu.SetMetrics(k.metrics)
 
 	// The user-available gate segment: callable from any ring via its
 	// declared gates, executing in ring 0.

@@ -175,7 +175,7 @@ func (s *stubEnv) Initiate(uid uint64) (machine.SegNo, error) {
 
 func TestLoginGatesS0(t *testing.T) {
 	k := newKernel(t, S0Baseline)
-	if err := k.UserRegistry().AddUser("Schroeder", "CSR", "multics75", mls.NewLabel(mls.Secret)); err != nil {
+	if err := k.Services().Users.AddUser("Schroeder", "CSR", "multics75", mls.NewLabel(mls.Secret)); err != nil {
 		t.Fatal(err)
 	}
 	// The "initializer" process performs logins in the baseline.
@@ -294,7 +294,7 @@ func TestPagedSegmentsFaultAndRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	uid, err := k.Hierarchy().Create(alice, unc, fs.RootUID, "big", fs.CreateOptions{
+	uid, err := k.Services().Hierarchy.Create(alice, unc, fs.RootUID, "big", fs.CreateOptions{
 		Kind: fs.KindSegment, Label: unc, Length: 64 * 20,
 	})
 	if err != nil {
@@ -317,7 +317,7 @@ func TestPagedSegmentsFaultAndRecover(t *testing.T) {
 			t.Fatalf("load page %d = %d, %v", pg, v, err)
 		}
 	}
-	if k.Pager().Stats().Faults == 0 {
+	if k.Services().Pager.Stats().Faults == 0 {
 		t.Error("no page faults recorded under memory pressure")
 	}
 }
@@ -332,7 +332,7 @@ func memSmall() mem.Config {
 
 func mkdirDirect(t *testing.T, k *Kernel, name string) {
 	t.Helper()
-	if _, err := k.Hierarchy().Create(alice, unc, fs.RootUID, name, fs.CreateOptions{
+	if _, err := k.Services().Hierarchy.Create(alice, unc, fs.RootUID, name, fs.CreateOptions{
 		Kind: fs.KindDirectory, Label: unc,
 	}); err != nil {
 		t.Fatal(err)

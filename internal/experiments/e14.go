@@ -146,7 +146,15 @@ func E14HotPathPerformance() Report {
 	if err != nil {
 		panic(err)
 	}
-	perf := sys8.Kernel.PerfCounters()
+	// Kernel counters come from the unified metrics registry — the same
+	// numbers PerfCounters() used to assemble from private atomics.
+	reg := sys8.Kernel.Services().Metrics
+	assocHits := reg.Counter("machine.assoc_hits").Value()
+	assocMisses := reg.Counter("machine.assoc_misses").Value()
+	assocInval := reg.Counter("machine.assoc_invalidations").Value()
+	frameSteals := reg.Counter("mem.frame_steals").Value()
+	blockSteals := reg.Counter("mem.block_steals").Value()
+	zeroFills := reg.Counter("mem.zero_fills").Value()
 	gates := sys8.Kernel.Inventory().Gates
 	sys8.Shutdown()
 	digestsEqual := rep1.Digest == rep8.Digest
@@ -161,10 +169,14 @@ func E14HotPathPerformance() Report {
 		totalOps, t1.Round(time.Microsecond), t8.Round(time.Microsecond), speedup,
 		runtime.GOMAXPROCS(0))
 	fmt.Fprintf(&b, "replay digest parallelism 1 vs 8: equal=%v (%s)\n", digestsEqual, rep1.Digest[:16])
+	assocRate := 0.0
+	if assocHits+assocMisses > 0 {
+		assocRate = float64(assocHits) / float64(assocHits+assocMisses)
+	}
 	fmt.Fprintf(&b, "kernel counters (parallel run): gates %d  assoc %d/%d (%.1f%% hit, %d invalidations)\n",
-		gates, perf.AssocHits, perf.AssocMisses, 100*perf.HitRate(), perf.AssocInvalidations)
+		gates, assocHits, assocMisses, 100*assocRate, assocInval)
 	fmt.Fprintf(&b, "store counters: frame steals %d  block steals %d  zero-fills %d\n",
-		perf.FrameSteals, perf.BlockSteals, perf.Transfers.ZeroFills)
+		frameSteals, blockSteals, zeroFills)
 
 	pass := onCycles < offCycles && revokedBlocked && digestsEqual &&
 		onStats.AssocHits > onStats.AssocMisses

@@ -400,7 +400,8 @@ func RunAll() []Report {
 		E12BootComplexity(),
 		E13NetAttach(),
 		// E14 measures wall-clock scaling and is registered only in
-		// cmd/experiments; E15 is deterministic and belongs here.
+		// cmd/experiments; E15 and E16 are deterministic and belong here.
 		E15FaultStorm(),
+		E16MetricsPlane(),
 	}
 }

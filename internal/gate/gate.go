@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 )
 
 // Category classifies a gate by the functional area it serves. Categories
@@ -67,11 +68,16 @@ type Registry struct {
 	counters []*counters    // parallel to defs
 	ring     *TraceRing     // trace spine destination, nil = off
 	extra    []Middleware   // extra links installed with Use
+	// metrics is where the spine publishes per-gate accounting
+	// (gate.<name>.calls/errors/rejected/vcycles). NewRegistry starts
+	// with a private registry so Stats works standalone; SetMetrics
+	// repoints the accounting at a shared one.
+	metrics *metrics.Registry
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{byName: make(map[string]int)}
+	return &Registry{byName: make(map[string]int), metrics: metrics.New()}
 }
 
 // Register adds a gate definition. Names must be unique.
@@ -90,7 +96,7 @@ func (r *Registry) Register(d Def) error {
 	}
 	r.byName[d.Name] = len(r.defs)
 	r.defs = append(r.defs, d)
-	r.counters = append(r.counters, &counters{})
+	r.counters = append(r.counters, newCounters(r.metrics, d.Name))
 	return nil
 }
 

@@ -3,9 +3,9 @@ package gate
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 )
 
 // Middleware wraps one gate entry. BuildProcedure composes the standard
@@ -13,32 +13,43 @@ import (
 // classification) around every gate body; Use appends extra links.
 type Middleware func(d Def, next machine.EntryFunc) machine.EntryFunc
 
-// counters holds one gate's atomic accounting. The spine updates these
-// on every call, including calls rejected before the body runs.
+// counters holds one gate's accounting handles into the metrics
+// registry. The spine updates these on every call, including calls
+// rejected before the body runs.
 type counters struct {
-	calls    atomic.Uint64
-	errors   atomic.Uint64
-	rejected atomic.Uint64
-	vcycles  atomic.Int64
+	calls    *metrics.Counter
+	errors   *metrics.Counter
+	rejected *metrics.Counter
+	vcycles  *metrics.Counter
+}
+
+// newCounters resolves the per-gate handles in reg under gate.<name>.*.
+func newCounters(reg *metrics.Registry, name string) *counters {
+	return &counters{
+		calls:    reg.Counter("gate." + name + ".calls"),
+		errors:   reg.Counter("gate." + name + ".errors"),
+		rejected: reg.Counter("gate." + name + ".rejected"),
+		vcycles:  reg.Counter("gate." + name + ".vcycles"),
+	}
 }
 
 // Stat is one gate's accumulated accounting, as reported by Stats.
 type Stat struct {
 	// Name and Category identify the gate.
-	Name     string
-	Category Category
+	Name     string   `json:"name"`
+	Category Category `json:"category"`
 	// Calls counts every invocation through the gatekeeper, including
 	// rejected ones.
-	Calls uint64
+	Calls int64 `json:"calls"`
 	// Errors counts invocations that returned any error.
-	Errors uint64
+	Errors int64 `json:"errors"`
 	// Rejected counts invocations refused for malformed arguments
 	// (oversized lists, wrong arity, missing arguments) — the paper's
 	// first review finding made visible.
-	Rejected uint64
+	Rejected int64 `json:"rejected"`
 	// VCycles is the total virtual time charged to the caller's clock
 	// while inside the gate.
-	VCycles int64
+	VCycles int64 `json:"vcycles"`
 }
 
 // Use appends a middleware to the registry's chain. It runs inside the
@@ -50,6 +61,22 @@ func (r *Registry) Use(mw Middleware) { r.extra = append(r.extra, mw) }
 // ring disables gate tracing. Applies to procedures built after the call.
 func (r *Registry) SetTraceRing(ring *TraceRing) { r.ring = ring }
 
+// SetMetrics repoints the spine's per-gate accounting at reg, so one
+// kernel's gate registries share the unified registry exposed as
+// Kernel.Services().Metrics. Handles for already-registered gates are
+// re-resolved; counts accumulated in the old registry stay behind.
+func (r *Registry) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	r.metrics = reg
+	// Mutate in place so procedures already built keep publishing into
+	// the new registry (countMW captures the *counters pointer).
+	for i, d := range r.defs {
+		*r.counters[i] = *newCounters(reg, d.Name)
+	}
+}
+
 // Stats returns per-gate accounting in registration order.
 func (r *Registry) Stats() []Stat {
 	out := make([]Stat, len(r.defs))
@@ -58,10 +85,10 @@ func (r *Registry) Stats() []Stat {
 		out[i] = Stat{
 			Name:     d.Name,
 			Category: d.Category,
-			Calls:    c.calls.Load(),
-			Errors:   c.errors.Load(),
-			Rejected: c.rejected.Load(),
-			VCycles:  c.vcycles.Load(),
+			Calls:    c.calls.Value(),
+			Errors:   c.errors.Value(),
+			Rejected: c.rejected.Value(),
+			VCycles:  c.vcycles.Value(),
 		}
 	}
 	return out
@@ -72,7 +99,7 @@ func (r *Registry) Stats() []Stat {
 func countMW(c *counters) Middleware {
 	return func(d Def, next machine.EntryFunc) machine.EntryFunc {
 		return func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			c.calls.Add(1)
+			c.calls.Inc()
 			var clk *machine.Clock
 			var before int64
 			if ctx != nil {
@@ -86,9 +113,9 @@ func countMW(c *counters) Middleware {
 				c.vcycles.Add(clk.Now() - before)
 			}
 			if err != nil {
-				c.errors.Add(1)
+				c.errors.Inc()
 				if Classify(err) == ClassBadArgs {
-					c.rejected.Add(1)
+					c.rejected.Inc()
 				}
 			}
 			return out, err

@@ -20,6 +20,8 @@ package machine
 // assocSlots is the number of direct-mapped cache slots. A power of two so
 // the slot index is a mask. 128 slots comfortably cover the working sets of
 // the experiments while still forcing occasional conflict evictions.
+import "repro/internal/metrics"
+
 const assocSlots = 128
 
 // assocEntry is one slot of the associative memory: the decisions computed
@@ -61,6 +63,9 @@ type AssocMemory struct {
 	enabled bool
 	slots   [assocSlots]assocEntry
 	stats   AssocStats
+	// invalidations, when set by Processor.SetMetrics, mirrors
+	// stats.Invalidations into the unified metrics registry.
+	invalidations *metrics.Counter
 }
 
 // NewAssocMemory returns an empty, enabled associative memory.
@@ -138,6 +143,9 @@ func (a *AssocMemory) InvalidateSeg(seg SegNo) {
 		if a.slots[i].valid && a.slots[i].seg == seg {
 			a.slots[i] = assocEntry{}
 			a.stats.Invalidations++
+			if a.invalidations != nil {
+				a.invalidations.Inc()
+			}
 		}
 	}
 }
@@ -149,6 +157,9 @@ func (a *AssocMemory) Flush() {
 		if a.slots[i].valid {
 			a.slots[i] = assocEntry{}
 			a.stats.Invalidations++
+			if a.invalidations != nil {
+				a.invalidations.Inc()
+			}
 		}
 	}
 }

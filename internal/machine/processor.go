@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -78,6 +79,11 @@ type Processor struct {
 	// sink, when set, receives one trace.Event per delivered fault — the
 	// uniform spine hookup shared with sched, netattach, and faults.
 	sink trace.Sink
+	// mAssocHits/mAssocMisses/mFaults, when set, publish into the unified
+	// metrics registry alongside the per-processor stats (see SetMetrics).
+	mAssocHits   *metrics.Counter
+	mAssocMisses *metrics.Counter
+	mFaults      *metrics.Counter
 }
 
 // TraceEvent describes one call observed by the processor trace hook.
@@ -150,6 +156,23 @@ func (p *Processor) SetFaultTrace(fn func(f *Fault)) { p.faultFn = fn }
 // stamped with the virtual cycle at delivery. A nil sink disables it.
 func (p *Processor) SetSink(s trace.Sink) { p.sink = s }
 
+// SetMetrics publishes the processor's hot-path counters into reg under
+// machine.* names (assoc hits/misses/invalidations, delivered faults) in
+// addition to the per-processor Stats. All processors of one kernel share
+// the registry, so the machine.* counters aggregate across CPUs. A nil
+// registry detaches the processor.
+func (p *Processor) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		p.mAssocHits, p.mAssocMisses, p.mFaults = nil, nil, nil
+		p.assoc.invalidations = nil
+		return
+	}
+	p.mAssocHits = reg.Counter("machine.assoc_hits")
+	p.mAssocMisses = reg.Counter("machine.assoc_misses")
+	p.mFaults = reg.Counter("machine.faults")
+	p.assoc.invalidations = reg.Counter("machine.assoc_invalidations")
+}
+
 // emitFault fans a delivered fault out to both observers.
 func (p *Processor) emitFault(f *Fault) {
 	if p.faultFn != nil {
@@ -201,6 +224,9 @@ func (p *Processor) SnappedLinkCount(inSeg SegNo) int { return len(p.linkage[inS
 
 func (p *Processor) fault(f *Fault) *Fault {
 	p.stats.Faults[f.Class]++
+	if p.mFaults != nil {
+		p.mFaults.Inc()
+	}
 	p.Clock.Advance(p.Cost.FaultOverhead)
 	p.emitFault(f)
 	return f
@@ -248,6 +274,9 @@ func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val 
 	var sdw *SDW
 	if e := p.assoc.lookup(seg, p.ring); e != nil && ((write && e.writeOK) || (!write && e.readOK)) {
 		p.stats.AssocHits++
+		if p.mAssocHits != nil {
+			p.mAssocHits.Inc()
+		}
 		p.Clock.Advance(p.Cost.AssocSearch)
 		sdw = e.sdw
 		if off < 0 || off >= sdw.Backing.Length() {
@@ -256,6 +285,9 @@ func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val 
 	} else {
 		if p.assoc.Enabled() {
 			p.stats.AssocMisses++
+			if p.mAssocMisses != nil {
+				p.mAssocMisses.Inc()
+			}
 			p.Clock.Advance(p.Cost.AssocSearch)
 		}
 		p.Clock.Advance(p.Cost.DescriptorWalk)
@@ -289,6 +321,9 @@ func (p *Processor) access(seg SegNo, off int, want AccessMode, write bool, val 
 			return 0, err
 		}
 		p.stats.Faults[FaultPage]++
+		if p.mFaults != nil {
+			p.mFaults.Inc()
+		}
 		p.Clock.Advance(p.Cost.FaultOverhead)
 		p.emitFault(&Fault{Class: FaultPage, Seg: seg, Offset: off, Ring: p.ring, Wanted: want, Detail: pf.Error()})
 		if p.Pager == nil || attempt > 0 {
@@ -372,12 +407,18 @@ func (p *Processor) Call(seg SegNo, entry int, args []uint64) ([]uint64, error) 
 			sdw = s
 			target, viaGate = e.callTarget, e.callGate
 			p.stats.AssocHits++
+			if p.mAssocHits != nil {
+				p.mAssocHits.Inc()
+			}
 			p.Clock.Advance(p.Cost.AssocSearch)
 		}
 	}
 	if !hit {
 		if p.assoc.Enabled() {
 			p.stats.AssocMisses++
+			if p.mAssocMisses != nil {
+				p.mAssocMisses.Inc()
+			}
 			p.Clock.Advance(p.Cost.AssocSearch)
 		}
 		p.Clock.Advance(p.Cost.DescriptorWalk)
@@ -435,6 +476,9 @@ func (p *Processor) CallSym(inSeg SegNo, ref LinkRef, args []uint64) ([]uint64, 
 		return p.Call(t.Seg, t.Entry, args)
 	}
 	p.stats.Faults[FaultLinkage]++
+	if p.mFaults != nil {
+		p.mFaults.Inc()
+	}
 	p.Clock.Advance(p.Cost.FaultOverhead)
 	p.emitFault(&Fault{Class: FaultLinkage, Seg: inSeg, Ring: p.ring, Detail: ref.SegName + "$" + ref.EntryName})
 	if p.Linker == nil {

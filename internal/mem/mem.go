@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/metrics"
 )
 
 // Level identifies one level of the memory hierarchy.
@@ -75,6 +77,10 @@ type Config struct {
 	BulkRead, BulkWrite int64
 	// DiskRead/DiskWrite are disk transfer latencies.
 	DiskRead, DiskWrite int64
+	// Metrics, when set, is the registry the store publishes its
+	// transfer and contention counters into (mem.* names). When nil the
+	// store uses a private registry so Stats keeps working standalone.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a hierarchy sized for the experiments: a small core
@@ -110,23 +116,28 @@ func (c Config) validate() error {
 
 // TransferStats counts page movements between levels.
 type TransferStats struct {
-	BulkToCore int64
-	DiskToCore int64
-	CoreToBulk int64
-	CoreToDisk int64
-	BulkToDisk int64
-	DiskToBulk int64
-	ZeroFills  int64
+	BulkToCore int64 `json:"bulk_to_core"`
+	DiskToCore int64 `json:"disk_to_core"`
+	CoreToBulk int64 `json:"core_to_bulk"`
+	CoreToDisk int64 `json:"core_to_disk"`
+	BulkToDisk int64 `json:"bulk_to_disk"`
+	DiskToBulk int64 `json:"disk_to_bulk"`
+	ZeroFills  int64 `json:"zero_fills"`
 }
 
-// Counters reports store-level contention metrics: how often an allocation
+// ContentionStats reports store-level contention: how often an allocation
 // had to steal a free frame or block from another shard's free list, either
 // because its home shard was drained by contending allocators or because the
 // free population is unbalanced.
-type Counters struct {
-	FrameSteals int64
-	BlockSteals int64
+type ContentionStats struct {
+	FrameSteals int64 `json:"frame_steals"`
+	BlockSteals int64 `json:"block_steals"`
 }
+
+// Counters is the historical name of ContentionStats.
+//
+// Deprecated: use ContentionStats.
+type Counters = ContentionStats
 
 type frame struct {
 	free     bool
@@ -186,11 +197,14 @@ type Store struct {
 	freeFrames [numShards]freeShard
 	freeBlocks [numShards]freeShard
 
-	bulkToCore, diskToCore   atomic.Int64
-	coreToBulk, coreToDisk   atomic.Int64
-	bulkToDisk, diskToBulk   atomic.Int64
-	zeroFills                atomic.Int64
-	frameSteals, blockSteals atomic.Int64
+	// Transfer and contention counts live in the unified metrics
+	// registry; these are pre-resolved handles, so the hot path is the
+	// same single atomic add it was when the fields were raw atomics.
+	bulkToCore, diskToCore   *metrics.Counter
+	coreToBulk, coreToDisk   *metrics.Counter
+	bulkToDisk, diskToBulk   *metrics.Counter
+	zeroFills                *metrics.Counter
+	frameSteals, blockSteals *metrics.Counter
 
 	// hook, when set, interposes on every backing-store transfer; see
 	// faulthook.go.
@@ -227,12 +241,25 @@ func NewStore(cfg Config) (*Store, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.New()
+	}
 	st := &Store{
-		cfg:    cfg,
-		frames: make([]frame, cfg.CoreFrames),
-		blocks: make([]block, cfg.BulkBlocks),
-		disk:   make(map[PageID][]uint64),
-		segs:   make(map[uint64]*SegmentPages),
+		cfg:         cfg,
+		frames:      make([]frame, cfg.CoreFrames),
+		blocks:      make([]block, cfg.BulkBlocks),
+		disk:        make(map[PageID][]uint64),
+		segs:        make(map[uint64]*SegmentPages),
+		bulkToCore:  reg.Counter("mem.bulk_to_core"),
+		diskToCore:  reg.Counter("mem.disk_to_core"),
+		coreToBulk:  reg.Counter("mem.core_to_bulk"),
+		coreToDisk:  reg.Counter("mem.core_to_disk"),
+		bulkToDisk:  reg.Counter("mem.bulk_to_disk"),
+		diskToBulk:  reg.Counter("mem.disk_to_bulk"),
+		zeroFills:   reg.Counter("mem.zero_fills"),
+		frameSteals: reg.Counter("mem.frame_steals"),
+		blockSteals: reg.Counter("mem.block_steals"),
 	}
 	for i := range st.frames {
 		st.frames[i].free = true
@@ -253,21 +280,21 @@ func (s *Store) Config() Config { return s.cfg }
 // Stats returns the transfer counts so far.
 func (s *Store) Stats() TransferStats {
 	return TransferStats{
-		BulkToCore: s.bulkToCore.Load(),
-		DiskToCore: s.diskToCore.Load(),
-		CoreToBulk: s.coreToBulk.Load(),
-		CoreToDisk: s.coreToDisk.Load(),
-		BulkToDisk: s.bulkToDisk.Load(),
-		DiskToBulk: s.diskToBulk.Load(),
-		ZeroFills:  s.zeroFills.Load(),
+		BulkToCore: s.bulkToCore.Value(),
+		DiskToCore: s.diskToCore.Value(),
+		CoreToBulk: s.coreToBulk.Value(),
+		CoreToDisk: s.coreToDisk.Value(),
+		BulkToDisk: s.bulkToDisk.Value(),
+		DiskToBulk: s.diskToBulk.Value(),
+		ZeroFills:  s.zeroFills.Value(),
 	}
 }
 
 // ContentionCounters returns the free-list steal counts.
-func (s *Store) ContentionCounters() Counters {
-	return Counters{
-		FrameSteals: s.frameSteals.Load(),
-		BlockSteals: s.blockSteals.Load(),
+func (s *Store) ContentionCounters() ContentionStats {
+	return ContentionStats{
+		FrameSteals: s.frameSteals.Value(),
+		BlockSteals: s.blockSteals.Value(),
 	}
 }
 
@@ -447,7 +474,7 @@ func homeShard(pid PageID) int {
 
 // takeFree pops a free ID, starting at the page's home shard and stealing
 // from the others in deterministic order when it is empty.
-func takeFree(shards *[numShards]freeShard, home int, steals *atomic.Int64) (int, bool) {
+func takeFree(shards *[numShards]freeShard, home int, steals *metrics.Counter) (int, bool) {
 	for i := 0; i < numShards; i++ {
 		sh := &shards[(home+i)&shardMask]
 		sh.mu.Lock()
@@ -473,12 +500,12 @@ func putFree(shards *[numShards]freeShard, id int) {
 }
 
 func (s *Store) takeFrame(pid PageID) (FrameID, bool) {
-	id, ok := takeFree(&s.freeFrames, homeShard(pid), &s.frameSteals)
+	id, ok := takeFree(&s.freeFrames, homeShard(pid), s.frameSteals)
 	return FrameID(id), ok
 }
 
 func (s *Store) takeBlock(pid PageID) (BlockID, bool) {
-	id, ok := takeFree(&s.freeBlocks, homeShard(pid), &s.blockSteals)
+	id, ok := takeFree(&s.freeBlocks, homeShard(pid), s.blockSteals)
 	return BlockID(id), ok
 }
 
@@ -549,7 +576,7 @@ func (s *Store) materializeZeroLocked(sp *SegmentPages, pid PageID) (FrameID, er
 	}
 	s.installFrame(f, pid, make([]uint64, s.cfg.PageWords))
 	sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-	s.zeroFills.Add(1)
+	s.zeroFills.Inc()
 	return f, nil
 }
 
@@ -601,7 +628,7 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 		putFree(&s.freeBlocks, int(loc.Block))
 		s.installFrame(f, pid, data)
 		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-		s.bulkToCore.Add(1)
+		s.bulkToCore.Inc()
 		return f, s.cfg.BulkRead, nil
 	case LevelDisk:
 		if err := s.checkIO(OpDiskRead, pid); err != nil {
@@ -617,7 +644,7 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 		s.diskMu.Unlock()
 		s.installFrame(f, pid, data)
 		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
-		s.diskToCore.Add(1)
+		s.diskToCore.Inc()
 		return f, s.cfg.DiskRead, nil
 	default:
 		return 0, 0, fmt.Errorf("mem: page %v in unexpected state %v", pid, loc.Level)
@@ -707,7 +734,7 @@ func (s *Store) EvictToBulk(f FrameID) (BlockID, int64, error) {
 	s.blocks[b] = block{pid: pid, data: data}
 	s.blockMu[bi].Unlock()
 	sp.pages[pid.Index] = Location{Level: LevelBulk, Block: b}
-	s.coreToBulk.Add(1)
+	s.coreToBulk.Inc()
 	return b, s.cfg.BulkWrite, nil
 }
 
@@ -741,7 +768,7 @@ func (s *Store) EvictToDisk(f FrameID) (int64, error) {
 	s.disk[pid] = data
 	s.diskMu.Unlock()
 	sp.pages[pid.Index] = Location{Level: LevelDisk}
-	s.coreToDisk.Add(1)
+	s.coreToDisk.Inc()
 	return s.cfg.DiskWrite, nil
 }
 
@@ -790,7 +817,7 @@ func (s *Store) BulkToDisk(b BlockID) (int64, error) {
 	s.disk[pid] = data
 	s.diskMu.Unlock()
 	sp.pages[pid.Index] = Location{Level: LevelDisk}
-	s.bulkToDisk.Add(1)
+	s.bulkToDisk.Inc()
 	return s.cfg.BulkRead + s.cfg.DiskWrite, nil
 }
 

@@ -1,0 +1,320 @@
+// Package metrics is the kernel's unified measurement plane: one typed
+// registry of counters, gauges, and fixed-bucket histograms that every
+// instrumented subsystem publishes into, replacing the four ad-hoc stats
+// surfaces that grew one accessor at a time (Kernel.PerfCounters,
+// Kernel.GateStats, mem.TransferStats, and the netattach/workload
+// counters). Schroeder's engineering programme justified every removal
+// and simplification with measured consequences; a uniform way to observe
+// the kernel is what makes that auditing activity repeatable.
+//
+// The hot path is lock-free in the same discipline as internal/mem: the
+// instrument table is sharded so registration and lookup never contend on
+// a global lock, instruments are pre-resolved handles over padded
+// atomics, and histogram cells are striped so concurrent observers rarely
+// share a cache line. Recording charges no virtual cycles — observation
+// must not perturb the virtual-time results it reports (the gate spine
+// set that precedent with its zero-vcycle middleware budget).
+//
+// Determinism: every aggregate is a commutative sum, so a deterministic
+// workload yields the same exported aggregate no matter how many real
+// worker goroutines recorded into the registry — the property Aviram et
+// al. (arXiv:1005.3450) motivate for measurements that must survive
+// parallel execution. Snapshot orders instruments by name, so the JSON
+// export of the same aggregate is byte-identical across runs.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Sharding geometry for the instrument table and histogram cells, same
+// power-of-two discipline as internal/mem's free-list shards.
+const (
+	numShards = 8
+	shardMask = numShards - 1
+)
+
+// Registry holds the instruments of one system. The zero value is not
+// usable; call New.
+type Registry struct {
+	// enabled gates every recording; instruments hold a pointer to it so
+	// a disabled registry drops recordings at the cost of one atomic
+	// load. Benchmarks measure the metrics-off floor this way.
+	enabled atomic.Bool
+	// now, when set, stamps snapshots with the current virtual cycle.
+	now atomic.Pointer[func() int64]
+
+	shards [numShards]regShard
+}
+
+// regShard is one shard of the instrument table. Only registration and
+// snapshotting take the lock; recording goes through handles.
+type regShard struct {
+	mu    sync.RWMutex
+	insts map[string]instrument
+}
+
+// instrument is the common face of Counter, Gauge, and Histogram.
+type instrument interface {
+	instName() string
+}
+
+// New returns an empty, enabled registry.
+func New() *Registry {
+	r := &Registry{}
+	r.enabled.Store(true)
+	for i := range r.shards {
+		r.shards[i].insts = make(map[string]instrument)
+	}
+	return r
+}
+
+// SetNow installs the virtual-clock reading used to stamp snapshots; nil
+// clears it (snapshots stamp zero).
+func (r *Registry) SetNow(fn func() int64) {
+	if fn == nil {
+		r.now.Store(nil)
+		return
+	}
+	r.now.Store(&fn)
+}
+
+// SetEnabled turns recording on or off. Handles stay valid; a disabled
+// registry drops every Add/Set/Observe.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether recordings are being accepted.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// shardFor hashes a name onto its table shard (FNV-1a, same function the
+// fault plane uses for its decisions).
+func shardFor(name string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return int(h & shardMask)
+}
+
+// Counter is a monotonically increasing event count. Handles are cheap
+// to hold and safe for concurrent use.
+type Counter struct {
+	name string
+	on   *atomic.Bool
+	v    atomic.Int64
+	// Pad the struct past a cache line so adjacent instruments allocated
+	// together do not false-share.
+	_ [32]byte
+}
+
+func (c *Counter) instName() string { return c.name }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by d (no-op when the registry is disabled).
+func (c *Counter) Add(d int64) {
+	if !c.on.Load() {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a level that can move both ways (current connections, pages
+// resident, ...).
+type Gauge struct {
+	name string
+	on   *atomic.Bool
+	v    atomic.Int64
+	_    [32]byte
+}
+
+func (g *Gauge) instName() string { return g.name }
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the level.
+func (g *Gauge) Set(v int64) {
+	if !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if !g.on.Load() {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Bounds are ascending
+// inclusive upper bounds; observations above the last bound land in an
+// implicit overflow bucket. Cells are striped across shards so
+// concurrent observers rarely share a cache line; Snapshot merges the
+// stripes, which is the histogram-merge step the tests pin down.
+type Histogram struct {
+	name   string
+	on     *atomic.Bool
+	bounds []int64
+	shards [numShards]histShard
+}
+
+type histShard struct {
+	counts []atomic.Int64 // len(bounds)+1; last is overflow
+	sum    atomic.Int64
+	count  atomic.Int64
+	_      [32]byte
+}
+
+func (h *Histogram) instName() string { return h.name }
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns the bucket upper bounds (not a copy; do not mutate).
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// mix64 spreads an observation over the stripe index (splitmix64 finalizer).
+func mix64(v uint64) uint64 {
+	v ^= v >> 33
+	v *= 0xff51afd7ed558ccd
+	v ^= v >> 33
+	v *= 0xc4ceb9fe1a85ec53
+	v ^= v >> 33
+	return v
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if !h.on.Load() {
+		return
+	}
+	sh := &h.shards[mix64(uint64(v))&shardMask]
+	// Linear scan: bucket lists are short (a dozen bounds) and the scan
+	// avoids sort.Search's function-call overhead on the hot path.
+	idx := len(h.bounds)
+	for i, b := range h.bounds {
+		if v <= b {
+			idx = i
+			break
+		}
+	}
+	sh.counts[idx].Add(1)
+	sh.sum.Add(v)
+	sh.count.Add(1)
+}
+
+// merge folds the stripes into one bucket array plus sum and count.
+func (h *Histogram) merge() (counts []int64, sum, count int64) {
+	counts = make([]int64, len(h.bounds)+1)
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := range sh.counts {
+			counts[i] += sh.counts[i].Load()
+		}
+		sum += sh.sum.Load()
+		count += sh.count.Load()
+	}
+	return counts, sum, count
+}
+
+// Counter returns the named counter, creating it on first use. The same
+// name always returns the same handle; registering a name that already
+// names a different instrument kind panics (a malformed instrument table
+// is a programming error, like a malformed gate table).
+func (r *Registry) Counter(name string) *Counter {
+	sh := &r.shards[shardFor(name)]
+	sh.mu.RLock()
+	in, ok := sh.insts[name]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.mu.Lock()
+		in, ok = sh.insts[name]
+		if !ok {
+			in = &Counter{name: name, on: &r.enabled}
+			sh.insts[name] = in
+		}
+		sh.mu.Unlock()
+	}
+	c, ok := in.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T, not a counter", name, in))
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	sh := &r.shards[shardFor(name)]
+	sh.mu.RLock()
+	in, ok := sh.insts[name]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.mu.Lock()
+		in, ok = sh.insts[name]
+		if !ok {
+			in = &Gauge{name: name, on: &r.enabled}
+			sh.insts[name] = in
+		}
+		sh.mu.Unlock()
+	}
+	g, ok := in.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T, not a gauge", name, in))
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending bucket bounds on first use. Later calls must pass the same
+// bounds (or nil to accept whatever was registered).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	sh := &r.shards[shardFor(name)]
+	sh.mu.RLock()
+	in, ok := sh.insts[name]
+	sh.mu.RUnlock()
+	if !ok {
+		sh.mu.Lock()
+		in, ok = sh.insts[name]
+		if !ok {
+			if len(bounds) == 0 {
+				panic(fmt.Sprintf("metrics: histogram %q needs bounds on first registration", name))
+			}
+			h := &Histogram{name: name, on: &r.enabled, bounds: append([]int64(nil), bounds...)}
+			for s := range h.shards {
+				h.shards[s].counts = make([]atomic.Int64, len(bounds)+1)
+			}
+			in = h
+			sh.insts[name] = in
+		}
+		sh.mu.Unlock()
+	}
+	h, ok := in.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %T, not a histogram", name, in))
+	}
+	if bounds != nil && len(h.bounds) != len(bounds) {
+		panic(fmt.Sprintf("metrics: histogram %q re-registered with different bounds", name))
+	}
+	return h
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/iosys"
 	"repro/internal/ipc"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mls"
 	"repro/internal/sched"
 	"repro/internal/trace"
@@ -121,34 +122,42 @@ func (c *Config) setDefaults() error {
 type Stats struct {
 	// Accepted/Rejected count listener outcomes; Active is the current
 	// table population (pending included).
-	Accepted, Rejected int64
-	Active             int
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Active   int   `json:"active"`
 
 	// Delivered counts messages read out of kernel buffers by workers;
 	// Processed counts executed requests; Replies counts replies queued.
-	Delivered, Processed, Replies int64
+	Delivered int64 `json:"delivered"`
+	Processed int64 `json:"processed"`
+	Replies   int64 `json:"replies"`
 
 	// ReplyDrops counts replies shed by flow control. Throttled counts
 	// sends refused at the high-water mark. Both are explicit and exact.
-	ReplyDrops, Throttled int64
+	ReplyDrops int64 `json:"reply_drops"`
+	Throttled  int64 `json:"throttled"`
 
 	// InputLost counts request messages destroyed unread inside kernel
 	// buffers (legacy circular buffers only; zero from S5 on). ReplyLost
 	// is the same for the reply rings.
-	InputLost, ReplyLost int64
+	InputLost int64 `json:"input_lost"`
+	ReplyLost int64 `json:"reply_lost"`
 
 	// PeakInput/PeakOutput are the highest per-connection queue depths
 	// observed.
-	PeakInput, PeakOutput int
+	PeakInput  int `json:"peak_input"`
+	PeakOutput int `json:"peak_output"`
 
 	// Stalls and Resets count injected connection faults absorbed by the
 	// drain-and-requeue recovery path: the service pass backed off and the
 	// connection was requeued with its input intact.
-	Stalls, Resets int64
+	Stalls int64 `json:"stalls"`
+	Resets int64 `json:"resets"`
 
 	// AttachP50/AttachP99 are attach-latency percentiles over all
 	// accepted connections (dial to attached, virtual cycles).
-	AttachP50, AttachP99 int64
+	AttachP50 int64 `json:"attach_p50"`
+	AttachP99 int64 `json:"attach_p99"`
 }
 
 // Frontend is the network attachment front-end over one kernel.
@@ -192,6 +201,42 @@ type Frontend struct {
 	stalls, resets                   int64
 	closedInputLost, closedReplyLost int64
 	peakInput, peakOutput            int
+
+	// nm publishes the same lifecycle counters into the kernel's unified
+	// metrics registry (net.* names) as they happen.
+	nm netMetrics
+}
+
+// netMetrics is the front-end's handle set into the kernel's unified
+// metrics registry. resolve falls back to a private registry when the
+// kernel has none, so the handles are always safe to use.
+type netMetrics struct {
+	accepted, rejected            *metrics.Counter
+	delivered, processed, replies *metrics.Counter
+	replyDrops, throttled         *metrics.Counter
+	stalls, resets                *metrics.Counter
+	inputLost, replyLost          *metrics.Counter
+	active                        *metrics.Gauge
+	attachLat                     *metrics.Histogram
+}
+
+func (nm *netMetrics) resolve(reg *metrics.Registry) {
+	if reg == nil {
+		reg = metrics.New()
+	}
+	nm.accepted = reg.Counter("net.accepted")
+	nm.rejected = reg.Counter("net.rejected")
+	nm.delivered = reg.Counter("net.delivered")
+	nm.processed = reg.Counter("net.processed")
+	nm.replies = reg.Counter("net.replies")
+	nm.replyDrops = reg.Counter("net.reply_drops")
+	nm.throttled = reg.Counter("net.throttled")
+	nm.stalls = reg.Counter("net.stalls")
+	nm.resets = reg.Counter("net.resets")
+	nm.inputLost = reg.Counter("net.input_lost")
+	nm.replyLost = reg.Counter("net.reply_lost")
+	nm.active = reg.Gauge("net.active")
+	nm.attachLat = reg.Histogram("net.attach_latency", []int64{50, 100, 200, 400, 800, 1600, 3200})
 }
 
 // New builds the front-end over k and starts its listener and worker
@@ -215,6 +260,7 @@ func New(k *core.Kernel, login LoginFunc, cfg Config) (*Frontend, error) {
 		nextID:     1,
 		nextOutUID: 1,
 	}
+	fe.nm.resolve(svc.Metrics)
 	// A kernel built with a fault plan extends the plan to connections:
 	// the front-end is the fault plane's netattach interposition point.
 	if svc.Faults != nil {
@@ -326,9 +372,11 @@ func (fe *Frontend) DialAsync(person, project, password string, level mls.Level)
 	}
 	fe.nextID++
 	fe.conns[c.id] = c
+	fe.nm.active.Set(int64(len(fe.conns)))
 	fe.acceptq = append(fe.acceptq, c)
 	if err := fe.arrivals.Signal(nil, ipc.Event{From: "netattach.dial", Data: c.id}); err != nil {
 		delete(fe.conns, c.id)
+		fe.nm.active.Set(int64(len(fe.conns)))
 		fe.acceptq = fe.acceptq[:len(fe.acceptq)-1]
 		return nil, err
 	}
@@ -417,12 +465,15 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 	c.attachLat = pc.Now() - c.dialedAt
 	fe.attachLats = append(fe.attachLats, c.attachLat)
 	fe.accepted++
+	fe.nm.accepted.Inc()
+	fe.nm.attachLat.Observe(c.attachLat)
 	fe.emit(gate.TraceEvent{Name: "attach", Subject: c.id, Cost: c.attachLat, Outcome: gate.ClassOK})
 }
 
 // reject records a failed accept. Caller holds fe.mu via the simulation.
 func (fe *Frontend) reject(c *Conn, err error) {
 	fe.rejected++
+	fe.nm.rejected.Inc()
 	c.fail(err)
 	fe.emit(gate.TraceEvent{Name: "reject", Subject: c.id, Outcome: gate.Classify(err), Detail: err.Error()})
 }
@@ -494,11 +545,13 @@ func (fe *Frontend) service(pc *sched.ProcCtx, c *Conn) {
 		if fp := fe.faults; fp != nil {
 			if fp.ConnReset(c.id) {
 				fe.resets++
+				fe.nm.resets.Inc()
 				pc.Consume(resetPenalty)
 				return
 			}
 			if fp.ConnStall(c.id) {
 				fe.stalls++
+				fe.nm.stalls.Inc()
 				pc.Sleep(stallDelay)
 				return
 			}
@@ -513,6 +566,7 @@ func (fe *Frontend) service(pc *sched.ProcCtx, c *Conn) {
 		}
 		c.delivered++
 		fe.delivered++
+		fe.nm.delivered.Inc()
 		fe.execute(pc, c, out[0])
 	}
 }
@@ -555,10 +609,12 @@ func (fe *Frontend) execute(pc *sched.ProcCtx, c *Conn, word uint64) {
 		pc.Consume(1)
 		c.processed++
 		fe.processed++
+		fe.nm.processed.Inc()
 		return
 	}
 	c.processed++
 	fe.processed++
+	fe.nm.processed.Inc()
 	fe.emit(gate.TraceEvent{Name: "request", Subject: c.id, Arg: word, Outcome: gate.ClassOK})
 	fe.enqueueReply(c, reply)
 }
@@ -577,6 +633,7 @@ func (fe *Frontend) enqueueReply(c *Conn, v uint64) {
 	if c.shedding {
 		c.drops++
 		fe.drops++
+		fe.nm.replyDrops.Inc()
 		return
 	}
 	c.replySeq++
@@ -584,10 +641,12 @@ func (fe *Frontend) enqueueReply(c *Conn, v uint64) {
 		// Refused by storage: still a counted drop, never silent.
 		c.drops++
 		fe.drops++
+		fe.nm.replyDrops.Inc()
 		return
 	}
 	c.replies++
 	fe.replies++
+	fe.nm.replies.Inc()
 	if n+1 > fe.peakOutput {
 		fe.peakOutput = n + 1
 	}
@@ -619,6 +678,7 @@ func (fe *Frontend) finishClose(c *Conn) error {
 		lost, err := fe.k.DeviceLost(c.dev)
 		if err == nil {
 			fe.closedInputLost += lost
+			fe.nm.inputLost.Add(lost)
 		}
 		if _, err := c.proc.CallGate(fe.detachGate(), c.dev); err != nil {
 			return fmt.Errorf("netattach: detach gate: %w", err)
@@ -626,6 +686,7 @@ func (fe *Frontend) finishClose(c *Conn) error {
 	}
 	if c.out != nil {
 		fe.closedReplyLost += c.out.Lost()
+		fe.nm.replyLost.Add(c.out.Lost())
 		if c.outUID != 0 {
 			_ = fe.outStore.DeleteSegment(c.outUID)
 		}
@@ -633,6 +694,7 @@ func (fe *Frontend) finishClose(c *Conn) error {
 	}
 	c.state = StateClosed
 	delete(fe.conns, c.id)
+	fe.nm.active.Set(int64(len(fe.conns)))
 	fe.emit(gate.TraceEvent{Name: "close", Subject: c.id, Arg: uint64(c.processed), Outcome: gate.ClassOK})
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -110,22 +111,54 @@ func (FIFOPolicy) ChooseVictim(candidates []mem.Frame) (mem.FrameID, error) {
 // experiment compares these across the two designs.
 type FaultStats struct {
 	// Faults is the number of page faults handled.
-	Faults int64
+	Faults int64 `json:"faults"`
 	// WaitCycles is the total virtual time faulting processes spent from
 	// fault to resolution.
-	WaitCycles int64
+	WaitCycles int64 `json:"wait_cycles"`
 	// FaulterSteps counts the distinct page-control operations executed in
 	// the faulting process itself (the paper's "complex series of steps").
-	FaulterSteps int64
+	FaulterSteps int64 `json:"faulter_steps"`
 	// FaulterEvictions counts evictions the faulting process had to
 	// perform itself (always zero for the parallel design).
-	FaulterEvictions int64
+	FaulterEvictions int64 `json:"faulter_evictions"`
 	// MaxCascade is the deepest eviction cascade a single fault triggered
 	// in the faulting process.
-	MaxCascade int
+	MaxCascade int `json:"max_cascade"`
 	// IORetries counts transient backing-store I/O errors (mem.ErrIO)
 	// absorbed by retry-with-backoff instead of failing the fault.
-	IORetries int64
+	IORetries int64 `json:"io_retries"`
+}
+
+// pagerMetrics holds the handles both page-control designs publish
+// through: pagectl.faults, pagectl.wait_cycles, pagectl.io_retries. The
+// zero value (all nil) means detached.
+type pagerMetrics struct {
+	faults     *metrics.Counter
+	waitCycles *metrics.Counter
+	ioRetries  *metrics.Counter
+}
+
+func (pm *pagerMetrics) resolve(reg *metrics.Registry) {
+	if reg == nil {
+		*pm = pagerMetrics{}
+		return
+	}
+	pm.faults = reg.Counter("pagectl.faults")
+	pm.waitCycles = reg.Counter("pagectl.wait_cycles")
+	pm.ioRetries = reg.Counter("pagectl.io_retries")
+}
+
+func (pm *pagerMetrics) fault(wait int64) {
+	if pm.faults != nil {
+		pm.faults.Inc()
+		pm.waitCycles.Add(wait)
+	}
+}
+
+func (pm *pagerMetrics) ioRetry() {
+	if pm.ioRetries != nil {
+		pm.ioRetries.Inc()
+	}
 }
 
 // ioRetryLimit bounds retry-with-backoff on transient backing-store I/O
@@ -160,7 +193,12 @@ type SequentialPager struct {
 	store  *mem.Store
 	policy VictimPolicy
 	stats  FaultStats
+	pm     pagerMetrics
 }
+
+// SetMetrics publishes fault handling into reg under pagectl.* names; nil
+// detaches the pager.
+func (s *SequentialPager) SetMetrics(reg *metrics.Registry) { s.pm.resolve(reg) }
 
 // NewSequentialPager returns the old-design pager.
 func NewSequentialPager(store *mem.Store, policy VictimPolicy) *SequentialPager {
@@ -180,6 +218,7 @@ func (s *SequentialPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error
 	defer func() {
 		s.stats.Faults++
 		s.stats.WaitCycles += pc.Now() - start
+		s.pm.fault(pc.Now() - start)
 	}()
 	pid := mem.PageID{SegUID: pf.SegTag, Index: pf.Page}
 	cascade := 0
@@ -205,6 +244,7 @@ func (s *SequentialPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error
 				return fmt.Errorf("pagectl(sequential): page-in of %v: %d retries exhausted: %w", pid, ioRetryLimit, err)
 			}
 			s.stats.IORetries++
+			s.pm.ioRetry()
 			pc.Sleep(ioRetryBackoff << (ioAttempts - 1))
 			continue
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ipc"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -66,10 +67,15 @@ type ParallelPager struct {
 	bulkProc *sched.Process
 
 	stats FaultStats
+	pm    pagerMetrics
 	// KernelEvictions counts evictions performed by the dedicated
 	// processes (work moved *out* of the faulting path).
 	KernelEvictions int64
 }
+
+// SetMetrics publishes fault handling into reg under pagectl.* names; nil
+// detaches the pager.
+func (p *ParallelPager) SetMetrics(reg *metrics.Registry) { p.pm.resolve(reg) }
 
 // NewParallelPager creates the pager and spawns its two dedicated kernel
 // processes on dedicated virtual processors, per the paper's two-layer
@@ -147,6 +153,7 @@ func (p *ParallelPager) coreFreeingBody(pc *sched.ProcCtx) {
 				// Injected transient I/O error: back off and retry rather
 				// than killing the dedicated process.
 				p.stats.IORetries++
+				p.pm.ioRetry()
 				pc.Sleep(ioRetryBackoff)
 				continue
 			}
@@ -189,6 +196,7 @@ func (p *ParallelPager) bulkFreeingBody(pc *sched.ProcCtx) {
 			}
 			if errors.Is(err, mem.ErrIO) {
 				p.stats.IORetries++
+				p.pm.ioRetry()
 				pc.Sleep(ioRetryBackoff)
 				continue
 			}
@@ -215,6 +223,7 @@ func (p *ParallelPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error {
 	defer func() {
 		p.stats.Faults++
 		p.stats.WaitCycles += pc.Now() - start
+		p.pm.fault(pc.Now() - start)
 	}()
 	pid := mem.PageID{SegUID: pf.SegTag, Index: pf.Page}
 	ioAttempts := 0
@@ -243,6 +252,7 @@ func (p *ParallelPager) Handle(pc *sched.ProcCtx, pf *machine.PageFault) error {
 				return fmt.Errorf("pagectl(parallel): page-in of %v: %d retries exhausted: %w", pid, ioRetryLimit, err)
 			}
 			p.stats.IORetries++
+			p.pm.ioRetry()
 			pc.Sleep(ioRetryBackoff << (ioAttempts - 1))
 			continue
 		}

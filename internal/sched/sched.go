@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -141,6 +142,10 @@ type Scheduler struct {
 	// sink, when set, receives one trace.Event per dispatch — the uniform
 	// spine hookup shared with machine, netattach, and faults.
 	sink trace.Sink
+	// mDispatches/mDispatchCycles, when set via SetMetrics, publish
+	// dispatch counts and consumed vcycles into the unified registry.
+	mDispatches     *metrics.Counter
+	mDispatchCycles *metrics.Counter
 	// traceFn, when set, observes every dispatch with the process name and
 	// the virtual cycles it consumed before yielding.
 	traceFn func(name string, elapsed int64)
@@ -158,6 +163,23 @@ func (s *Scheduler) SetTrace(fn func(name string, elapsed int64)) { s.traceFn = 
 // elapsed vcycles as Cost, and the dispatch-end virtual cycle as At. A
 // nil sink disables it.
 func (s *Scheduler) SetSink(sk trace.Sink) { s.sink = sk }
+
+// SetMetrics publishes dispatch accounting into reg as sched.dispatches
+// and sched.dispatch_cycles. A nil registry detaches the scheduler.
+//
+// Note for determinism-sensitive consumers: dispatch counts depend on how
+// often outer drivers pump the scheduler (e.g. netattach Flush cadence),
+// which can vary with workload parallelism — so sched.* counters are
+// observational and are excluded from parallelism-invariant aggregate
+// comparisons (see the determinism argument in DESIGN.md).
+func (s *Scheduler) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		s.mDispatches, s.mDispatchCycles = nil, nil
+		return
+	}
+	s.mDispatches = reg.Counter("sched.dispatches")
+	s.mDispatchCycles = reg.Counter("sched.dispatch_cycles")
+}
 
 // New returns a scheduler over the given clock.
 func New(clock *machine.Clock) *Scheduler {
@@ -316,6 +338,10 @@ func (s *Scheduler) dispatch(p *Process) {
 	p.CPUCycles += elapsed
 	if vp != nil {
 		vp.busyCycles += elapsed
+	}
+	if s.mDispatches != nil {
+		s.mDispatches.Inc()
+		s.mDispatchCycles.Add(elapsed)
 	}
 	if s.traceFn != nil {
 		s.traceFn(p.Name, elapsed)

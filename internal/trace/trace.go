@@ -35,6 +35,9 @@ const (
 	// Only internal/faults may construct events with this stage
 	// (enforced by the scripts/check.sh lint).
 	StageInject
+	// StageMetrics: the metrics sampler emitted a periodic snapshot
+	// delta.
+	StageMetrics
 )
 
 func (s Stage) String() string {
@@ -49,6 +52,8 @@ func (s Stage) String() string {
 		return "net"
 	case StageInject:
 		return "inject"
+	case StageMetrics:
+		return "metrics"
 	default:
 		return "?"
 	}

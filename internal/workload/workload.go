@@ -108,37 +108,39 @@ func (c *Config) setDefaults() error {
 
 // Report is the outcome of one traffic run.
 type Report struct {
-	Conns, Steps int
+	Conns int `json:"conns"`
+	Steps int `json:"steps"`
 
 	// Sent counts requests accepted by Send; Throttled counts sends
 	// refused at the high-water mark (explicit backpressure).
-	Sent, Throttled int64
+	Sent      int64 `json:"sent"`
+	Throttled int64 `json:"throttled"`
 	// Received counts replies read back by the engine.
-	Received int64
+	Received int64 `json:"received"`
 
 	// Front-end counters at the end of the run (see netattach.Stats).
-	Stats netattach.Stats
+	Stats netattach.Stats `json:"stats"`
 
 	// Failed counts connections whose sessions errored out despite the
 	// recovery paths; zero unless the run injected faults (Config.Faults)
 	// and a session exhausted its retries.
-	Failed int64
+	Failed int64 `json:"failed"`
 
 	// Cycles is the virtual time the run took.
-	Cycles int64
+	Cycles int64 `json:"cycles"`
 	// Throughput is requests processed per thousand virtual cycles.
-	Throughput float64
+	Throughput float64 `json:"throughput"`
 
 	// Digest is a sha256 over the full reply transcript and the final
 	// counters: the determinism witness.
-	Digest string
+	Digest string `json:"digest"`
 	// TraceDigest is a sha256 over the front-end's attachment-lifecycle
 	// trace stream, folded per connection in ascending connection-id
 	// order. Each connection's events (attach → request* → drain →
 	// close) are FIFO within the connection, so the fold is independent
 	// of how worker goroutines interleave: the digest is byte-identical
 	// at Parallelism 1 and Parallelism 8.
-	TraceDigest string
+	TraceDigest string `json:"trace_digest"`
 }
 
 // Format renders the report for the terminal.
@@ -422,6 +424,16 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		rep.Stats.InputLost, rep.Stats.ReplyLost, rep.Stats.ReplyDrops)
 	rep.Digest = hex.EncodeToString(h.Sum(nil))
 	rep.TraceDigest = tc.digest()
+
+	// Fold the session outcomes into the kernel's unified metrics
+	// registry. This runs after the single-threaded tally fold above, so
+	// the additions are deterministic regardless of Parallelism.
+	reg := sys.Kernel.Services().Metrics
+	reg.Counter("workload.sessions").Add(int64(rep.Conns))
+	reg.Counter("workload.failed").Add(rep.Failed)
+	reg.Counter("workload.sent").Add(rep.Sent)
+	reg.Counter("workload.received").Add(rep.Received)
+	reg.Counter("workload.throttled").Add(rep.Throttled)
 	return rep, nil
 }
 

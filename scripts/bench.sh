@@ -56,6 +56,24 @@ END { print "]" }
 
 echo "wrote $out"
 
+# The metrics-plane overhead claim (≤1% virtual-cycle cost, expected 0)
+# is worth surfacing next to the archive: pull the two E16 arms back out
+# of the raw run when the pattern covered them.
+e16=$(awk '
+/^BenchmarkE16MetricsOverhead\/metrics-(on|off)/ {
+    for (i = 3; i < NF; i += 2) if ($(i + 1) == "vcycles/call") {
+        if ($1 ~ /metrics-on/) on = $i; else off = $i
+    }
+}
+END {
+    if (on != "" && off != "" && off + 0 > 0)
+        printf "E16 metrics overhead: on %s off %s vcycles/call (%+.2f%%)", on, off, (on - off) / off * 100
+}
+' "$raw")
+if [ -n "$e16" ]; then
+	echo "$e16"
+fi
+
 if [ -n "$base" ]; then
 	echo ""
 	echo "delta vs $baselabel:"
