@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/iosys"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -682,4 +683,59 @@ func BenchmarkE16MetricsOverhead(b *testing.B) {
 			over*100, on, off)
 	}
 	b.ReportMetric((on-off)/off*100, "overhead-%")
+}
+
+// BenchmarkE17FleetScaling boots a fleet per iteration and replays the
+// E17 storm: the same 32-session script sharded across 1, 4, and 16
+// kernels, plus the 16-kernel arm under a per-burst migration storm.
+// Throughput (requests per thousand virtual cycles of the busiest
+// kernel) must rise with the kernel count, every session must survive,
+// and the session digest must match the single-kernel run — scaling is
+// only interesting if the transcripts prove nobody noticed.
+func BenchmarkE17FleetScaling(b *testing.B) {
+	wl := workload.Config{Conns: 32, Steps: 8, Burst: 2, Users: 32, Seed: 75}
+	var baseline string
+	for _, arm := range []struct {
+		name         string
+		kernels      int
+		migrateEvery int
+	}{
+		{"kernels-1", 1, 0},
+		{"kernels-4", 4, 0},
+		{"kernels-16", 16, 0},
+		{"kernels-16-migrating", 16, 1},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var rep *fleet.RunReport
+			for i := 0; i < b.N; i++ {
+				f, err := fleet.New(fleet.Config{
+					Kernels: arm.kernels, Workers: 8,
+					MaxConns: wl.Conns, MemFrames: 4096,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep, err = fleet.Run(f, fleet.RunConfig{
+					Workload: wl, MigrateEvery: arm.migrateEvery,
+				})
+				f.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if rep.Failed != 0 || rep.MigrationFailures != 0 {
+				b.Fatalf("dead sessions %d, failed migrations %d",
+					rep.Failed, rep.MigrationFailures)
+			}
+			if baseline == "" {
+				baseline = rep.SessionDigest
+			} else if rep.SessionDigest != baseline {
+				b.Fatalf("session digest diverged: %s vs %s",
+					rep.SessionDigest, baseline)
+			}
+			b.ReportMetric(rep.Throughput, "req/kcy")
+			b.ReportMetric(float64(rep.MaxCycles), "max-vcycles")
+			b.ReportMetric(float64(rep.Migrations), "migrations")
+		})
+	}
 }

@@ -11,6 +11,8 @@
 //	loadgen -n 32 -compare        # same storm on the legacy path vs S5+
 //	loadgen -n 32 -fault-rate 0.01 -fault-seed 7   # storm under injected faults
 //	loadgen -n 32 -metrics        # live metric deltas + final registry snapshot
+//	loadgen -n 64 -kernels 4      # shard the sessions across a 4-kernel fleet
+//	loadgen -n 64 -kernels 4 -migrate-every 1      # and live-migrate every burst
 //
 // With -compare the same scripts are replayed against the pre-S5 legacy
 // per-device drivers (fixed circular buffers, silent overwrites counted
@@ -27,6 +29,12 @@
 // With -metrics the kernel's unified metrics registry is sampled every
 // -metrics-every virtual cycles; each sample prints one live delta line
 // and the full snapshot is printed after the run.
+//
+// With -kernels > 1 the same scripts replay against a fleet of
+// independent kernels behind a consistent-hash session router (see
+// internal/fleet); -migrate-every K live-migrates every session to the
+// next kernel after every K bursts. The per-session transcript digest
+// is byte-identical at any kernel count and migration cadence.
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/multics"
@@ -51,6 +60,12 @@ type options struct {
 	// line at all (its value is meaningful only with -fault-rate > 0).
 	faultSeedSet bool
 	metricsEvery int64
+	// kernels/migrateEvery select the fleet path; compare/metrics are
+	// single-kernel reporting modes and conflict with it.
+	kernels      int
+	migrateEvery int
+	compare      bool
+	metrics      bool
 }
 
 // validate rejects contradictory or out-of-range flag combinations.
@@ -85,6 +100,21 @@ func validate(o options) error {
 	if o.metricsEvery < 1 {
 		return fmt.Errorf("-metrics-every %d: need a positive sampling period", o.metricsEvery)
 	}
+	if o.kernels < 1 {
+		return fmt.Errorf("-kernels %d: need at least one kernel", o.kernels)
+	}
+	if o.migrateEvery < 0 {
+		return fmt.Errorf("-migrate-every %d: cannot be negative", o.migrateEvery)
+	}
+	if o.migrateEvery > 0 && o.kernels <= 1 {
+		return fmt.Errorf("-migrate-every without -kernels > 1: migration needs a fleet to move sessions between")
+	}
+	if o.kernels > 1 && o.compare {
+		return fmt.Errorf("-compare with -kernels %d: the legacy comparison is single-kernel", o.kernels)
+	}
+	if o.kernels > 1 && o.metrics {
+		return fmt.Errorf("-metrics with -kernels %d: live sampling is single-kernel; fleet counters print in the report", o.kernels)
+	}
 	return nil
 }
 
@@ -101,12 +131,16 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "fault plan seed (only with -fault-rate > 0)")
 	showMetrics := flag.Bool("metrics", false, "sample the metrics registry live and print the final snapshot")
 	metricsEvery := flag.Int64("metrics-every", 10000, "sampling period for -metrics, in virtual cycles")
+	kernels := flag.Int("kernels", 1, "fleet size: shard the sessions across this many independent kernels")
+	migrateEvery := flag.Int("migrate-every", 0, "live-migrate every session after every K bursts (needs -kernels > 1)")
 	flag.Parse()
 
 	o := options{
 		n: *n, steps: *steps, burst: *burst, users: *users,
 		par: *par, stage: *stage, faultRate: *faultRate,
 		metricsEvery: *metricsEvery,
+		kernels:      *kernels, migrateEvery: *migrateEvery,
+		compare: *compare, metrics: *showMetrics,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fault-seed" {
@@ -123,6 +157,34 @@ func main() {
 		Conns: *n, Steps: *steps, Burst: *burst, Users: *users, Seed: *seed,
 		Parallelism: *par,
 	}
+
+	if *kernels > 1 {
+		// Fleet path: shard the same scripts across independent kernels.
+		// Memory per member is scaled as workload.Boot scales it, since
+		// routing imbalance can land most sessions on one kernel.
+		frames := 4 * *n
+		if frames < 4096 {
+			frames = 4096
+		}
+		f, err := fleet.New(fleet.Config{
+			Kernels: *kernels, Stage: multics.Stage(*stage), StageSet: true,
+			Workers: 8, MaxConns: *n, MemFrames: frames,
+			FaultRate: *faultRate, FaultSeed: *faultSeed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: fleet boot: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := fleet.Run(f, fleet.RunConfig{Workload: cfg, MigrateEvery: *migrateEvery})
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: fleet run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- fleet of %d kernels (stage S%d)\n%s", *kernels, *stage, rep.Format())
+		return
+	}
+
 	if *faultRate > 0 {
 		spec := faults.UniformSpec(*faultSeed, *faultRate, 0)
 		cfg.Faults = &spec

@@ -14,6 +14,7 @@ func good() options {
 		n: 100, steps: 24, burst: 0, users: 0,
 		par: 1, stage: int(core.S6Restructured),
 		metricsEvery: 10000,
+		kernels:      1,
 	}
 }
 
@@ -26,6 +27,12 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	withFaults.faultSeedSet = true
 	if err := validate(withFaults); err != nil {
 		t.Fatalf("fault-rate+fault-seed rejected: %v", err)
+	}
+	withFleet := good()
+	withFleet.kernels = 4
+	withFleet.migrateEvery = 2
+	if err := validate(withFleet); err != nil {
+		t.Fatalf("kernels+migrate-every rejected: %v", err)
 	}
 }
 
@@ -46,6 +53,12 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"seed without rate", func(o *options) { o.faultSeedSet = true }, "-fault-seed without -fault-rate"},
 		{"stage out of range", func(o *options) { o.stage = 7 }, "-stage 7"},
 		{"metrics period zero", func(o *options) { o.metricsEvery = 0 }, "-metrics-every 0"},
+		{"kernels zero", func(o *options) { o.kernels = 0 }, "-kernels 0"},
+		{"kernels negative", func(o *options) { o.kernels = -4 }, "-kernels -4"},
+		{"migrate-every negative", func(o *options) { o.kernels = 4; o.migrateEvery = -1 }, "-migrate-every -1"},
+		{"migrate without fleet", func(o *options) { o.migrateEvery = 2 }, "-migrate-every without -kernels"},
+		{"compare with fleet", func(o *options) { o.kernels = 4; o.compare = true }, "-compare with -kernels"},
+		{"metrics with fleet", func(o *options) { o.kernels = 4; o.metrics = true }, "-metrics with -kernels"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -63,22 +63,23 @@ func TestGateStatsAccounting(t *testing.T) {
 	}
 }
 
-// TestGateStatsCoverBothRegistries checks the privileged registry's rows
-// ride along in the deprecated GateStats shim, and that the shim agrees
-// with the facade registries it now wraps.
+// TestGateStatsCoverBothRegistries checks both facade registries expose
+// their rows through Services(): the user and privileged tables together
+// cover every registered gate exactly once.
 func TestGateStatsCoverBothRegistries(t *testing.T) {
 	k := newKernel(t, S0Baseline)
+	svc := k.Services()
 	names := make(map[string]bool)
-	for _, s := range k.GateStats() {
+	for _, s := range append(svc.UserGates.Stats(), svc.PrivGates.Stats()...) {
 		names[s.Name] = true
 	}
 	for _, want := range []string{"hcs_$initiate", "phcs_$create_process"} {
 		if !names[want] {
-			t.Errorf("GateStats missing %s", want)
+			t.Errorf("gate stats missing %s", want)
 		}
 	}
-	if len(names) != k.Services().UserGates.Count()+k.Services().PrivGates.Count() {
-		t.Errorf("GateStats rows %d != %d user + %d priv",
-			len(names), k.Services().UserGates.Count(), k.Services().PrivGates.Count())
+	if len(names) != svc.UserGates.Count()+svc.PrivGates.Count() {
+		t.Errorf("gate stat rows %d != %d user + %d priv",
+			len(names), svc.UserGates.Count(), svc.PrivGates.Count())
 	}
 }

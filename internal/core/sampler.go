@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// EnableMetricsSampler installs a virtual-time periodic sampler over the
+// kernel's metrics registry: once per `every` virtual cycles it emits one
+// StageMetrics trace event carrying the snapshot delta since the previous
+// sample. Events go into the kernel's trace ring and, when tee is
+// non-nil, into tee as well.
+//
+// The sampler is driven from the scheduler's dispatch events rather than
+// a self-rescheduling timer: a timer would keep the scheduler's run queue
+// non-empty forever, so Run(0) could never drain to completion. No
+// dispatches means no virtual time is passing, so there is nothing to
+// sample anyway.
+func (k *Kernel) EnableMetricsSampler(every int64, tee trace.Sink) *metrics.Sampler {
+	dest := trace.Sink(k.trace)
+	if tee != nil {
+		ring := k.trace
+		dest = trace.SinkFunc(func(ev trace.Event) {
+			ring.Record(ev)
+			tee.Record(ev)
+		})
+	}
+	s := metrics.NewSampler(k.metrics, dest, every)
+	k.sampler = s
+	inner := trace.Sink(k.trace)
+	k.sch.SetSink(trace.SinkFunc(func(ev trace.Event) {
+		inner.Record(ev)
+		s.Tick(ev.At)
+	}))
+	return s
+}
+
+// Sampler returns the sampler installed by EnableMetricsSampler, or nil.
+func (k *Kernel) Sampler() *metrics.Sampler { return k.sampler }

@@ -400,8 +400,9 @@ func RunAll() []Report {
 		E12BootComplexity(),
 		E13NetAttach(),
 		// E14 measures wall-clock scaling and is registered only in
-		// cmd/experiments; E15 and E16 are deterministic and belong here.
+		// cmd/experiments; E15-E17 are deterministic and belong here.
 		E15FaultStorm(),
 		E16MetricsPlane(),
+		E17FleetScaling(),
 	}
 }

@@ -1,0 +1,241 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/netattach"
+	"repro/internal/workload"
+	"repro/multics"
+)
+
+func newTestFleet(t *testing.T, kernels int) *Fleet {
+	t.Helper()
+	f, err := New(Config{Kernels: kernels})
+	if err != nil {
+		t.Fatalf("booting %d-kernel fleet: %v", kernels, err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// TestFleetBootAndRoute checks the basic composition: N kernels boot,
+// the router is stable, and an attached session serves requests on its
+// home kernel.
+func TestFleetBootAndRoute(t *testing.T) {
+	f := newTestFleet(t, 4)
+	if f.Size() != 4 {
+		t.Fatalf("size = %d", f.Size())
+	}
+	if err := f.AddUser("Alice", "Dev", "alice pw", multics.Secret); err != nil {
+		t.Fatal(err)
+	}
+	home := f.Route("Alice", "Dev")
+	if again := f.Route("Alice", "Dev"); again != home {
+		t.Fatalf("routing unstable: %d then %d", home, again)
+	}
+	s, err := f.Attach("Alice", "Dev", "alice pw", multics.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Home() != home {
+		t.Fatalf("session home %d, route says %d", s.Home(), home)
+	}
+	if err := s.Conn().Send(netattach.OpEcho, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Conn().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Conn().TryRecv()
+	if err != nil || !ok || v != 42 {
+		t.Fatalf("echo reply = %d, %v, %v", v, ok, err)
+	}
+}
+
+// TestFleetMigrationCarriesState proves live migration preserves the
+// request-visible session state: the OpSum accumulator keeps counting
+// across the kernel boundary, so the post-migration transcript is what
+// an unmigrated session would have produced.
+func TestFleetMigrationCarriesState(t *testing.T) {
+	f := newTestFleet(t, 2)
+	if err := f.AddUser("Mover", "Dev", "mover pw", multics.Secret); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Attach("Mover", "Dev", "mover pw", multics.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	sum := func(arg uint64) uint64 {
+		t.Helper()
+		if err := s.Conn().Send(netattach.OpSum, arg); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Conn().Drain(); err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := s.Conn().TryRecv()
+		if err != nil || !ok {
+			t.Fatalf("sum reply: %v, %v", ok, err)
+		}
+		return v
+	}
+
+	if got := sum(5); got != 5 {
+		t.Fatalf("sum(5) = %d", got)
+	}
+	origin := s.Home()
+	target := (origin + 1) % f.Size()
+	if err := s.Migrate(target); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if s.Home() != target || s.Migrations() != 1 {
+		t.Fatalf("home %d migrations %d after migrate to %d", s.Home(), s.Migrations(), target)
+	}
+	if got := sum(7); got != 12 {
+		t.Fatalf("sum(7) after migration = %d, want 12 (accumulator lost)", got)
+	}
+	if err := s.Migrate(origin); err != nil {
+		t.Fatalf("migrate back: %v", err)
+	}
+	if got := sum(3); got != 15 {
+		t.Fatalf("sum(3) after round trip = %d, want 15", got)
+	}
+	if f.Metrics().Counter("fleet.migrations").Value() != 2 {
+		t.Fatalf("fleet.migrations = %d", f.Metrics().Counter("fleet.migrations").Value())
+	}
+}
+
+// TestSnapshotRefusesUndrained checks the clean-cut precondition: a
+// session with in-flight requests cannot be snapshotted.
+func TestSnapshotRefusesUndrained(t *testing.T) {
+	f := newTestFleet(t, 1)
+	if err := f.AddUser("Busy", "Dev", "busy pw", multics.Secret); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Attach("Busy", "Dev", "busy pw", multics.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Conn().Send(netattach.OpEcho, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Conn().Snapshot(); !errors.Is(err, netattach.ErrNotDrained) {
+		t.Fatalf("snapshot of undrained session: %v, want ErrNotDrained", err)
+	}
+	// Drained but with the reply unread: still refused.
+	if err := s.Conn().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Conn().Snapshot(); !errors.Is(err, netattach.ErrNotDrained) {
+		t.Fatalf("snapshot with unread replies: %v, want ErrNotDrained", err)
+	}
+	if _, _, err := s.Conn().TryRecv(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Conn().Snapshot(); err != nil {
+		t.Fatalf("snapshot of drained session: %v", err)
+	}
+}
+
+// TestFleetRunDigestInvariant is the tentpole determinism claim at test
+// scale: the same workload produces the same per-session transcript
+// digest on 1 kernel, on 4 kernels, and on 4 kernels with every session
+// migrating after every burst.
+func TestFleetRunDigestInvariant(t *testing.T) {
+	base := workload.Config{Conns: 12, Steps: 8, Burst: 2, Users: 12, Seed: 41}
+	digests := make(map[string]string)
+	for _, tc := range []struct {
+		name    string
+		kernels int
+		migrate int
+	}{
+		{"1-kernel", 1, 0},
+		{"4-kernel", 4, 0},
+		{"4-kernel-migrating", 4, 1},
+	} {
+		f := newTestFleet(t, tc.kernels)
+		rep, err := Run(f, RunConfig{Workload: base, MigrateEvery: tc.migrate})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%s: %d failed sessions", tc.name, rep.Failed)
+		}
+		if rep.Throttled != 0 {
+			t.Fatalf("%s: %d throttled sends (digest not comparable)", tc.name, rep.Throttled)
+		}
+		if rep.Received != int64(base.Conns*base.Steps) {
+			t.Fatalf("%s: received %d of %d replies", tc.name, rep.Received, base.Conns*base.Steps)
+		}
+		if tc.migrate > 0 && rep.Migrations == 0 {
+			t.Fatalf("%s: migration cadence set but no migrations happened", tc.name)
+		}
+		if tc.migrate > 0 && rep.MigrationFailures != 0 {
+			t.Fatalf("%s: %d migration failures", tc.name, rep.MigrationFailures)
+		}
+		digests[tc.name] = rep.SessionDigest
+	}
+	if digests["1-kernel"] != digests["4-kernel"] {
+		t.Errorf("digest differs across kernel counts:\n 1: %s\n 4: %s",
+			digests["1-kernel"], digests["4-kernel"])
+	}
+	if digests["1-kernel"] != digests["4-kernel-migrating"] {
+		t.Errorf("digest differs under migration:\n unmigrated: %s\n migrating:  %s",
+			digests["1-kernel"], digests["4-kernel-migrating"])
+	}
+}
+
+// TestFleetRunSpreadsSessions checks the router actually distributes a
+// many-principal population instead of piling everything on one kernel.
+func TestFleetRunSpreadsSessions(t *testing.T) {
+	f := newTestFleet(t, 4)
+	rep, err := Run(f, RunConfig{Workload: workload.Config{Conns: 32, Steps: 2, Burst: 2, Users: 32, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, k := range rep.PerKernel {
+		if k.Sessions > 0 {
+			busy++
+		}
+		if k.Sessions == 32 {
+			t.Fatalf("all sessions on one kernel: %+v", rep.PerKernel)
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("only %d of 4 kernels got sessions: %+v", busy, rep.PerKernel)
+	}
+}
+
+// TestFleetPerMemberFaultPlans checks each member boots its own derived
+// fault plan without sharing a schedule (distinct seeds) and the fleet
+// still constructs and serves.
+func TestFleetPerMemberFaultPlans(t *testing.T) {
+	f, err := New(Config{Kernels: 2, FaultRate: 0.001, FaultSeed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.AddUser("Frail", "Dev", "frail pw", multics.Secret); err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Attach("Frail", "Dev", "frail pw", multics.Secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Conn().Send(netattach.OpEcho, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Conn().Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := s.Conn().TryRecv(); err != nil || !ok || v != 7 {
+		t.Fatalf("echo under faults: %d, %v, %v", v, ok, err)
+	}
+}

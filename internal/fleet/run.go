@@ -1,0 +1,279 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/netattach"
+	"repro/internal/workload"
+	"repro/multics"
+)
+
+// RunConfig shapes one fleet traffic run: the single-kernel workload
+// shape (scripts are generated exactly as the single-kernel engine
+// generates them) plus the migration cadence.
+type RunConfig struct {
+	// Workload is the script shape: Conns sessions of Steps requests,
+	// fired in bursts of Burst, over Users distinct principals, from
+	// Seed. Parallelism/TraceSink/Faults are ignored — the fleet runner
+	// is goroutine-per-session, and fault plans are per-member
+	// (Config.FaultRate).
+	Workload workload.Config
+	// MigrateEvery, when positive, migrates every session to the next
+	// kernel (home+1 mod N) after every MigrateEvery bursts. Zero
+	// disables migration.
+	MigrateEvery int
+}
+
+// KernelLoad is one member's share of a run.
+type KernelLoad struct {
+	// Sessions is how many sessions the router homed on this kernel.
+	Sessions int `json:"sessions"`
+	// Processed is the requests this kernel executed during the run
+	// (includes requests from sessions that migrated in).
+	Processed int64 `json:"processed"`
+	// Cycles is the virtual time this kernel's own clock advanced.
+	Cycles int64 `json:"cycles"`
+}
+
+// RunReport is the outcome of one fleet traffic run.
+type RunReport struct {
+	Kernels int `json:"kernels"`
+	Conns   int `json:"conns"`
+	Steps   int `json:"steps"`
+
+	Sent      int64 `json:"sent"`
+	Received  int64 `json:"received"`
+	Throttled int64 `json:"throttled"`
+	// Failed counts sessions that died (attach failure, send/recv error,
+	// or a migration whose fallback also failed).
+	Failed int64 `json:"failed"`
+
+	// Migrations/MigrationFailures count live moves during the run; a
+	// failed migration leaves the session serving on its home kernel.
+	Migrations        int64 `json:"migrations"`
+	MigrationFailures int64 `json:"migration_failures"`
+
+	// PerKernel is indexed by member.
+	PerKernel []KernelLoad `json:"per_kernel"`
+
+	// MaxCycles is the largest per-kernel virtual time: the fleet's
+	// wall-clock analogue, since members tick independent clocks.
+	MaxCycles int64 `json:"max_cycles"`
+	// Throughput is total requests processed per thousand virtual
+	// cycles of the busiest kernel — the figure that scales with N.
+	Throughput float64 `json:"throughput"`
+
+	// SessionDigest folds the per-session reply transcripts in session
+	// order. It is a pure function of the scripts: byte-identical at any
+	// kernel count and under any migration cadence, as long as no
+	// request is throttled away (keep Burst under the high-water mark).
+	SessionDigest string `json:"session_digest"`
+}
+
+// Format renders the report for the terminal.
+func (r RunReport) Format() string {
+	s := fmt.Sprintf(
+		"kernels %d  conns %d  steps %d  sent %d  received %d  throttled %d  failed %d\n"+
+			"migrations %d  migration-failures %d  max-cycles %d  throughput %.2f req/kcy\n"+
+			"session-digest %s\n",
+		r.Kernels, r.Conns, r.Steps, r.Sent, r.Received, r.Throttled, r.Failed,
+		r.Migrations, r.MigrationFailures, r.MaxCycles, r.Throughput, r.SessionDigest)
+	for i, k := range r.PerKernel {
+		s += fmt.Sprintf("kernel %d: sessions %d  processed %d  cycles %d\n",
+			i, k.Sessions, k.Processed, k.Cycles)
+	}
+	return s
+}
+
+// Run replays the scripted workload across the fleet: every session is
+// routed to its home kernel, driven by its own goroutine through the
+// classic burst→flush→drain loop, optionally migrated between kernels
+// mid-script, and its reply transcript hashed. Per-session transcripts
+// are pure functions of the scripts, so SessionDigest is identical
+// whether the fleet has 1 kernel or 16 and whether sessions migrated
+// zero times or every burst — that is the tentpole claim E17 measures.
+func Run(f *Fleet, cfg RunConfig) (*RunReport, error) {
+	w := cfg.Workload
+	if w.Conns == 0 {
+		w.Conns = 8
+	}
+	if w.Steps == 0 {
+		w.Steps = 8
+	}
+	if w.Burst == 0 {
+		w.Burst = w.Steps
+	}
+	if w.Users == 0 {
+		// Fleet default: every session its own principal, so the router
+		// spreads sessions rather than piling one principal's sessions
+		// on one kernel.
+		w.Users = w.Conns
+	}
+	if w.Conns < 1 || w.Steps < 1 || w.Burst < 1 || w.Users < 1 {
+		return nil, fmt.Errorf("fleet: invalid run config %+v", w)
+	}
+	if cfg.MigrateEvery < 0 {
+		return nil, fmt.Errorf("fleet: negative migration cadence %d", cfg.MigrateEvery)
+	}
+
+	// Register the workload accounts fleet-wide (idempotence is not
+	// needed: runs own their fleet).
+	for u := 0; u < w.Users; u++ {
+		err := f.AddUser(fmt.Sprintf("Load%d", u), "Traffic",
+			fmt.Sprintf("storm%d pw", u), multics.Secret)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	n := f.Size()
+	rep := &RunReport{Kernels: n, Conns: w.Conns, Steps: w.Steps, PerKernel: make([]KernelLoad, n)}
+	startCycles := make([]int64, n)
+	startProcessed := make([]int64, n)
+	for i := 0; i < n; i++ {
+		m := f.Member(i)
+		startCycles[i] = m.Sys.Kernel.Services().Clock.Now()
+		startProcessed[i] = m.FE.Stats().Processed
+	}
+	migrationsBefore := f.mMigrations.Value()
+	migFailuresBefore := f.mMigrationFailures.Value()
+
+	scripts := workload.GenScripts(w)
+
+	// Attach in script order (deterministic routing trace), then hand
+	// each session to its own goroutine.
+	sessions := make([]*Session, len(scripts))
+	for i, s := range scripts {
+		sess, err := f.Attach(s.Person, s.Project, s.Password, s.Level)
+		if err != nil {
+			for _, prev := range sessions[:i] {
+				_ = prev.Close()
+			}
+			return nil, fmt.Errorf("fleet: attaching session %d: %w", i, err)
+		}
+		sessions[i] = sess
+		rep.PerKernel[sess.Home()].Sessions++
+	}
+
+	type tally struct {
+		sent, received, throttled int64
+		digest                    [sha256.Size]byte
+		err                       error
+	}
+	tallies := make([]tally, len(sessions))
+
+	var wg sync.WaitGroup
+	for i := range sessions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t := &tallies[i]
+			sess, script := sessions[i], scripts[i]
+			h := sha256.New()
+			burstNo := 0
+			for base := 0; base < w.Steps && t.err == nil; base += w.Burst {
+				hi := base + w.Burst
+				if hi > w.Steps {
+					hi = w.Steps
+				}
+				for s := base; s < hi; s++ {
+					st := script.Steps[s]
+					err := sess.Conn().Send(st.Op, st.Arg)
+					switch {
+					case err == nil:
+						t.sent++
+					case errors.Is(err, netattach.ErrThrottled):
+						t.throttled++
+					default:
+						t.err = fmt.Errorf("fleet: session %d send %d: %w", i, s, err)
+					}
+				}
+				if t.err != nil {
+					break
+				}
+				if err := sess.Conn().Drain(); err != nil {
+					t.err = fmt.Errorf("fleet: session %d drain: %w", i, err)
+					break
+				}
+				for {
+					v, ok, err := sess.Conn().TryRecv()
+					if err != nil {
+						t.err = fmt.Errorf("fleet: session %d recv: %w", i, err)
+						break
+					}
+					if !ok {
+						break
+					}
+					t.received++
+					fmt.Fprintf(h, "%d %d\n", i, v)
+				}
+				burstNo++
+				if t.err == nil && cfg.MigrateEvery > 0 && n > 1 && burstNo%cfg.MigrateEvery == 0 {
+					target := (sess.Home() + 1) % n
+					if err := sess.Migrate(target); err != nil {
+						// The session fell back to its home kernel and keeps
+						// serving; only a dead fallback kills it (surfaced by
+						// the next send).
+						if errors.Is(err, netattach.ErrReplayMismatch) {
+							t.err = fmt.Errorf("fleet: session %d: %w", i, err)
+							break
+						}
+					}
+				}
+			}
+			copy(t.digest[:], h.Sum(nil))
+			if cerr := sess.Close(); cerr != nil && t.err == nil {
+				t.err = fmt.Errorf("fleet: session %d close: %w", i, cerr)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := range tallies {
+		t := &tallies[i]
+		if t.err != nil {
+			rep.Failed++
+			continue
+		}
+		rep.Sent += t.sent
+		rep.Received += t.received
+		rep.Throttled += t.throttled
+		rep.Migrations += int64(sessions[i].Migrations())
+	}
+
+	for i := 0; i < n; i++ {
+		m := f.Member(i)
+		rep.PerKernel[i].Cycles = m.Sys.Kernel.Services().Clock.Now() - startCycles[i]
+		rep.PerKernel[i].Processed = m.FE.Stats().Processed - startProcessed[i]
+		if rep.PerKernel[i].Cycles > rep.MaxCycles {
+			rep.MaxCycles = rep.PerKernel[i].Cycles
+		}
+	}
+	var totalProcessed int64
+	for i := range rep.PerKernel {
+		totalProcessed += rep.PerKernel[i].Processed
+	}
+	if rep.MaxCycles > 0 {
+		rep.Throughput = float64(totalProcessed) / float64(rep.MaxCycles) * 1000
+	}
+	// Consistency with the fleet counters (they also count moves from
+	// sessions that later failed).
+	if got := f.mMigrations.Value() - migrationsBefore; got > rep.Migrations {
+		rep.Migrations = got
+	}
+	rep.MigrationFailures = f.mMigrationFailures.Value() - migFailuresBefore
+
+	// The determinism witness: per-session digests folded in session
+	// order, nothing else — counters, kernel count, and migration
+	// cadence deliberately stay out so the digest compares across them.
+	h := sha256.New()
+	for i := range tallies {
+		fmt.Fprintf(h, "session %d %x\n", i, tallies[i].digest)
+	}
+	rep.SessionDigest = hex.EncodeToString(h.Sum(nil))
+	return rep, nil
+}

@@ -1,0 +1,275 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// SharedRoot is the designated shared subtree: every member kernel has
+// this directory, and the fleet keeps the segments under it coherent
+// across kernels.
+const SharedRoot = ">shared"
+
+// SharedCap is the per-segment capacity of shared segments, in data
+// words (one extra word holds the current length).
+const SharedCap = 256
+
+// ErrSharedNotFound reports a read of a shared segment that does not
+// exist — including one that existed and was revoked. A revoked
+// segment's cached copies are never served, no matter how fresh.
+var ErrSharedNotFound = errors.New("fleet: no such shared segment")
+
+// SharedTree is the fleet's cross-kernel segment-sharing plane. One
+// kernel — chosen by the same consistent-hash ring that routes sessions
+// — owns each shared segment's authoritative copy; every other kernel
+// serves reads from a local cached copy filled on demand (read-through)
+// and invalidated on publish and revoke.
+//
+// The coherence discipline is the SDW associative memory's, one layer
+// up: a cache may miss spuriously but must never honor a revoked or
+// stale entry. Publish bumps the entry's version and invalidates every
+// cached copy; Revoke removes the entry entirely; a subsequent Read on
+// any member either refetches from the authoritative copy (new version)
+// or fails (revoked) — the bytes still sitting in a member's local
+// segment are unreachable the moment the version moved on.
+//
+// All storage goes through each member kernel's ordinary gates via the
+// fleet's admin session — the shared plane holds no segment bytes of
+// its own, only versions. SharedTree operations are serialized by the
+// tree's own lock and are maintenance-path operations: they drive the
+// member kernels directly, so they must not run concurrently with live
+// front-end traffic on the same member (the fleet runner never does).
+type SharedTree struct {
+	f *Fleet
+
+	// entries is the authoritative catalogue: name -> version + owner.
+	entries map[string]*sharedEntry
+
+	// cached[m][name] is the version member m's local copy holds;
+	// absence means no valid copy (never filled, or invalidated).
+	cached []map[string]uint64
+
+	// filledSegs[m][name] records that member m's local segment for
+	// name was created, so refills after invalidation reuse it.
+	filledSegs []map[string]bool
+
+	hits, misses  *metrics.Counter
+	fills         *metrics.Counter
+	invalidations *metrics.Counter
+	publishes     *metrics.Counter
+	revocations   *metrics.Counter
+}
+
+type sharedEntry struct {
+	version uint64
+	owner   int
+	length  int
+}
+
+// newSharedTree builds the plane over the booted fleet. Caller holds no
+// locks; the fleet is not yet visible to other goroutines.
+func newSharedTree(f *Fleet) *SharedTree {
+	st := &SharedTree{
+		f:       f,
+		entries: make(map[string]*sharedEntry),
+		cached:  make([]map[string]uint64, len(f.members)),
+	}
+	for i := range st.cached {
+		st.cached[i] = make(map[string]uint64)
+	}
+	st.hits = f.reg.Counter("fleet.shared.hits")
+	st.misses = f.reg.Counter("fleet.shared.misses")
+	st.fills = f.reg.Counter("fleet.shared.fills")
+	st.invalidations = f.reg.Counter("fleet.shared.invalidations")
+	st.publishes = f.reg.Counter("fleet.shared.publishes")
+	st.revocations = f.reg.Counter("fleet.shared.revocations")
+	return st
+}
+
+// path returns the shared segment's tree name (identical on every
+// member — the subtree has the same shape fleet-wide).
+func sharedPath(name string) string { return SharedRoot + ">" + name }
+
+// Owner returns the member index owning name's authoritative copy.
+func (st *SharedTree) Owner(name string) int {
+	return st.f.ring.Lookup("shared:" + name)
+}
+
+// Publish installs (or replaces) the shared segment's content. The
+// authoritative copy is written on the owner kernel through its gates;
+// every cached copy fleet-wide is invalidated, so the next read on any
+// member refetches the new version.
+func (st *SharedTree) Publish(name string, words []uint64) error {
+	if len(words) > SharedCap {
+		return fmt.Errorf("fleet: shared segment %q: %d words exceeds capacity %d", name, len(words), SharedCap)
+	}
+	st.f.mu.Lock()
+	defer st.f.mu.Unlock()
+	if st.f.members == nil {
+		return errClosed
+	}
+	owner := st.f.ring.Lookup("shared:" + name)
+	e, known := st.entries[name]
+	if !known {
+		e = &sharedEntry{owner: owner}
+		st.entries[name] = e
+	}
+	// The physical segment may predate this catalogue entry (revoke
+	// removes the entry, not the member's local segment), so creation is
+	// tracked per member, not per entry.
+	if err := st.writeLocal(st.f.members[owner], name, words, !st.filled(owner, name)); err != nil {
+		if !known {
+			delete(st.entries, name)
+		}
+		return err
+	}
+	st.markFilled(owner, name)
+	e.version++
+	e.length = len(words)
+	st.publishes.Inc()
+	// Invalidate every cached copy (the owner's local copy is the
+	// authoritative one and is marked current).
+	for m := range st.cached {
+		if _, had := st.cached[m][name]; had {
+			st.invalidations.Inc()
+		}
+		delete(st.cached[m], name)
+	}
+	st.cached[owner][name] = e.version
+	return nil
+}
+
+// Read returns the shared segment's content as seen from member m:
+// from m's local copy when its cached version is current (hit), else
+// read-through from the owner's authoritative copy, filling m's local
+// copy for next time (miss + fill).
+func (st *SharedTree) Read(m int, name string) ([]uint64, error) {
+	st.f.mu.Lock()
+	defer st.f.mu.Unlock()
+	if st.f.members == nil {
+		return nil, errClosed
+	}
+	if m < 0 || m >= len(st.f.members) {
+		return nil, fmt.Errorf("fleet: shared read on member %d of %d", m, len(st.f.members))
+	}
+	e, ok := st.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrSharedNotFound, name)
+	}
+	if ver, cachedOK := st.cached[m][name]; cachedOK && ver == e.version {
+		st.hits.Inc()
+		return st.readLocal(st.f.members[m], name, e.length)
+	}
+	st.misses.Inc()
+	words, err := st.readLocal(st.f.members[e.owner], name, e.length)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shared %q: authoritative read on kernel %d: %w", name, e.owner, err)
+	}
+	if m != e.owner {
+		if err := st.writeLocal(st.f.members[m], name, words, !st.filled(m, name)); err != nil {
+			return nil, fmt.Errorf("fleet: shared %q: filling cache on kernel %d: %w", name, m, err)
+		}
+		st.markFilled(m, name)
+		st.fills.Inc()
+	}
+	st.cached[m][name] = e.version
+	return words, nil
+}
+
+// Revoke removes the shared segment fleet-wide: the catalogue entry is
+// deleted and every cached version invalidated. Local copies may still
+// hold the bytes, but no Read will ever serve them again — the
+// revocation-safety invariant, tested the same way the SDW associative
+// memory's is.
+func (st *SharedTree) Revoke(name string) error {
+	st.f.mu.Lock()
+	defer st.f.mu.Unlock()
+	if st.f.members == nil {
+		return errClosed
+	}
+	if _, ok := st.entries[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrSharedNotFound, name)
+	}
+	delete(st.entries, name)
+	st.revocations.Inc()
+	for m := range st.cached {
+		if _, had := st.cached[m][name]; had {
+			st.invalidations.Inc()
+		}
+		delete(st.cached[m], name)
+	}
+	return nil
+}
+
+// filledSegs tracks which members ever created the local segment for a
+// name, so refills after invalidation reuse it instead of re-creating.
+func (st *SharedTree) filled(m int, name string) bool {
+	if st.filledSegs == nil {
+		return false
+	}
+	return st.filledSegs[m][name]
+}
+
+func (st *SharedTree) markFilled(m int, name string) {
+	if st.filledSegs == nil {
+		st.filledSegs = make([]map[string]bool, len(st.cached))
+		for i := range st.filledSegs {
+			st.filledSegs[i] = make(map[string]bool)
+		}
+	}
+	st.filledSegs[m][name] = true
+}
+
+// writeLocal writes the length-prefixed content into the member's local
+// segment through its kernel's gates, creating the segment first when
+// create is set.
+func (st *SharedTree) writeLocal(m *Member, name string, words []uint64, create bool) error {
+	path := sharedPath(name)
+	if create {
+		if err := m.admin.CreateSegment(path, SharedCap+1); err != nil {
+			return err
+		}
+	}
+	seg, err := m.admin.Open(path, "")
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	if err := seg.WriteWord(0, uint64(len(words))); err != nil {
+		return err
+	}
+	for i, w := range words {
+		if err := seg.WriteWord(1+i, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readLocal reads the length-prefixed content from the member's local
+// segment through its kernel's gates.
+func (st *SharedTree) readLocal(m *Member, name string, length int) ([]uint64, error) {
+	seg, err := m.admin.Open(sharedPath(name), "")
+	if err != nil {
+		return nil, err
+	}
+	defer seg.Close()
+	n, err := seg.ReadWord(0)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) != length {
+		return nil, fmt.Errorf("fleet: shared %q: stored length %d, catalogue says %d", name, n, length)
+	}
+	out := make([]uint64, length)
+	for i := range out {
+		w, err := seg.ReadWord(1 + i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+func counterVal(f *Fleet, name string) int64 {
+	return f.Metrics().Counter(name).Value()
+}
+
+// TestSharedReadThrough checks the cache protocol: the first read on a
+// non-owner member misses and fills, the second hits, and the owner
+// always reads its own authoritative copy.
+func TestSharedReadThrough(t *testing.T) {
+	f := newTestFleet(t, 4)
+	st := f.Shared()
+	words := []uint64{10, 20, 30}
+	if err := st.Publish("doc", words); err != nil {
+		t.Fatal(err)
+	}
+	owner := st.Owner("doc")
+	other := (owner + 1) % f.Size()
+
+	check := func(m int, want []uint64) {
+		t.Helper()
+		got, err := st.Read(m, "doc")
+		if err != nil {
+			t.Fatalf("read on %d: %v", m, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("read on %d: %v, want %v", m, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("read on %d: %v, want %v", m, got, want)
+			}
+		}
+	}
+
+	check(owner, words) // owner's copy is current from publish: hit
+	if h := counterVal(f, "fleet.shared.hits"); h != 1 {
+		t.Fatalf("hits after owner read = %d", h)
+	}
+	check(other, words) // first non-owner read: miss + fill
+	if m, fl := counterVal(f, "fleet.shared.misses"), counterVal(f, "fleet.shared.fills"); m != 1 || fl != 1 {
+		t.Fatalf("misses %d fills %d after first non-owner read", m, fl)
+	}
+	check(other, words) // now cached: hit, no new fill
+	if h, fl := counterVal(f, "fleet.shared.hits"), counterVal(f, "fleet.shared.fills"); h != 2 || fl != 1 {
+		t.Fatalf("hits %d fills %d after cached read", h, fl)
+	}
+}
+
+// TestSharedPublishInvalidates checks that republishing bumps the
+// version and every cached copy refetches — no member ever reads stale
+// content.
+func TestSharedPublishInvalidates(t *testing.T) {
+	f := newTestFleet(t, 3)
+	st := f.Shared()
+	if err := st.Publish("cfg", []uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	owner := st.Owner("cfg")
+	other := (owner + 1) % f.Size()
+	if _, err := st.Read(other, "cfg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Publish("cfg", []uint64{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if inv := counterVal(f, "fleet.shared.invalidations"); inv < 1 {
+		t.Fatalf("invalidations = %d after republish over a cached copy", inv)
+	}
+	got, err := st.Read(other, "cfg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("read after republish = %v, want [2 3] (stale cache served)", got)
+	}
+}
+
+// TestSharedRevocationSafety is the associative-memory discipline one
+// layer up: after Revoke, no member's read succeeds — even a member
+// whose local cached copy was valid moments before and still holds the
+// bytes. A revoked entry is never served from cache.
+func TestSharedRevocationSafety(t *testing.T) {
+	f := newTestFleet(t, 3)
+	st := f.Shared()
+	if err := st.Publish("secret", []uint64{0o777}); err != nil {
+		t.Fatal(err)
+	}
+	owner := st.Owner("secret")
+	other := (owner + 1) % f.Size()
+	if _, err := st.Read(other, "secret"); err != nil {
+		t.Fatal(err) // cache is now warm on other
+	}
+	if err := st.Revoke("secret"); err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m < f.Size(); m++ {
+		if _, err := st.Read(m, "secret"); !errors.Is(err, ErrSharedNotFound) {
+			t.Fatalf("read on member %d after revoke: %v, want ErrSharedNotFound", m, err)
+		}
+	}
+	if rv := counterVal(f, "fleet.shared.revocations"); rv != 1 {
+		t.Fatalf("revocations = %d", rv)
+	}
+
+	// Republish with new content: readers see only the new version,
+	// never the revoked bytes still sitting in local segments.
+	if err := st.Publish("secret", []uint64{42}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Read(other, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("read after revoke+republish = %v, want [42]", got)
+	}
+}
+
+// TestSharedCapacity checks the publish bound.
+func TestSharedCapacity(t *testing.T) {
+	f := newTestFleet(t, 1)
+	if err := f.Shared().Publish("big", make([]uint64, SharedCap+1)); err == nil {
+		t.Fatal("publish over capacity succeeded")
+	}
+	if err := f.Shared().Publish("fits", make([]uint64, SharedCap)); err != nil {
+		t.Fatalf("publish at capacity: %v", err)
+	}
+}

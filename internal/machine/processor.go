@@ -74,8 +74,6 @@ type Processor struct {
 	assoc *AssocMemory
 	// traceFn, when set, observes every call for the audit subsystem.
 	traceFn func(ev TraceEvent)
-	// faultFn, when set, observes every delivered fault.
-	faultFn func(f *Fault)
 	// sink, when set, receives one trace.Event per delivered fault — the
 	// uniform spine hookup shared with sched, netattach, and faults.
 	sink trace.Sink
@@ -143,13 +141,6 @@ func (p *Processor) ResetStats() {
 // SetTrace installs fn as the call-trace observer; nil disables tracing.
 func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
 
-// SetFaultTrace installs fn as the fault-delivery observer; nil disables
-// it. The observer sees every fault the processor charges, including page
-// and linkage faults that are subsequently handled.
-//
-// Deprecated: use SetSink, which records uniform trace.Events.
-func (p *Processor) SetFaultTrace(fn func(f *Fault)) { p.faultFn = fn }
-
 // SetSink directs fault delivery at s: every fault the processor
 // charges — including page and linkage faults that are subsequently
 // handled — is recorded as a trace.Event with Stage trace.StageFault,
@@ -173,11 +164,8 @@ func (p *Processor) SetMetrics(reg *metrics.Registry) {
 	p.assoc.invalidations = reg.Counter("machine.assoc_invalidations")
 }
 
-// emitFault fans a delivered fault out to both observers.
+// emitFault records a delivered fault at the trace sink.
 func (p *Processor) emitFault(f *Fault) {
-	if p.faultFn != nil {
-		p.faultFn(f)
-	}
 	if p.sink != nil {
 		outcome := trace.ClassFailed
 		switch f.Class {

@@ -332,12 +332,6 @@ func (fe *Frontend) SetSink(sink trace.Sink) {
 	fe.sink = sink
 }
 
-// SetTraceSink installs an additional observer for the front-end's
-// lifecycle trace events; nil removes it.
-//
-// Deprecated: use SetSink; the signatures are identical.
-func (fe *Frontend) SetTraceSink(sink trace.Sink) { fe.SetSink(sink) }
-
 // emit records one StageNet lifecycle event into the kernel-crossing
 // trace spine and the optional sink. Caller holds fe.mu (directly or by
 // running inside the simulation under pump).

@@ -146,17 +146,8 @@ type Scheduler struct {
 	// dispatch counts and consumed vcycles into the unified registry.
 	mDispatches     *metrics.Counter
 	mDispatchCycles *metrics.Counter
-	// traceFn, when set, observes every dispatch with the process name and
-	// the virtual cycles it consumed before yielding.
-	traceFn func(name string, elapsed int64)
-
-	shutdown bool
+	shutdown        bool
 }
-
-// SetTrace installs fn as the dispatch observer; nil disables it.
-//
-// Deprecated: use SetSink, which records uniform trace.Events.
-func (s *Scheduler) SetTrace(fn func(name string, elapsed int64)) { s.traceFn = fn }
 
 // SetSink directs dispatch observation at sk: every dispatch is recorded
 // as a trace.Event with Stage trace.StageSched, the process name, the
@@ -342,9 +333,6 @@ func (s *Scheduler) dispatch(p *Process) {
 	if s.mDispatches != nil {
 		s.mDispatches.Inc()
 		s.mDispatchCycles.Add(elapsed)
-	}
-	if s.traceFn != nil {
-		s.traceFn(p.Name, elapsed)
 	}
 	if s.sink != nil {
 		s.sink.Record(trace.Event{Stage: trace.StageSched, Name: p.Name, Cost: elapsed, At: s.Clock.Now()})

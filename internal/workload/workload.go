@@ -246,8 +246,8 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	// The canonical trace collector sees every lifecycle event the run
 	// produces; a caller-supplied TraceSink rides along as a tee.
 	tc := &traceCollector{tee: cfg.TraceSink, byID: make(map[uint64][]gate.TraceEvent)}
-	fe.SetTraceSink(tc)
-	defer fe.SetTraceSink(nil)
+	fe.SetSink(tc)
+	defer fe.SetSink(nil)
 
 	scripts := GenScripts(cfg)
 	start := sys.Kernel.Services().Clock.Now()

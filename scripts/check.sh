@@ -62,6 +62,37 @@ if [ -n "$bad" ]; then
 	exit 1
 fi
 
+echo "== fleet-isolation lint"
+# The fleet composes member kernels only through their public surfaces:
+# the multics facade, the netattach front-end, and Kernel.Services().
+# Importing deeper kernel packages (machine, mem, fs, sched, gate
+# internals...) from internal/fleet would couple the fleet to kernel
+# internals and bypass the facade discipline. Allowed imports are the
+# composition surfaces plus the leaf planes the fleet reports through.
+bad=""
+for f in internal/fleet/*.go; do
+	while IFS= read -r imp; do
+		case "$imp" in
+		repro/multics | repro/internal/core | repro/internal/netattach | \
+			repro/internal/workload | repro/internal/metrics | \
+			repro/internal/trace | repro/internal/faults) ;;
+		# mem is boot-time configuration only (core.Config.Mem), the same
+		# surface workload.Boot parameterizes; it is not a runtime reach-in.
+		repro/internal/mem) ;;
+		repro/*)
+			bad="$bad
+$f: imports $imp"
+			;;
+		esac
+	done <<-EOF
+	$(sed -n 's/^[[:space:]]*"\(repro\/[^"]*\)"$/\1/p' "$f")
+	EOF
+done
+if [ -n "$bad" ]; then
+	echo "internal/fleet reaching past the kernel composition surfaces:$bad" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -95,6 +126,20 @@ case "$out" in
 esac
 if ! echo "$out" | grep -q 'salvager clean after crash'; then
 	echo "E15 fault storm: salvage success not reported clean" >&2
+	exit 1
+fi
+
+echo "== fleet smoke (E17: sharding scales, migration storm survives, digests identical)"
+out=$(go run ./cmd/experiments -run E17)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E17 fleet scaling did not meet its claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'identical=true'; then
+	echo "E17 fleet: session digests not identical across kernel counts" >&2
 	exit 1
 fi
 
