@@ -8,8 +8,11 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/acl"
 	"repro/internal/audit"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/fleet"
+	"repro/internal/fs"
 	"repro/internal/iosys"
 	"repro/internal/machine"
 	"repro/internal/mem"
@@ -738,4 +742,81 @@ func BenchmarkE17FleetScaling(b *testing.B) {
 			b.ReportMetric(float64(rep.Migrations), "migrations")
 		})
 	}
+}
+
+// BenchmarkE18PathResolution measures hierarchy tree-name resolution with
+// and without the revocation-safe caches on the full E18 population: a
+// million-plus segments behind depth-9 tree names. The cached arm must
+// beat the per-component walk by >= 10x at this scale, measured over a
+// fixed pass of the 50k-path sample so the assertion does not depend on
+// -benchtime; the sub-benchmarks then report steady-state ns/op.
+func BenchmarkE18PathResolution(b *testing.B) {
+	who := fs.Principal{Person: "Bench", Project: "CSR", Tag: "a"}
+	label := mls.NewLabel(mls.Unclassified)
+	h, paths, segments := experiments.E18Fixture()
+	if segments < 1000000 {
+		b.Fatalf("fixture built %d segments, want >= 1M", segments)
+	}
+	// A background GC cycle marking this ~1.5M-object heap steals most of
+	// a small machine's CPU mid-pass; collect once and keep the trigger
+	// out of the measurement's way.
+	defer debug.SetGCPercent(debug.SetGCPercent(1000))
+	runtime.GC()
+	resolveAll := func() {
+		for _, p := range paths {
+			if _, err := h.ResolvePath(who, label, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Fixed-pass ratio assertion over the whole sample: three alternating
+	// rounds, minimum per phase, so a load shift between the two phases
+	// (3x skews from neighbor load are real on shared machines) cannot
+	// fake or mask the order-of-magnitude claim.
+	uncached, cached := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < 3; r++ {
+		h.SetCacheEnabled(false)
+		t0 := time.Now()
+		resolveAll()
+		if d := time.Since(t0); d < uncached {
+			uncached = d
+		}
+		h.SetCacheEnabled(true)
+		resolveAll() // re-warm after the disable flush
+		t1 := time.Now()
+		resolveAll()
+		if d := time.Since(t1); d < cached {
+			cached = d
+		}
+	}
+	ratio := float64(uncached) / float64(cached)
+	if ratio < 10 {
+		b.Fatalf("cached resolution only %.1fx faster than the per-component walk (want >= 10x): %v vs %v",
+			ratio, cached, uncached)
+	}
+
+	for _, arm := range []struct {
+		name   string
+		cached bool
+	}{
+		{"uncached-walk", false},
+		{"cached", true},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			h.SetCacheEnabled(arm.cached)
+			if arm.cached {
+				resolveAll() // re-warm after the disable flush
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := paths[i%len(paths)]
+				if _, err := h.ResolvePath(who, label, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(ratio, "cached-speedup-x")
+			b.ReportMetric(float64(segments), "segments")
+		})
+	}
+	h.SetCacheEnabled(true)
 }

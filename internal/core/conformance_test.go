@@ -301,7 +301,7 @@ func TestEveryPrivilegedGateConformance(t *testing.T) {
 	}
 	call("phcs_$reclassify", uid, uint64(mls.Secret))
 	obj, err := k.Services().Hierarchy.Object(uid)
-	if err != nil || obj.Label.Level != mls.Secret {
+	if err != nil || obj.Label().Level != mls.Secret {
 		t.Errorf("reclassify: %v, %v", obj, err)
 	}
 	call("phcs_$shutdown")

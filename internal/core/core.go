@@ -239,6 +239,7 @@ func New(cfg Config) (*Kernel, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building file hierarchy: %w", err)
 	}
+	k.hier.SetMetrics(k.metrics)
 	if cfg.Faults != nil {
 		plan, err := faults.Compile(*cfg.Faults)
 		if err != nil {

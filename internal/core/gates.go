@@ -173,7 +173,7 @@ func (k *Kernel) addressSpaceGates() []gdef {
 				if err != nil {
 					return nil, err
 				}
-				return []uint64{uint64(seg), uint64(obj.BitCount)}, nil
+				return []uint64{uint64(seg), uint64(obj.BitCount())}, nil
 			}},
 		{name: "hcs_$terminate_name", cat: gate.CatRefName, bracket: userRing, arity: 2, units: 3,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {

@@ -83,7 +83,7 @@ func statusWords(obj *fs.Object) []uint64 {
 	if obj.Kind == fs.KindDirectory {
 		kind = 1
 	}
-	return []uint64{kind, uint64(obj.BitCount), obj.UID}
+	return []uint64{kind, uint64(obj.BitCount()), obj.UID}
 }
 
 // pathKeyedFSGates is the S0/S1 interface table.
@@ -200,11 +200,11 @@ func (k *Kernel) pathKeyedFSGates() []gdef {
 				if err != nil {
 					return nil, err
 				}
-				off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
+				off, length, err := k.writeUserString(ctx, formatACL(obj.ACLEntries()))
 				if err != nil {
 					return nil, err
 				}
-				return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
+				return []uint64{off, length, uint64(len(obj.ACLEntries()))}, nil
 			}},
 		{name: "hcs_$status", cat: gate.CatFileSystem, bracket: userRing, arity: 2, units: 4,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
@@ -227,11 +227,9 @@ func (k *Kernel) pathKeyedFSGates() []gdef {
 				if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
 					return nil, err
 				}
-				obj, err := k.hier.Object(uid)
-				if err != nil {
+				if err := k.hier.SetBitCount(uid, int(args[2])); err != nil {
 					return nil, err
 				}
-				obj.BitCount = int(args[2])
 				return nil, nil
 			}},
 		{name: "hcs_$set_max_length", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
@@ -442,11 +440,11 @@ func (k *Kernel) segnoKeyedFSGates() []gdef {
 				if err != nil {
 					return nil, err
 				}
-				off, length, err := k.writeUserString(ctx, formatACL(obj.ACL.Entries()))
+				off, length, err := k.writeUserString(ctx, formatACL(obj.ACLEntries()))
 				if err != nil {
 					return nil, err
 				}
-				return []uint64{off, length, uint64(len(obj.ACL.Entries()))}, nil
+				return []uint64{off, length, uint64(len(obj.ACLEntries()))}, nil
 			}},
 		{name: "hcs_$status", cat: gate.CatFileSystem, bracket: userRing, arity: 3, units: 2,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
@@ -469,11 +467,9 @@ func (k *Kernel) segnoKeyedFSGates() []gdef {
 				if _, err := k.hier.CheckSegmentAccess(p.Principal, p.Label, uid, acl.ModeWrite); err != nil {
 					return nil, err
 				}
-				obj, err := k.hier.Object(uid)
-				if err != nil {
+				if err := k.hier.SetBitCount(uid, int(args[3])); err != nil {
 					return nil, err
 				}
-				obj.BitCount = int(args[3])
 				return nil, nil
 			}},
 		{name: "hcs_$set_max_length", cat: gate.CatFileSystem, bracket: userRing, arity: 4, units: 1,

@@ -354,15 +354,13 @@ func (k *Kernel) privilegedGates() []gdef {
 			}},
 		{name: "phcs_$reclassify", cat: gate.CatMisc, bracket: machine.SupervisorRing, arity: 2, units: 2, anon: true,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				obj, err := k.hier.Object(args[0])
-				if err != nil {
-					return nil, err
-				}
 				label, err := labelForLevel(args[1])
 				if err != nil {
 					return nil, err
 				}
-				obj.Label = label
+				if err := k.hier.Reclassify(args[0], label); err != nil {
+					return nil, err
+				}
 				return nil, nil
 			}},
 		{name: "phcs_$shutdown", cat: gate.CatMisc, bracket: machine.SupervisorRing, units: 2, anon: true,

@@ -101,13 +101,13 @@ func accessModeFor(m acl.Mode) machine.AccessMode {
 // maxGrantableMode computes the strongest mode the process may hold on the
 // object: discretionary grant intersected with the mandatory rules.
 func (k *Kernel) maxGrantableMode(p *Proc, obj *fs.Object) acl.Mode {
-	granted := obj.ACL.ModeFor(p.Principal)
+	granted := obj.ACLModeFor(p.Principal)
 	// Mandatory filtering: reading up is forbidden, writing down is
 	// forbidden.
-	if mls.CheckRead(p.Label, obj.Label) != nil {
+	if mls.CheckRead(p.Label, obj.Label()) != nil {
 		granted &^= acl.ModeRead | acl.ModeExecute
 	}
-	if mls.CheckWrite(p.Label, obj.Label) != nil {
+	if mls.CheckWrite(p.Label, obj.Label()) != nil {
 		granted &^= acl.ModeWrite
 	}
 	return granted
@@ -157,7 +157,7 @@ func (k *Kernel) initiateDir(p *Proc, uid uint64) (machine.SegNo, error) {
 		return 0, fmt.Errorf("core: %w: %#x", fs.ErrNotDirectory, uid)
 	}
 	// Require status permission to make the directory known at all.
-	if err := obj.ACL.Check(p.Principal, acl.ModeStatus); err != nil {
+	if err := obj.CheckACL(p.Principal, acl.ModeStatus); err != nil {
 		return 0, err
 	}
 	backing, err := mem.NewPagedBacking(k.store, uid)

@@ -1,0 +1,39 @@
+package experiments
+
+import "testing"
+
+// The deterministic half of E18, kept in the tier-1 test suite so `go test
+// -race` proves the revocation discipline at both parallelism levels on
+// every run: no stale ACL decision or stale prefix is ever honored after
+// SetACL/Delete, and the outcome transcript is parallelism-invariant and
+// identical to an uncached twin.
+func TestE18RevocationSweepParallelismInvariant(t *testing.T) {
+	const dirs, segs = 16, 4
+	cached1 := e18RevocationSweep(e18NewHierarchy(1024), dirs, segs, 1)
+	cached8 := e18RevocationSweep(e18NewHierarchy(1024), dirs, segs, 8)
+	hUncached := e18NewHierarchy(1024)
+	hUncached.SetCacheEnabled(false)
+	uncached := e18RevocationSweep(hUncached, dirs, segs, 1)
+
+	for _, sw := range []struct {
+		name string
+		res  e18SweepResult
+	}{
+		{"cached-par1", cached1}, {"cached-par8", cached8}, {"uncached", uncached},
+	} {
+		if sw.res.Mismatches != 0 {
+			t.Errorf("%s: %d stale decisions honored", sw.name, sw.res.Mismatches)
+		}
+		if sw.res.Targets != dirs*segs {
+			t.Errorf("%s: swept %d targets, want %d", sw.name, sw.res.Targets, dirs*segs)
+		}
+	}
+	if cached1.Digest != cached8.Digest {
+		t.Errorf("sweep digest differs across parallelism: par1 %s, par8 %s",
+			cached1.Digest[:16], cached8.Digest[:16])
+	}
+	if cached1.Digest != uncached.Digest {
+		t.Errorf("cached sweep digest %s differs from uncached twin %s: caches changed observable behavior",
+			cached1.Digest[:16], uncached.Digest[:16])
+	}
+}

@@ -1,0 +1,168 @@
+// ACL decision cache: a revocation-safe memo of positive access verdicts.
+//
+// The kernel's access computation for one reference — branch ACL match plus
+// the two mandatory checks — is pure in (object ACL, object label, subject
+// principal, subject label, wanted mode). The cache memoizes positive
+// verdicts keyed by exactly those inputs, with the object state represented
+// by its ACL generation counter: every SetACL/RemoveACL/Delete/Reclassify
+// bumps the generation inside the mutating critical section, so a cached
+// verdict computed under the old ACL compares unequal and is never honored.
+// This is the same discipline machine.AssocMemory enforces from
+// DescriptorSegment.Set, applied one layer up.
+//
+// Only positive verdicts are cached: denials take the slow path every time
+// so the error carries precise diagnostics (which ACL entry governed, which
+// mandatory property failed), and so a *grant* becomes visible immediately
+// without its own invalidation plumbing.
+package fs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/acl"
+	"repro/internal/metrics"
+)
+
+// decisionKey identifies one access computation. The label is the subject's
+// canonical CacheKey string (mls.Label itself is not comparable).
+type decisionKey struct {
+	uid   uint64
+	who   acl.Principal
+	label string
+	want  acl.Mode
+}
+
+const (
+	decShardCount = 16
+	// decShardCap bounds each shard; on overflow the shard is reset
+	// wholesale (epoch eviction — cheap, and a dropped entry only costs a
+	// recomputation).
+	decShardCap = 1 << 14
+)
+
+type decShard struct {
+	mu sync.RWMutex
+	m  map[decisionKey]uint64 // value: aclGen at fill time
+}
+
+type decisionCache struct {
+	shards  [decShardCount]decShard
+	enabled uint32 // atomic; 1 = on
+
+	hits, misses, fills, invalidations, evictions *metrics.Counter
+}
+
+func newDecisionCache() *decisionCache {
+	c := &decisionCache{enabled: 1}
+	for i := range c.shards {
+		c.shards[i].m = make(map[decisionKey]uint64)
+	}
+	return c
+}
+
+func (c *decisionCache) bind(reg *metrics.Registry) {
+	c.hits = reg.Counter("fs.acl_cache.hits")
+	c.misses = reg.Counter("fs.acl_cache.misses")
+	c.fills = reg.Counter("fs.acl_cache.fills")
+	c.invalidations = reg.Counter("fs.acl_cache.invalidations")
+	c.evictions = reg.Counter("fs.acl_cache.evictions")
+}
+
+func (c *decisionCache) on() bool { return atomic.LoadUint32(&c.enabled) == 1 }
+
+func (c *decisionCache) setEnabled(on bool) {
+	if on {
+		atomic.StoreUint32(&c.enabled, 1)
+	} else {
+		atomic.StoreUint32(&c.enabled, 0)
+		c.flush()
+	}
+}
+
+// flush drops every cached decision (used when state changes bypass the
+// generation discipline, e.g. salvager repair of corrupted structures).
+func (c *decisionCache) flush() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[decisionKey]uint64)
+		s.mu.Unlock()
+	}
+}
+
+func (c *decisionCache) shard(k decisionKey) *decShard {
+	// The UID alone spreads well: one object's decisions land on one
+	// shard, but objects are many and UIDs sequential.
+	return &c.shards[k.uid&(decShardCount-1)]
+}
+
+// lookup reports whether a positive verdict for k is cached and still
+// valid at generation gen (the object's current aclGen, loaded by the
+// caller before probing).
+func (c *decisionCache) lookup(k decisionKey, gen uint64) bool {
+	s := c.shard(k)
+	s.mu.RLock()
+	stored, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok && stored == gen {
+		c.hits.Inc()
+		return true
+	}
+	c.misses.Inc()
+	return false
+}
+
+// store records a positive verdict computed at generation gen. gen must
+// have been loaded *before* the verdict was computed: a revocation landing
+// in between bumps the object past gen, so the entry is stillborn rather
+// than stale.
+func (c *decisionCache) store(k decisionKey, gen uint64) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if len(s.m) >= decShardCap {
+		s.m = make(map[decisionKey]uint64)
+		c.evictions.Inc()
+	}
+	s.m[k] = gen
+	s.mu.Unlock()
+	c.fills.Inc()
+}
+
+// CacheStats is a point-in-time snapshot of both hierarchy caches.
+type CacheStats struct {
+	ACLHits, ACLMisses, ACLFills, ACLInvalidations, ACLEvictions   int64
+	PathHits, PathMisses, PathFills, PathInvalidations, PathEvicts int64
+}
+
+// CacheStats snapshots the decision- and path-cache counters.
+func (h *Hierarchy) CacheStats() CacheStats {
+	return CacheStats{
+		ACLHits:           h.dec.hits.Value(),
+		ACLMisses:         h.dec.misses.Value(),
+		ACLFills:          h.dec.fills.Value(),
+		ACLInvalidations:  h.dec.invalidations.Value(),
+		ACLEvictions:      h.dec.evictions.Value(),
+		PathHits:          h.paths.hits.Value(),
+		PathMisses:        h.paths.misses.Value(),
+		PathFills:         h.paths.fills.Value(),
+		PathInvalidations: h.paths.invalidations.Value(),
+		PathEvicts:        h.paths.evictions.Value(),
+	}
+}
+
+// SetCacheEnabled turns both hierarchy caches on or off. Disabling flushes
+// them, so re-enabling starts cold; the uncached mode exists for the
+// E-series baseline measurements and for salvage of damaged hierarchies.
+func (h *Hierarchy) SetCacheEnabled(on bool) {
+	h.dec.setEnabled(on)
+	h.paths.setEnabled(on)
+}
+
+// FlushCaches drops every cached decision and path prefix. The salvager
+// calls this after repairing structures out from under the generation
+// discipline; tests use it to force cold starts.
+func (h *Hierarchy) FlushCaches() {
+	h.dec.flush()
+	h.paths.flush()
+}

@@ -20,16 +20,31 @@
 //   - per-directory primitives (Lookup, Create, ...) keyed by directory UID,
 //     the new simpler interface that lets tree-name resolution move into the
 //     user ring.
+//
+// Concurrency: the hierarchy is safe for concurrent use. The object table
+// is striped into independent shards keyed by UID, and every object carries
+// its own lock guarding the mutable branch attributes (name, parent, label,
+// ACL, bit count, and — for directories — the entry map). Lock order is
+// parent directory before child object; the shard maps are leaves taken
+// last. Hot-path access checks and tree-name walks are memoized by the
+// revocation-safe caches in cache.go and pathcache.go: every mutation of an
+// ACL, label, or directory entry bumps the owning object's generation
+// counter inside the same critical section, which atomically kills every
+// cached decision derived from the old state (the same discipline the
+// machine's SDW associative memory enforces from DescriptorSegment.Set).
 package fs
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/acl"
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/mls"
 )
 
@@ -60,23 +75,100 @@ const RootUID uint64 = 1
 
 // Object is one layer-1 object plus the layer-2 attributes its branch
 // carries: the ACL, ring brackets, and (for directories) the entry map.
+//
+// UID, Kind, Author, Brackets and Gates are immutable after creation and
+// may be read freely. The remaining attributes are guarded by mu and read
+// through the accessor methods; they are mutated only by Hierarchy methods,
+// which bump the generation counters so the decision and path caches never
+// honor state from before the mutation.
 type Object struct {
+	// aclGen counts ACL and label changes; entGen counts directory-entry
+	// changes (create/delete/link/rename). They are read with atomic loads
+	// on cache-validation paths and bumped with atomic adds inside the
+	// owning critical section — invalidation generations, not statistics
+	// (the op and cache statistics live in the metrics registry).
+	aclGen uint64
+	entGen uint64
+
 	UID    uint64
 	Kind   Kind
-	Name   string // branch name in the parent directory
-	Parent uint64 // parent directory UID (RootUID's parent is itself)
-	Label  mls.Label
-	ACL    *acl.ACL
 	Author acl.Principal
 	// Brackets and Gates are the ring attributes given to SDWs that map
 	// this segment.
 	Brackets machine.Brackets
 	Gates    int
-	// BitCount is application data (Multics kept the meaningful length in
-	// the branch); unused by the kernel but preserved by it.
-	BitCount int
 
-	entries map[string]*DirEntry // directories only
+	mu sync.RWMutex
+	// name is the branch name in the parent directory.
+	name string
+	// parent is the parent directory UID (RootUID's parent is itself).
+	parent uint64
+	label  mls.Label
+	dacl   *acl.ACL
+	// bitCount is application data (Multics kept the meaningful length in
+	// the branch); unused by the kernel but preserved by it.
+	bitCount int
+	entries  map[string]*DirEntry // directories only
+	// dead marks an object whose branch has been deleted; a stale pointer
+	// obtained before the delete must not mutate it.
+	dead bool
+}
+
+// Name returns the object's branch name in its parent directory.
+func (o *Object) Name() string {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.name
+}
+
+// Parent returns the parent directory UID (the root is its own parent).
+func (o *Object) Parent() uint64 {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.parent
+}
+
+// Label returns the object's mandatory security label.
+func (o *Object) Label() mls.Label {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.label
+}
+
+// BitCount returns the branch bit count.
+func (o *Object) BitCount() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.bitCount
+}
+
+// ACLEntries returns a copy of the branch ACL, most specific first.
+func (o *Object) ACLEntries() []acl.Entry {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.dacl.Entries()
+}
+
+// ACLModeFor computes the discretionary mode the branch ACL grants who.
+func (o *Object) ACLModeFor(who acl.Principal) acl.Mode {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.dacl.ModeFor(who)
+}
+
+// CheckACL verifies who holds every bit of want on the branch ACL.
+func (o *Object) CheckACL(who acl.Principal, want acl.Mode) error {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.dacl.Check(who, want)
+}
+
+// nameParent returns name and parent under one lock acquisition (PathOf
+// walks many objects; half the lock traffic matters there).
+func (o *Object) nameParent() (string, uint64) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.name, o.parent
 }
 
 // DirEntry is one entry of a directory: a branch to an object or a link to
@@ -101,32 +193,71 @@ var (
 	ErrNotEmpty      = errors.New("fs: directory not empty")
 	ErrBadPath       = errors.New("fs: malformed path name")
 	ErrLinkLoop      = errors.New("fs: too many links in path resolution")
+	ErrParentLoop    = errors.New("fs: parent chain does not reach the root")
 	ErrLabelTooLow   = errors.New("fs: object label must dominate directory label")
 	ErrNoSuchUID     = errors.New("fs: no object with that unique ID")
 	ErrRootImmutable = errors.New("fs: the root directory cannot be deleted")
 )
 
+// objShardCount stripes the object table; a power of two so the shard
+// index is a mask (same geometry as internal/mem's frame stripes).
+const objShardCount = 64
+
+type objShard struct {
+	mu      sync.RWMutex
+	objects map[uint64]*Object
+}
+
 // Hierarchy is the complete storage system: the layer-1 UID store plus the
 // layer-2 naming hierarchy.
 type Hierarchy struct {
 	store   *mem.Store
-	objects map[uint64]*Object
-	nextUID uint64
+	shards  [objShardCount]objShard
+	nextUID uint64 // atomic
 
-	// Ops counts layer-2 operations for the experiment reports.
-	Ops OpStats
+	// mutEpoch advances (atomically) on every generation bump anywhere in
+	// the hierarchy. Path-cache entries filled under the current epoch
+	// validate with a single load instead of a per-step generation scan;
+	// see pathcache.go.
+	mutEpoch uint64
+
+	ops   opCounters
+	dec   *decisionCache
+	paths *pathCache
 }
 
 // OpStats counts hierarchy operations.
 type OpStats struct {
-	Creates, Deletes, Lookups, Resolves, ACLChanges int64
+	Creates, Deletes, Lookups, Resolves, Renames, ACLChanges int64
+}
+
+// opCounters are the metrics-registry handles behind OpStats. They replace
+// the plain int fields that PR 7 found being incremented from concurrent
+// sessions without synchronization.
+type opCounters struct {
+	creates, deletes, lookups, resolves, renames, aclChanges *metrics.Counter
+}
+
+func (c *opCounters) bind(reg *metrics.Registry) {
+	c.creates = reg.Counter("fs.creates")
+	c.deletes = reg.Counter("fs.deletes")
+	c.lookups = reg.Counter("fs.lookups")
+	c.resolves = reg.Counter("fs.resolves")
+	c.renames = reg.Counter("fs.renames")
+	c.aclChanges = reg.Counter("fs.acl_changes")
 }
 
 // New creates a hierarchy with a root directory labelled root. The root
 // ACL initially grants sma to every principal; real installations tighten
 // it immediately.
 func New(store *mem.Store, rootLabel mls.Label) (*Hierarchy, error) {
-	h := &Hierarchy{store: store, objects: make(map[uint64]*Object), nextUID: RootUID}
+	h := &Hierarchy{store: store, nextUID: RootUID + 1}
+	for i := range h.shards {
+		h.shards[i].objects = make(map[uint64]*Object)
+	}
+	// The hierarchy publishes into its own registry until the kernel hands
+	// it the system one via SetMetrics at boot.
+	h.SetMetrics(metrics.New())
 	rootACL := acl.New(acl.Entry{
 		Who:  acl.Pattern{Person: acl.Wildcard, Project: acl.Wildcard, Tag: acl.Wildcard},
 		Mode: acl.ModeStatus | acl.ModeModify | acl.ModeAppend,
@@ -134,15 +265,14 @@ func New(store *mem.Store, rootLabel mls.Label) (*Hierarchy, error) {
 	root := &Object{
 		UID:      RootUID,
 		Kind:     KindDirectory,
-		Name:     ">",
-		Parent:   RootUID,
-		Label:    rootLabel,
-		ACL:      rootACL,
+		name:     ">",
+		parent:   RootUID,
+		label:    rootLabel,
+		dacl:     rootACL,
 		Brackets: machine.KernelBrackets(),
 		entries:  make(map[string]*DirEntry),
 	}
-	h.objects[RootUID] = root
-	h.nextUID = RootUID + 1
+	h.putObject(root)
 	// Directories are layer-1 objects too: the hierarchy's own storage is
 	// paged like everything else.
 	if _, err := store.CreateSegment(RootUID, 0); err != nil {
@@ -151,19 +281,82 @@ func New(store *mem.Store, rootLabel mls.Label) (*Hierarchy, error) {
 	return h, nil
 }
 
+// SetMetrics rebinds the hierarchy's operation and cache counters into reg
+// (the kernel's unified registry). Call before traffic; handles registered
+// earlier keep their counts in the old registry.
+func (h *Hierarchy) SetMetrics(reg *metrics.Registry) {
+	h.ops.bind(reg)
+	if h.dec == nil {
+		h.dec = newDecisionCache()
+		h.paths = newPathCache()
+	}
+	h.dec.bind(reg)
+	h.paths.bind(reg)
+}
+
 // Store returns the underlying memory hierarchy.
 func (h *Hierarchy) Store() *mem.Store { return h.store }
 
+// OpStats returns a snapshot of the operation counts.
+func (h *Hierarchy) OpStats() OpStats {
+	return OpStats{
+		Creates:    h.ops.creates.Value(),
+		Deletes:    h.ops.deletes.Value(),
+		Lookups:    h.ops.lookups.Value(),
+		Resolves:   h.ops.resolves.Value(),
+		Renames:    h.ops.renames.Value(),
+		ACLChanges: h.ops.aclChanges.Value(),
+	}
+}
+
+func (h *Hierarchy) shard(uid uint64) *objShard {
+	return &h.shards[uid&(objShardCount-1)]
+}
+
+func (h *Hierarchy) object(uid uint64) (*Object, bool) {
+	s := h.shard(uid)
+	s.mu.RLock()
+	o, ok := s.objects[uid]
+	s.mu.RUnlock()
+	return o, ok
+}
+
+func (h *Hierarchy) putObject(o *Object) {
+	s := h.shard(o.UID)
+	s.mu.Lock()
+	s.objects[o.UID] = o
+	s.mu.Unlock()
+}
+
+func (h *Hierarchy) removeObject(uid uint64) {
+	s := h.shard(uid)
+	s.mu.Lock()
+	delete(s.objects, uid)
+	s.mu.Unlock()
+}
+
 // Count returns the number of live objects in the hierarchy.
-func (h *Hierarchy) Count() int { return len(h.objects) }
+func (h *Hierarchy) Count() int {
+	n := 0
+	for i := range h.shards {
+		h.shards[i].mu.RLock()
+		n += len(h.shards[i].objects)
+		h.shards[i].mu.RUnlock()
+	}
+	return n
+}
 
 // UIDs returns every live object UID in ascending order. The fault
 // plane uses the list to choose deterministic corruption targets for a
 // simulated crash; the salvager's own walk does not need it.
 func (h *Hierarchy) UIDs() []uint64 {
-	out := make([]uint64, 0, len(h.objects))
-	for uid := range h.objects {
-		out = append(out, uid)
+	out := make([]uint64, 0, h.Count())
+	for i := range h.shards {
+		h.shards[i].mu.RLock()
+		for uid := range h.shards[i].objects {
+			out = append(out, uid)
+		}
+		h.shards[i].mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -171,7 +364,7 @@ func (h *Hierarchy) UIDs() []uint64 {
 
 // Object returns the object with the given UID.
 func (h *Hierarchy) Object(uid uint64) (*Object, error) {
-	o, ok := h.objects[uid]
+	o, ok := h.object(uid)
 	if !ok {
 		return nil, fmt.Errorf("%w: %#x", ErrNoSuchUID, uid)
 	}
@@ -180,9 +373,7 @@ func (h *Hierarchy) Object(uid uint64) (*Object, error) {
 
 // allocUID generates the next system-wide unique identifier.
 func (h *Hierarchy) allocUID() uint64 {
-	uid := h.nextUID
-	h.nextUID++
-	return uid
+	return atomic.AddUint64(&h.nextUID, 1) - 1
 }
 
 func (h *Hierarchy) directory(uid uint64) (*Object, error) {
@@ -196,24 +387,68 @@ func (h *Hierarchy) directory(uid uint64) (*Object, error) {
 	return o, nil
 }
 
-// checkDir verifies discretionary directory access plus the mandatory
-// checks: observing a directory requires reading it, changing it requires
-// writing it.
-func (h *Hierarchy) checkDir(dir *Object, who acl.Principal, subj mls.Label, want acl.Mode) error {
-	if err := dir.ACL.Check(who, want); err != nil {
+// checkDirLocked verifies discretionary directory access plus the
+// mandatory checks: observing a directory requires reading it, changing it
+// requires writing it. The caller holds dir.mu (read or write).
+func checkDirLocked(dir *Object, who acl.Principal, subj mls.Label, want acl.Mode) error {
+	if err := dir.dacl.Check(who, want); err != nil {
 		return err
 	}
 	if want&(acl.ModeModify|acl.ModeAppend) != 0 {
-		if err := mls.CheckWrite(subj, dir.Label); err != nil {
+		if err := mls.CheckWrite(subj, dir.label); err != nil {
 			return err
 		}
 	}
 	if want&acl.ModeStatus != 0 {
-		if err := mls.CheckRead(subj, dir.Label); err != nil {
+		if err := mls.CheckRead(subj, dir.label); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// checkDir is the cached directory access check: a memoized positive
+// verdict is honored only while the directory's ACL generation is
+// unchanged, so a revoked decision is never served (see cache.go).
+func (h *Hierarchy) checkDir(dir *Object, who acl.Principal, subj mls.Label, want acl.Mode) error {
+	if !h.dec.on() {
+		dir.mu.RLock()
+		err := checkDirLocked(dir, who, subj, want)
+		dir.mu.RUnlock()
+		return err
+	}
+	key := decisionKey{uid: dir.UID, who: who, label: subj.CacheKey(), want: want}
+	// Read the generation before the slow check: if a revocation lands
+	// between this load and the verdict, the entry is stored with a stale
+	// generation and can never be honored.
+	gen := atomic.LoadUint64(&dir.aclGen)
+	if h.dec.lookup(key, gen) {
+		return nil
+	}
+	dir.mu.RLock()
+	err := checkDirLocked(dir, who, subj, want)
+	dir.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	h.dec.store(key, gen)
+	return nil
+}
+
+// bumpACLGen invalidates every cached decision derived from o's ACL or
+// label. Call inside the critical section that mutates them.
+func (h *Hierarchy) bumpACLGen(o *Object) {
+	atomic.AddUint64(&o.aclGen, 1)
+	atomic.AddUint64(&h.mutEpoch, 1)
+	h.dec.invalidations.Inc()
+}
+
+// bumpEntGen invalidates every cached path prefix that walked through o's
+// entry map. Call inside the critical section that mutates it.
+func (h *Hierarchy) bumpEntGen(o *Object) {
+	atomic.AddUint64(&o.entGen, 1)
+	atomic.AddUint64(&h.mutEpoch, 1)
+	h.paths.invalidations.Inc()
 }
 
 // CreateOptions parameterizes Create.
@@ -245,12 +480,6 @@ func (h *Hierarchy) Create(who acl.Principal, subj mls.Label, dirUID uint64, nam
 	if err := h.checkDir(dir, who, subj, acl.ModeAppend); err != nil {
 		return 0, err
 	}
-	if _, ok := dir.entries[name]; ok {
-		return 0, fmt.Errorf("%w: %q in %#x", ErrExists, name, dirUID)
-	}
-	if !opts.Label.Dominates(dir.Label) {
-		return 0, fmt.Errorf("%w: %v under %v", ErrLabelTooLow, opts.Label, dir.Label)
-	}
 	a := opts.ACL
 	if a == nil {
 		mode := acl.ModeRead | acl.ModeExecute | acl.ModeWrite
@@ -269,14 +498,26 @@ func (h *Hierarchy) Create(who acl.Principal, subj mls.Label, dirUID uint64, nam
 	if !brackets.Valid() {
 		return 0, fmt.Errorf("fs: invalid ring brackets %v", brackets)
 	}
+
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.dead {
+		return 0, fmt.Errorf("%w: %#x", ErrNoSuchUID, dirUID)
+	}
+	if _, ok := dir.entries[name]; ok {
+		return 0, fmt.Errorf("%w: %q in %#x", ErrExists, name, dirUID)
+	}
+	if !opts.Label.Dominates(dir.label) {
+		return 0, fmt.Errorf("%w: %v under %v", ErrLabelTooLow, opts.Label, dir.label)
+	}
 	uid := h.allocUID()
 	o := &Object{
 		UID:      uid,
 		Kind:     opts.Kind,
-		Name:     name,
-		Parent:   dirUID,
-		Label:    opts.Label,
-		ACL:      a,
+		name:     name,
+		parent:   dirUID,
+		label:    opts.Label,
+		dacl:     a,
 		Author:   who,
 		Brackets: brackets,
 		Gates:    opts.Gates,
@@ -287,9 +528,10 @@ func (h *Hierarchy) Create(who acl.Principal, subj mls.Label, dirUID uint64, nam
 	if _, err := h.store.CreateSegment(uid, opts.Length); err != nil {
 		return 0, fmt.Errorf("fs: creating storage for %q: %w", name, err)
 	}
-	h.objects[uid] = o
+	h.putObject(o)
 	dir.entries[name] = &DirEntry{Name: name, UID: uid}
-	h.Ops.Creates++
+	h.bumpEntGen(dir)
+	h.ops.creates.Inc()
 	return uid, nil
 }
 
@@ -305,12 +547,38 @@ func (h *Hierarchy) AddLink(who acl.Principal, subj mls.Label, dirUID uint64, na
 	if err := h.checkDir(dir, who, subj, acl.ModeAppend); err != nil {
 		return err
 	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.dead {
+		return fmt.Errorf("%w: %#x", ErrNoSuchUID, dirUID)
+	}
 	if _, ok := dir.entries[name]; ok {
 		return fmt.Errorf("%w: %q in %#x", ErrExists, name, dirUID)
 	}
 	dir.entries[name] = &DirEntry{Name: name, LinkTo: target}
-	h.Ops.Creates++
+	h.bumpEntGen(dir)
+	h.ops.creates.Inc()
 	return nil
+}
+
+// lookupEntry returns a copy of the entry name in dir, holding the checks
+// the public Lookup performs. Shared by Lookup and the path walker.
+func (h *Hierarchy) lookupEntry(dir *Object, who acl.Principal, subj mls.Label, name string) (*DirEntry, error) {
+	if err := h.checkDir(dir, who, subj, acl.ModeStatus); err != nil {
+		return nil, err
+	}
+	h.ops.lookups.Inc()
+	dir.mu.RLock()
+	e, ok := dir.entries[name]
+	var cp DirEntry
+	if ok {
+		cp = *e
+	}
+	dir.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q in %#x", ErrNotFound, name, dir.UID)
+	}
+	return &cp, nil
 }
 
 // Lookup finds the entry name in directory dirUID. It requires status
@@ -321,16 +589,7 @@ func (h *Hierarchy) Lookup(who acl.Principal, subj mls.Label, dirUID uint64, nam
 	if err != nil {
 		return nil, err
 	}
-	if err := h.checkDir(dir, who, subj, acl.ModeStatus); err != nil {
-		return nil, err
-	}
-	h.Ops.Lookups++
-	e, ok := dir.entries[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q in %#x", ErrNotFound, name, dirUID)
-	}
-	cp := *e
-	return &cp, nil
+	return h.lookupEntry(dir, who, subj, name)
 }
 
 // List returns the entries of directory dirUID in name order.
@@ -342,11 +601,13 @@ func (h *Hierarchy) List(who acl.Principal, subj mls.Label, dirUID uint64) ([]Di
 	if err := h.checkDir(dir, who, subj, acl.ModeStatus); err != nil {
 		return nil, err
 	}
-	h.Ops.Lookups++
+	h.ops.lookups.Inc()
+	dir.mu.RLock()
 	out := make([]DirEntry, 0, len(dir.entries))
 	for _, e := range dir.entries {
 		out = append(out, *e)
 	}
+	dir.mu.RUnlock()
 	sortEntries(out)
 	return out, nil
 }
@@ -361,6 +622,8 @@ func (h *Hierarchy) Delete(who acl.Principal, subj mls.Label, dirUID uint64, nam
 	if err := h.checkDir(dir, who, subj, acl.ModeModify); err != nil {
 		return err
 	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
 	e, ok := dir.entries[name]
 	if !ok {
 		return fmt.Errorf("%w: %q in %#x", ErrNotFound, name, dirUID)
@@ -373,16 +636,67 @@ func (h *Hierarchy) Delete(who acl.Principal, subj mls.Label, dirUID uint64, nam
 		if obj.UID == RootUID {
 			return ErrRootImmutable
 		}
+		// Lock order parent -> child: obj's parent is dir, already held.
+		obj.mu.Lock()
 		if obj.Kind == KindDirectory && len(obj.entries) > 0 {
+			obj.mu.Unlock()
 			return fmt.Errorf("%w: %q", ErrNotEmpty, name)
 		}
+		obj.dead = true
+		// Kill both decision and path cache entries derived from the
+		// object before it disappears from the table.
+		h.bumpACLGen(obj)
+		h.bumpEntGen(obj)
+		obj.mu.Unlock()
 		if err := h.store.DeleteSegment(obj.UID); err != nil {
 			return fmt.Errorf("fs: releasing storage of %q: %w", name, err)
 		}
-		delete(h.objects, obj.UID)
+		h.removeObject(obj.UID)
 	}
 	delete(dir.entries, name)
-	h.Ops.Deletes++
+	h.bumpEntGen(dir)
+	h.ops.deletes.Inc()
+	return nil
+}
+
+// Rename changes the name of the entry oldName in directory dirUID to
+// newName (branch or link; the object keeps its UID, ACL, and label). Like
+// Delete it requires modify permission on the containing directory.
+func (h *Hierarchy) Rename(who acl.Principal, subj mls.Label, dirUID uint64, oldName, newName string) error {
+	dir, err := h.directory(dirUID)
+	if err != nil {
+		return err
+	}
+	if err := validName(newName); err != nil {
+		return err
+	}
+	if err := h.checkDir(dir, who, subj, acl.ModeModify); err != nil {
+		return err
+	}
+	dir.mu.Lock()
+	defer dir.mu.Unlock()
+	if dir.dead {
+		return fmt.Errorf("%w: %#x", ErrNoSuchUID, dirUID)
+	}
+	e, ok := dir.entries[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %q in %#x", ErrNotFound, oldName, dirUID)
+	}
+	if _, ok := dir.entries[newName]; ok {
+		return fmt.Errorf("%w: %q in %#x", ErrExists, newName, dirUID)
+	}
+	delete(dir.entries, oldName)
+	e.Name = newName
+	dir.entries[newName] = e
+	if !e.IsLink() {
+		if obj, ok := h.object(e.UID); ok {
+			obj.mu.Lock()
+			obj.name = newName
+			obj.mu.Unlock()
+		}
+	}
+	h.bumpEntGen(dir)
+	h.ops.renames.Inc()
 	return nil
 }
 
@@ -394,15 +708,18 @@ func (h *Hierarchy) SetACL(who acl.Principal, subj mls.Label, uid uint64, patter
 	if err != nil {
 		return err
 	}
-	parent, err := h.directory(obj.Parent)
+	parent, err := h.directory(obj.Parent())
 	if err != nil {
 		return err
 	}
 	if err := h.checkDir(parent, who, subj, acl.ModeModify); err != nil {
 		return err
 	}
-	obj.ACL.Set(pattern, mode)
-	h.Ops.ACLChanges++
+	obj.mu.Lock()
+	obj.dacl.Set(pattern, mode)
+	h.bumpACLGen(obj)
+	obj.mu.Unlock()
+	h.ops.aclChanges.Inc()
 	return nil
 }
 
@@ -412,24 +729,81 @@ func (h *Hierarchy) RemoveACL(who acl.Principal, subj mls.Label, uid uint64, pat
 	if err != nil {
 		return err
 	}
-	parent, err := h.directory(obj.Parent)
+	parent, err := h.directory(obj.Parent())
 	if err != nil {
 		return err
 	}
 	if err := h.checkDir(parent, who, subj, acl.ModeModify); err != nil {
 		return err
 	}
-	if !obj.ACL.Remove(pattern) {
+	obj.mu.Lock()
+	removed := obj.dacl.Remove(pattern)
+	if removed {
+		h.bumpACLGen(obj)
+	}
+	obj.mu.Unlock()
+	if !removed {
 		return fmt.Errorf("%w: no ACL entry %v", ErrNotFound, pattern)
 	}
-	h.Ops.ACLChanges++
+	h.ops.aclChanges.Inc()
+	return nil
+}
+
+// Reclassify changes the mandatory label of object uid. It is a privileged
+// operation (reached through the phcs_ gate only); the label change kills
+// every cached access decision computed under the old label.
+func (h *Hierarchy) Reclassify(uid uint64, label mls.Label) error {
+	obj, err := h.Object(uid)
+	if err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	obj.label = label
+	h.bumpACLGen(obj)
+	obj.mu.Unlock()
+	h.ops.aclChanges.Inc()
+	return nil
+}
+
+// SetBitCount stores the branch bit count of uid. Access is checked by the
+// calling gate (write access on the segment), as with the other branch
+// status attributes.
+func (h *Hierarchy) SetBitCount(uid uint64, bc int) error {
+	obj, err := h.Object(uid)
+	if err != nil {
+		return err
+	}
+	obj.mu.Lock()
+	obj.bitCount = bc
+	obj.mu.Unlock()
+	return nil
+}
+
+// checkSegLocked is the slow-path segment access computation; the caller
+// holds obj.mu.
+func checkSegLocked(obj *Object, who acl.Principal, subj mls.Label, want acl.Mode) error {
+	if err := obj.dacl.Check(who, want); err != nil {
+		return err
+	}
+	if want&(acl.ModeRead|acl.ModeExecute) != 0 {
+		if err := mls.CheckRead(subj, obj.label); err != nil {
+			return err
+		}
+	}
+	if want&acl.ModeWrite != 0 {
+		if err := mls.CheckWrite(subj, obj.label); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // CheckSegmentAccess performs the full kernel access computation for
 // mapping segment uid with the wanted discretionary mode: the branch ACL
 // check plus the mandatory checks (read implies simple security; write
-// implies the *-property).
+// implies the *-property). Positive verdicts are memoized per
+// (uid, principal, label, mode) and honored only while the segment's ACL
+// generation is unchanged.
 func (h *Hierarchy) CheckSegmentAccess(who acl.Principal, subj mls.Label, uid uint64, want acl.Mode) (*Object, error) {
 	obj, err := h.Object(uid)
 	if err != nil {
@@ -438,19 +812,27 @@ func (h *Hierarchy) CheckSegmentAccess(who acl.Principal, subj mls.Label, uid ui
 	if obj.Kind != KindSegment {
 		return nil, fmt.Errorf("%w: %#x", ErrNotSegment, uid)
 	}
-	if err := obj.ACL.Check(who, want); err != nil {
-		return nil, err
-	}
-	if want&(acl.ModeRead|acl.ModeExecute) != 0 {
-		if err := mls.CheckRead(subj, obj.Label); err != nil {
+	if !h.dec.on() {
+		obj.mu.RLock()
+		err := checkSegLocked(obj, who, subj, want)
+		obj.mu.RUnlock()
+		if err != nil {
 			return nil, err
 		}
+		return obj, nil
 	}
-	if want&acl.ModeWrite != 0 {
-		if err := mls.CheckWrite(subj, obj.Label); err != nil {
-			return nil, err
-		}
+	key := decisionKey{uid: uid, who: who, label: subj.CacheKey(), want: want}
+	gen := atomic.LoadUint64(&obj.aclGen)
+	if h.dec.lookup(key, gen) {
+		return obj, nil
 	}
+	obj.mu.RLock()
+	cerr := checkSegLocked(obj, who, subj, want)
+	obj.mu.RUnlock()
+	if cerr != nil {
+		return nil, cerr
+	}
+	h.dec.store(key, gen)
 	return obj, nil
 }
 

@@ -375,7 +375,8 @@ func TestOpStatsCount(t *testing.T) {
 	if _, err := h.ResolvePath(alice, unc, ">a"); err != nil {
 		t.Fatal(err)
 	}
-	if h.Ops.Creates != 1 || h.Ops.Resolves != 1 || h.Ops.Lookups == 0 {
-		t.Errorf("ops = %+v", h.Ops)
+	ops := h.OpStats()
+	if ops.Creates != 1 || ops.Resolves != 1 || ops.Lookups == 0 {
+		t.Errorf("ops = %+v", ops)
 	}
 }

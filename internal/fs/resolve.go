@@ -3,6 +3,7 @@ package fs
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // PathSep is the Multics path-name separator: ">udd>CSR>Schroeder>thesis".
@@ -10,6 +11,12 @@ const PathSep = ">"
 
 // maxLinkDepth bounds link chasing during resolution.
 const maxLinkDepth = 8
+
+// maxParentDepth bounds PathOf's climb toward the root, the parent-pointer
+// analogue of maxLinkDepth: a corrupted hierarchy can contain parent cycles
+// longer than the self-loop (A→B→A), which would otherwise walk forever.
+// No legitimate tree in this reproduction approaches this depth.
+const maxParentDepth = 512
 
 // SplitPath parses an absolute Multics tree name into its components. The
 // root itself is the empty component list.
@@ -43,12 +50,52 @@ func JoinPath(parts ...string) string {
 // per-directory access checks, and returns the UID of the named object.
 // After the reference-name removal this algorithm runs in the user ring,
 // implemented with Lookup calls through the per-directory gate interface.
+//
+// Resolution is memoized per (path prefix, principal, label) by the path
+// cache; a repeat resolution of a cached name costs one probe plus a
+// generation check of every object the original walk relied on, instead of
+// the full per-component walk. See pathcache.go for the safety argument.
 func (h *Hierarchy) ResolvePath(who Principal, subj Label, path string) (uint64, error) {
-	h.Ops.Resolves++
-	return h.resolve(who, subj, path, 0)
+	h.ops.resolves.Inc()
+	// The epoch is loaded before the cache is probed or the walk observes
+	// anything: entries filled under it stay on the O(1) validation path
+	// until the next mutation anywhere (see pathcache.go).
+	ep := atomic.LoadUint64(&h.mutEpoch)
+	if h.paths.on() {
+		// Fast path: the exact name was resolved before for this subject
+		// and nothing along its walk has changed. No parsing needed — a
+		// cache key can only exist if this identical string resolved.
+		sp := h.paths.view(subjKey{who: who, label: subj.CacheKey()})
+		if e := h.paths.lookup(sp, path, ep); e != nil {
+			return e.uid, nil
+		}
+	}
+	var steps []pathStep
+	return h.resolve(who, subj, path, 0, ep, &steps, false)
 }
 
-func (h *Hierarchy) resolve(who Principal, subj Label, path string, depth int) (uint64, error) {
+// componentEnds returns, for each path component, the byte offset just past
+// it, so path[:ends[i]] is the canonical prefix naming components 0..i.
+func componentEnds(path string) []int {
+	var ends []int
+	for i := 1; i < len(path); i++ {
+		if path[i] == '>' {
+			ends = append(ends, i)
+		}
+	}
+	return append(ends, len(path))
+}
+
+// resolve walks path from the root. acc accumulates the validation chain:
+// one pathStep per directory whose ACL was checked and entry map read,
+// including directories reached while chasing interior links (a sub-walk's
+// dependencies are the caller's dependencies too — a revocation inside a
+// link target must invalidate every cached prefix that chased the link).
+// probeFull controls whether the full-path cache entry is probed here;
+// ResolvePath already probed it for the top-level call. ep is the mutation
+// epoch loaded before the outermost walk observed anything; entries filled
+// with it are trivially valid while it stays current.
+func (h *Hierarchy) resolve(who Principal, subj Label, path string, depth int, ep uint64, acc *[]pathStep, probeFull bool) (uint64, error) {
 	if depth > maxLinkDepth {
 		return 0, fmt.Errorf("%w: %q", ErrLinkLoop, path)
 	}
@@ -56,33 +103,97 @@ func (h *Hierarchy) resolve(who Principal, subj Label, path string, depth int) (
 	if err != nil {
 		return 0, err
 	}
+	if len(parts) == 0 {
+		return RootUID, nil
+	}
+
+	caching := h.paths.on()
+	var sp *subjPaths
+	var ends []int
 	cur := uint64(RootUID)
-	for i, name := range parts {
-		entry, err := h.Lookup(who, subj, cur, name)
+	start := 0 // first component not satisfied from cache
+	base := 0  // acc length at frame entry; this frame's fills snapshot acc[base:]
+	if caching {
+		// One subject-view fetch serves every prefix probe and fill of
+		// this walk; the per-prefix key is then just the path string.
+		sp = h.paths.viewOrCreate(subjKey{who: who, label: subj.CacheKey()})
+		ends = componentEnds(path)
+		base = len(*acc)
+		// Probe cached prefixes, longest first: a hit at k components
+		// means the walk restarts at component k with the hit's
+		// validation chain adopted as our own.
+		top := len(parts)
+		if !probeFull {
+			top--
+		}
+		for k := top; k >= 1; k-- {
+			e := h.paths.lookup(sp, path[:ends[k-1]], ep)
+			if e == nil {
+				continue
+			}
+			*acc = append(*acc, e.steps...)
+			cur = e.uid
+			start = k
+			break
+		}
+		if start == len(parts) {
+			return cur, nil
+		}
+	}
+
+	for i := start; i < len(parts); i++ {
+		name := parts[i]
+		dir, err := h.directory(cur)
 		if err != nil {
 			return 0, fmt.Errorf("resolving %q component %q: %w", path, name, err)
 		}
+		// Capture the generations before observing the directory: a
+		// mutation racing this lookup bumps past these values, so the
+		// prefix entry filled below is stillborn rather than stale.
+		var st pathStep
+		if caching {
+			st = pathStep{
+				obj:    dir,
+				aclGen: atomic.LoadUint64(&dir.aclGen),
+				entGen: atomic.LoadUint64(&dir.entGen),
+			}
+		}
+		entry, err := h.lookupEntry(dir, who, subj, name)
+		if err != nil {
+			return 0, fmt.Errorf("resolving %q component %q: %w", path, name, err)
+		}
+		if caching {
+			*acc = append(*acc, st)
+		}
 		if entry.IsLink() {
 			// Chase the link, then continue with the remaining components.
-			target, err := h.resolve(who, subj, entry.LinkTo, depth+1)
+			target, err := h.resolve(who, subj, entry.LinkTo, depth+1, ep, acc, true)
 			if err != nil {
 				return 0, fmt.Errorf("chasing link %q -> %q: %w", name, entry.LinkTo, err)
 			}
 			cur = target
-			continue
-		}
-		if i < len(parts)-1 {
-			// Interior components must be directories; Lookup on the next
-			// iteration verifies this, but fail early with a clear error.
-			obj, err := h.Object(entry.UID)
-			if err != nil {
-				return 0, err
+		} else {
+			if i < len(parts)-1 {
+				// Interior components must be directories; the next
+				// iteration verifies this, but fail early with a clear error.
+				obj, err := h.Object(entry.UID)
+				if err != nil {
+					return 0, err
+				}
+				if obj.Kind != KindDirectory {
+					return 0, fmt.Errorf("%w: %q in %q", ErrNotDirectory, name, path)
+				}
 			}
-			if obj.Kind != KindDirectory {
-				return 0, fmt.Errorf("%w: %q in %q", ErrNotDirectory, name, path)
-			}
+			cur = entry.UID
 		}
-		cur = entry.UID
+		if caching {
+			// Fill the prefix ending at this component. The chain is
+			// snapshot-copied: acc keeps growing and entries are immutable.
+			chain := make([]pathStep, len(*acc)-base)
+			copy(chain, (*acc)[base:])
+			h.paths.store(sp, path[:ends[i]],
+				&pathEntry{uid: cur, epoch: ep, steps: chain})
+		}
 	}
 	return cur, nil
 }
@@ -95,16 +206,23 @@ func (h *Hierarchy) PathOf(uid uint64) (string, error) {
 		return PathSep, nil
 	}
 	var parts []string
-	for uid != RootUID {
+	for hops := 0; uid != RootUID; hops++ {
+		if hops >= maxParentDepth {
+			return "", fmt.Errorf("%w: parent chain from %#x exceeds %d hops", ErrParentLoop, uid, maxParentDepth)
+		}
 		obj, err := h.Object(uid)
 		if err != nil {
 			return "", err
 		}
-		parts = append([]string{obj.Name}, parts...)
-		if obj.Parent == uid {
+		name, parent := obj.nameParent()
+		parts = append(parts, name)
+		if parent == uid {
 			return "", fmt.Errorf("fs: object %#x is its own parent", uid)
 		}
-		uid = obj.Parent
+		uid = parent
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
 	}
 	return JoinPath(parts...), nil
 }

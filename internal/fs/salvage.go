@@ -11,6 +11,14 @@ import (
 // initialization sequence). It walks the tree from the root and verifies
 // the invariants the rest of the kernel relies on, optionally repairing
 // what can be repaired safely.
+//
+// The salvager runs with kernel authority on a quiescent hierarchy (at
+// bootstrap, or after the fault plane simulates a crash) — it reaches
+// directly into object state rather than going through the access-checked
+// interfaces. Because its repairs and the fault plane's injected damage
+// bypass the generation counters that keep the decision and path caches
+// honest, both Salvage and CorruptForTesting end by flushing the caches
+// wholesale.
 
 // ProblemKind classifies a salvager finding.
 type ProblemKind int
@@ -128,14 +136,17 @@ func (r *SalvageReport) Format() string {
 // security decision the salvager must not make.
 func (h *Hierarchy) Salvage(repair bool) (*SalvageReport, error) {
 	rep := &SalvageReport{}
+	// Repairs mutate structures without the per-mutation generation
+	// bumps; drop every memoized decision and prefix when done.
+	defer h.FlushCaches()
 
 	// Pass 1: walk from the root, recording reachability and checking
 	// per-entry invariants.
 	reachable := map[uint64]bool{RootUID: true}
 	var walk func(dirUID uint64) error
 	walk = func(dirUID uint64) error {
-		dir := h.objects[dirUID]
-		if dir == nil || dir.Kind != KindDirectory {
+		dir, ok := h.object(dirUID)
+		if !ok || dir.Kind != KindDirectory {
 			return fmt.Errorf("fs: salvager walked into non-directory %#x", dirUID)
 		}
 		names := make([]string, 0, len(dir.entries))
@@ -148,7 +159,7 @@ func (h *Hierarchy) Salvage(repair bool) (*SalvageReport, error) {
 			if e.IsLink() {
 				continue // links may dangle by design; resolution reports it
 			}
-			obj, ok := h.objects[e.UID]
+			obj, ok := h.object(e.UID)
 			if !ok {
 				p := Problem{Kind: DanglingEntry, UID: dirUID, Name: name,
 					Detail: fmt.Sprintf("entry points at missing object %#x", e.UID)}
@@ -160,27 +171,27 @@ func (h *Hierarchy) Salvage(repair bool) (*SalvageReport, error) {
 				continue
 			}
 			reachable[e.UID] = true
-			if obj.Parent != dirUID {
+			if obj.parent != dirUID {
 				p := Problem{Kind: ParentMismatch, UID: obj.UID, Name: name,
-					Detail: fmt.Sprintf("parent pointer %#x, branch held by %#x", obj.Parent, dirUID)}
+					Detail: fmt.Sprintf("parent pointer %#x, branch held by %#x", obj.parent, dirUID)}
 				if repair {
-					obj.Parent = dirUID
+					obj.parent = dirUID
 					p.Repaired = true
 				}
 				rep.Problems = append(rep.Problems, p)
 			}
-			if obj.Name != name {
+			if obj.name != name {
 				p := Problem{Kind: NameMismatch, UID: obj.UID, Name: name,
-					Detail: fmt.Sprintf("object records name %q", obj.Name)}
+					Detail: fmt.Sprintf("object records name %q", obj.name)}
 				if repair {
-					obj.Name = name
+					obj.name = name
 					p.Repaired = true
 				}
 				rep.Problems = append(rep.Problems, p)
 			}
-			if !obj.Label.Dominates(h.objects[dirUID].Label) {
+			if !obj.label.Dominates(dir.label) {
 				rep.Problems = append(rep.Problems, Problem{Kind: LabelInversion, UID: obj.UID, Name: name,
-					Detail: fmt.Sprintf("label %v under directory label %v", obj.Label, dir.Label)})
+					Detail: fmt.Sprintf("label %v under directory label %v", obj.label, dir.label)})
 			}
 			if _, ok := h.store.Segment(obj.UID); !ok {
 				p := Problem{Kind: MissingStorage, UID: obj.UID, Name: name,
@@ -205,27 +216,27 @@ func (h *Hierarchy) Salvage(repair bool) (*SalvageReport, error) {
 	}
 
 	// Pass 2: orphans — objects in the table that pass 1 never reached.
-	uids := make([]uint64, 0, len(h.objects))
-	for uid := range h.objects {
-		uids = append(uids, uid)
-	}
-	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	uids := h.UIDs()
 	rep.ObjectsWalked = len(uids)
 	for _, uid := range uids {
 		if reachable[uid] {
 			continue
 		}
-		obj := h.objects[uid]
-		p := Problem{Kind: OrphanObject, UID: uid, Name: obj.Name,
+		obj, ok := h.object(uid)
+		if !ok {
+			continue
+		}
+		p := Problem{Kind: OrphanObject, UID: uid, Name: obj.name,
 			Detail: "object unreachable from the root"}
 		if repair {
 			lost, err := h.lostAndFound()
 			if err == nil {
+				lostDir, _ := h.object(lost)
 				name := fmt.Sprintf("orphan.%x", uid)
-				if _, dup := h.objects[lost].entries[name]; !dup {
-					h.objects[lost].entries[name] = &DirEntry{Name: name, UID: uid}
-					obj.Parent = lost
-					obj.Name = name
+				if _, dup := lostDir.entries[name]; !dup {
+					lostDir.entries[name] = &DirEntry{Name: name, UID: uid}
+					obj.parent = lost
+					obj.name = name
 					p.Repaired = true
 				}
 			}
@@ -238,24 +249,24 @@ func (h *Hierarchy) Salvage(repair bool) (*SalvageReport, error) {
 // lostAndFound returns the recovery directory's UID, creating it directly
 // (the salvager runs with kernel authority during initialization).
 func (h *Hierarchy) lostAndFound() (uint64, error) {
-	root := h.objects[RootUID]
+	root, _ := h.object(RootUID)
 	if e, ok := root.entries["lost+found"]; ok && !e.IsLink() {
 		return e.UID, nil
 	}
 	uid := h.allocUID()
-	h.objects[uid] = &Object{
+	lost := &Object{
 		UID:     uid,
 		Kind:    KindDirectory,
-		Name:    "lost+found",
-		Parent:  RootUID,
-		Label:   root.Label,
-		ACL:     root.ACL,
+		name:    "lost+found",
+		parent:  RootUID,
+		label:   root.label,
+		dacl:    root.dacl,
 		entries: make(map[string]*DirEntry),
 	}
 	if _, err := h.store.CreateSegment(uid, 0); err != nil {
-		delete(h.objects, uid)
 		return 0, err
 	}
+	h.putObject(lost)
 	root.entries["lost+found"] = &DirEntry{Name: "lost+found", UID: uid}
 	return uid, nil
 }
@@ -264,33 +275,42 @@ func (h *Hierarchy) lostAndFound() (uint64, error) {
 // tests and failure-injection experiments can exercise each problem class.
 // It is exported for tests only and performs no access checks.
 func (h *Hierarchy) CorruptForTesting(kind ProblemKind, uid uint64) error {
-	obj, ok := h.objects[uid]
+	// Injected damage bypasses the generation discipline entirely.
+	defer h.FlushCaches()
+	obj, ok := h.object(uid)
 	if !ok {
 		return fmt.Errorf("%w: %#x", ErrNoSuchUID, uid)
 	}
 	switch kind {
 	case OrphanObject:
-		parent := h.objects[obj.Parent]
-		if parent == nil {
+		parent, ok := h.object(obj.parent)
+		if !ok {
 			return fmt.Errorf("fs: object %#x has no parent", uid)
 		}
-		delete(parent.entries, obj.Name)
+		delete(parent.entries, obj.name)
 	case DanglingEntry:
-		parent := h.objects[obj.Parent]
-		delete(h.objects, uid)
+		h.removeObject(uid)
 		_ = h.store.DeleteSegment(uid)
-		_ = parent // entry remains, now dangling
+		// the parent's entry remains, now dangling
 	case ParentMismatch:
-		obj.Parent = RootUID + 0 // point at root regardless of truth
-		if h.objects[RootUID].entries[obj.Name] != nil {
-			return fmt.Errorf("fs: cannot fake mismatch for %q", obj.Name)
+		root, _ := h.object(RootUID)
+		if root.entries[obj.name] != nil {
+			return fmt.Errorf("fs: cannot fake mismatch for %q", obj.name)
 		}
+		obj.parent = RootUID // point at root regardless of truth
 	case NameMismatch:
-		obj.Name = obj.Name + ".wrong"
+		obj.name = obj.name + ".wrong"
 	case MissingStorage:
 		return h.store.DeleteSegment(uid)
 	default:
 		return fmt.Errorf("fs: cannot inject %v", kind)
 	}
 	return nil
+}
+
+// RelabelForTesting sets an object's label directly, bypassing policy —
+// salvager tests use it to manufacture label inversions. Caches are
+// flushed via the normal reclassification bump.
+func (h *Hierarchy) RelabelForTesting(uid uint64, label Label) error {
+	return h.Reclassify(uid, label)
 }

@@ -149,7 +149,9 @@ func TestSalvageDetectsMissingStorage(t *testing.T) {
 func TestSalvageReportsLabelInversionWithoutRepair(t *testing.T) {
 	h, uids := buildSalvageTree(t)
 	// Force an inversion directly: relabel the parent above the child.
-	h.objects[uids["sub"]].Label = mls.NewLabel(mls.Secret)
+	if err := h.RelabelForTesting(uids["sub"], mls.NewLabel(mls.Secret)); err != nil {
+		t.Fatal(err)
+	}
 	rep, err := h.Salvage(true)
 	if err != nil {
 		t.Fatal(err)

@@ -93,6 +93,40 @@ if [ -n "$bad" ]; then
 	exit 1
 fi
 
+echo "== hierarchy cache-invalidation lint"
+# Every hierarchy mutation that changes what a cached decision or cached
+# path prefix was derived from must bump the owning object's generation
+# counter inside the mutating function — that is the entire revocation-
+# safety argument (DESIGN.md "Hierarchy caches"). ACL/label mutators must
+# call bumpACLGen; entry-map mutators must call bumpEntGen. The lint
+# extracts each mutator's body from internal/fs/fs.go and fails if the
+# required bump call is missing.
+check_bump() {
+	fn="$1"
+	want="$2"
+	body=$(awk -v fn="$fn" '
+		$0 ~ "^func \\(h \\*Hierarchy\\) " fn "\\(" { in_fn = 1 }
+		in_fn { print }
+		in_fn && /^}/ { exit }
+	' internal/fs/fs.go)
+	if [ -z "$body" ]; then
+		echo "cache-invalidation lint: mutator $fn not found in internal/fs/fs.go" >&2
+		exit 1
+	fi
+	if ! printf '%s' "$body" | grep -q "$want"; then
+		echo "cache-invalidation lint: $fn does not call $want — a cached decision could outlive the mutation" >&2
+		exit 1
+	fi
+}
+check_bump Create bumpEntGen
+check_bump AddLink bumpEntGen
+check_bump Delete bumpEntGen
+check_bump Delete bumpACLGen
+check_bump Rename bumpEntGen
+check_bump SetACL bumpACLGen
+check_bump RemoveACL bumpACLGen
+check_bump Reclassify bumpACLGen
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -140,6 +174,20 @@ case "$out" in
 esac
 if ! echo "$out" | grep -q 'identical=true'; then
 	echo "E17 fleet: session digests not identical across kernel counts" >&2
+	exit 1
+fi
+
+echo "== hierarchy-scale smoke (E18: million-segment tree, >=10x cached resolution, revocation-safe)"
+out=$(go run ./cmd/experiments -run E18)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E18 hierarchy scale did not meet its claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'sweep digests identical across par 1/8 and uncached: true'; then
+	echo "E18: revocation sweep digests not identical across parallelism / cache modes" >&2
 	exit 1
 fi
 
