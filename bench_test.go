@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/acl"
 	"repro/internal/audit"
+	"repro/internal/blockstore"
 	"repro/internal/boot"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -740,6 +741,96 @@ func BenchmarkE17FleetScaling(b *testing.B) {
 			b.ReportMetric(rep.Throughput, "req/kcy")
 			b.ReportMetric(float64(rep.MaxCycles), "max-vcycles")
 			b.ReportMetric(float64(rep.Migrations), "migrations")
+		})
+	}
+}
+
+// e19PageOutBatch drives one fixed page-out storm: each page is
+// materialized in core, written a distinct word, and evicted straight to
+// the disk level, where the backing store absorbs the write. Every batch
+// pushes the same page population through the same path; only the
+// backing differs between arms. Returns the batch's wall time.
+func e19PageOutBatch(b *testing.B, backing mem.BackingStore) time.Duration {
+	b.Helper()
+	const pages = 4096
+	cfg := mem.DefaultConfig()
+	cfg.CoreFrames = 64
+	cfg.BulkBlocks = 64
+	cfg.Backing = backing
+	store, err := mem.NewStore(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.CreateSegment(1, pages*cfg.PageWords); err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Now()
+	for p := 0; p < pages; p++ {
+		f, err := store.MaterializeZero(mem.PageID{SegUID: 1, Index: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.WriteWord(f, p%cfg.PageWords, uint64(p)*0x9E3779B97F4A7C15); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.EvictToDisk(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(t0)
+}
+
+// BenchmarkE19JournaledPageOut prices the durability the E19 recovery
+// story buys: the same eviction storm against the volatile in-memory
+// backing and against the content-addressed journaled blockstore. The
+// journaled arm hashes, frames, and CRCs every evicted page into the
+// journal; the acceptance bar is that the whole page-out path stays
+// within 2x of volatile, asserted on a fixed batch with min-of-rounds
+// so the claim does not depend on -benchtime or a load spike.
+func BenchmarkE19JournaledPageOut(b *testing.B) {
+	newJournaled := func() mem.BackingStore {
+		bs, _, err := blockstore.Open(blockstore.Config{Media: blockstore.NewMemMedia()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return bs
+	}
+	// Like E18: keep background GC cycles (triggered by the journaled
+	// arm's own retained heap) from stealing CPU mid-batch, and let
+	// min-of-rounds absorb what remains.
+	defer debug.SetGCPercent(debug.SetGCPercent(1000))
+	e19PageOutBatch(b, mem.NewMemStore())
+	e19PageOutBatch(b, newJournaled())
+	volatileBest, journaledBest := time.Duration(1<<62), time.Duration(1<<62)
+	for r := 0; r < 5; r++ {
+		runtime.GC()
+		if d := e19PageOutBatch(b, mem.NewMemStore()); d < volatileBest {
+			volatileBest = d
+		}
+		runtime.GC()
+		if d := e19PageOutBatch(b, newJournaled()); d < journaledBest {
+			journaledBest = d
+		}
+	}
+	ratio := float64(journaledBest) / float64(volatileBest)
+	if ratio > 2 {
+		b.Fatalf("journaled page-out %.2fx of volatile (want <= 2x): %v vs %v",
+			ratio, journaledBest, volatileBest)
+	}
+	for _, arm := range []struct {
+		name    string
+		backing func() mem.BackingStore
+	}{
+		{"volatile", func() mem.BackingStore { return mem.NewMemStore() }},
+		{"journaled", newJournaled},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var d time.Duration
+			for i := 0; i < b.N; i++ {
+				d = e19PageOutBatch(b, arm.backing())
+			}
+			b.ReportMetric(float64(d.Nanoseconds())/4096, "ns/page-out")
+			b.ReportMetric(ratio, "journaled-vs-volatile-x")
 		})
 	}
 }

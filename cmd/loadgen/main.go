@@ -35,13 +35,29 @@
 // internal/fleet); -migrate-every K live-migrates every session to the
 // next kernel after every K bursts. The per-session transcript digest
 // is byte-identical at any kernel count and migration cadence.
+//
+// With -store PATH the kernel runs over the durable content-addressed
+// blockstore journaled at PATH instead of the volatile default:
+//
+//	loadgen -n 32 -store /tmp/s.journal                    # durable page-outs
+//	loadgen -n 32 -store /tmp/s.journal -checkpoint-every 8  # checkpoint per window
+//	loadgen -n 32 -store /tmp/s.journal -restore             # resume the last checkpoint
+//
+// -checkpoint-every K replays the scripts in windows of K steps and
+// checkpoints after each window, stashing the transcript in the
+// manifest. -restore skips the boot, rebuilds the kernel from the
+// store's last checkpoint (kill the process mid-run to exercise it),
+// and replays only the steps the checkpoint had not covered; the final
+// transcript digest equals an uninterrupted run's.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
+	"repro/internal/blockstore"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -66,6 +82,11 @@ type options struct {
 	migrateEvery int
 	compare      bool
 	metrics      bool
+	// store/ckptEvery/restore select the durable-backing path; the fleet
+	// and the legacy comparison are volatile by construction.
+	store     string
+	ckptEvery int
+	restore   bool
 }
 
 // validate rejects contradictory or out-of-range flag combinations.
@@ -115,6 +136,24 @@ func validate(o options) error {
 	if o.kernels > 1 && o.metrics {
 		return fmt.Errorf("-metrics with -kernels %d: live sampling is single-kernel; fleet counters print in the report", o.kernels)
 	}
+	if o.ckptEvery < 0 {
+		return fmt.Errorf("-checkpoint-every %d: cannot be negative", o.ckptEvery)
+	}
+	if o.ckptEvery > 0 && o.store == "" {
+		return fmt.Errorf("-checkpoint-every without -store: checkpoints need a durable store to land in")
+	}
+	if o.restore && o.store == "" {
+		return fmt.Errorf("-restore without -store: there is no journal to restore from")
+	}
+	if o.store != "" && o.kernels > 1 {
+		return fmt.Errorf("-store with -kernels %d: the fleet members are volatile; durable backing is single-kernel", o.kernels)
+	}
+	if o.store != "" && o.compare {
+		return fmt.Errorf("-compare with -store: the legacy path predates the backing store")
+	}
+	if o.restore && o.faultRate > 0 {
+		return fmt.Errorf("-fault-rate with -restore: the fault plan is not part of the checkpoint; restore boots without one")
+	}
 	return nil
 }
 
@@ -133,6 +172,9 @@ func main() {
 	metricsEvery := flag.Int64("metrics-every", 10000, "sampling period for -metrics, in virtual cycles")
 	kernels := flag.Int("kernels", 1, "fleet size: shard the sessions across this many independent kernels")
 	migrateEvery := flag.Int("migrate-every", 0, "live-migrate every session after every K bursts (needs -kernels > 1)")
+	storePath := flag.String("store", "", "journal file for the durable backing store; empty keeps the volatile store")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after every K steps (needs -store)")
+	restore := flag.Bool("restore", false, "resume from the last checkpoint in -store instead of booting fresh")
 	flag.Parse()
 
 	o := options{
@@ -141,6 +183,7 @@ func main() {
 		metricsEvery: *metricsEvery,
 		kernels:      *kernels, migrateEvery: *migrateEvery,
 		compare: *compare, metrics: *showMetrics,
+		store: *storePath, ckptEvery: *ckptEvery, restore: *restore,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fault-seed" {
@@ -156,6 +199,18 @@ func main() {
 	cfg := workload.Config{
 		Conns: *n, Steps: *steps, Burst: *burst, Users: *users, Seed: *seed,
 		Parallelism: *par,
+	}
+
+	if o.store != "" {
+		if o.faultRate > 0 {
+			spec := faults.UniformSpec(*faultSeed, o.faultRate, 0)
+			cfg.Faults = &spec
+		}
+		if err := runDurable(o, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *kernels > 1 {
@@ -232,4 +287,147 @@ func main() {
 			legacy.Stats.InputLost+legacy.Stats.ReplyLost, legacy.Sent,
 			*stage, rep.Stats.InputLost+rep.Stats.ReplyLost, rep.Sent)
 	}
+}
+
+// Manifest Meta keys the durable path stashes so -restore can resume the
+// run where the last checkpoint left it.
+const (
+	metaTranscript = "loadgen.transcript"
+	metaNextStep   = "loadgen.next"
+)
+
+// runDurable is the -store path: the workload replays in windows over a
+// file-journaled blockstore, checkpointing between windows when asked,
+// or resuming a prior run's checkpoint with -restore.
+func runDurable(o options, cfg workload.Config) error {
+	media, err := blockstore.OpenFileMedia(o.store)
+	if err != nil {
+		return err
+	}
+	bs, rec, err := blockstore.Open(blockstore.Config{Media: media})
+	if err != nil {
+		media.Close()
+		return err
+	}
+	if rec.Truncated {
+		fmt.Fprintf(os.Stderr, "loadgen: store: torn tail truncated (%d bytes lost, %d records replayed)\n",
+			rec.TornBytes, rec.Records)
+	}
+
+	var (
+		sys   *multics.System
+		tr    *workload.Transcript
+		start int
+	)
+	if o.restore {
+		// The manifest pins the stage and the memory geometry comes from
+		// the same config a fresh boot would use; the store itself is
+		// adopted by Restore, so cfg.Backing stays nil here.
+		mc := workload.MemConfig(cfg)
+		k, res, err := core.Restore(core.Config{Mem: &mc}, bs)
+		if err != nil {
+			return fmt.Errorf("restore: %w", err)
+		}
+		sys, err = multics.Adopt(k)
+		if err != nil {
+			return err
+		}
+		// The user registry is outside the checkpoint by design.
+		if err := workload.RegisterUsers(sys, cfg); err != nil {
+			sys.Shutdown()
+			return err
+		}
+		if snap, ok := res.Meta[metaTranscript]; ok {
+			if tr, err = workload.RestoreTranscript(snap); err != nil {
+				sys.Shutdown()
+				return err
+			}
+		} else {
+			tr = workload.NewTranscript(cfg.Conns)
+		}
+		if next, ok := res.Meta[metaNextStep]; ok {
+			if start, err = strconv.Atoi(next); err != nil {
+				sys.Shutdown()
+				return fmt.Errorf("restore: manifest %s=%q: %w", metaNextStep, next, err)
+			}
+		}
+		fmt.Printf("--- restored checkpoint @%d vcycles: stage S%d, %d segments, %d pages; resuming at step %d\n",
+			res.VCycle, res.Stage, res.Segments, res.Pages, start)
+	} else {
+		cfg.Backing = bs
+		var err error
+		sys, err = workload.Boot(multics.Stage(o.stage), cfg)
+		if err != nil {
+			return fmt.Errorf("boot: %w", err)
+		}
+		tr = workload.NewTranscript(cfg.Conns)
+	}
+
+	if o.metrics {
+		live := trace.SinkFunc(func(ev trace.Event) {
+			if ev.Stage == trace.StageMetrics {
+				fmt.Fprintf(os.Stderr, "loadgen: [metrics @%d] %s\n", ev.At, ev.Detail)
+			}
+		})
+		sys.Kernel.EnableMetricsSampler(o.metricsEvery, live)
+	}
+
+	window := o.ckptEvery
+	if window <= 0 {
+		window = o.steps
+	}
+	checkpoints := 0
+	for lo := start; lo < o.steps; lo += window {
+		hi := lo + window
+		if hi > o.steps {
+			hi = o.steps
+		}
+		if err := workload.RunWindow(sys, cfg, tr, lo, hi); err != nil {
+			sys.Shutdown()
+			return fmt.Errorf("window [%d,%d): %w", lo, hi, err)
+		}
+		if o.ckptEvery > 0 {
+			snap, err := tr.Snapshot()
+			if err != nil {
+				sys.Shutdown()
+				return err
+			}
+			rep, err := sys.Checkpoint(map[string]string{
+				metaTranscript: snap,
+				metaNextStep:   strconv.Itoa(hi),
+			})
+			if err != nil {
+				sys.Shutdown()
+				return fmt.Errorf("checkpoint after step %d: %w", hi, err)
+			}
+			checkpoints++
+			fmt.Printf("--- checkpoint @%d vcycles: %d segments, %d pages flushed, manifest %dB\n",
+				rep.VCycle, rep.Segments, rep.PagesFlushed, rep.ManifestBytes)
+		}
+	}
+	if start >= o.steps {
+		fmt.Printf("--- checkpoint already covers all %d steps; nothing to replay\n", o.steps)
+	}
+
+	sent, received, throttled := tr.Counts()
+	fmt.Printf("--- stage S%d over durable store %s\n", o.stage, o.store)
+	fmt.Printf("sent %d received %d throttled %d  checkpoints %d\n", sent, received, throttled, checkpoints)
+	fmt.Printf("transcript digest %s\n", tr.Digest())
+	st := bs.StoreStats()
+	fmt.Printf("store: %d live blocks (%d distinct contents), %d writes (%d dedup hits), %d frees, %d syncs, %dB journaled\n",
+		st.Blocks, st.ContentBlocks, st.Writes, st.DedupHits, st.Frees, st.Syncs, st.BytesAppended)
+	if o.metrics {
+		svc := sys.Kernel.Services()
+		if s := sys.Kernel.Sampler(); s != nil {
+			s.Flush(svc.Clock.Now())
+		}
+		fmt.Printf("--- metrics snapshot\n%s", svc.Metrics.Snapshot().Compact().Text())
+	}
+	sys.Shutdown()
+	// Make the final state durable before handing the journal back: a
+	// clean exit should leave nothing for the next open's tear to lose.
+	if err := bs.Sync(); err != nil {
+		return err
+	}
+	return bs.Close()
 }

@@ -1,0 +1,371 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/bits"
+
+	"repro/internal/mem"
+)
+
+// Journal record framing. Every record is:
+//
+//	magic  uint32  (recMagic)
+//	kind   uint8
+//	plen   uint32  payload length in bytes
+//	crc    uint32  CRC-32C over kind, plen, payload
+//	payload
+//
+// all little-endian. Appends are whole records, so a crash leaves either a
+// clean record boundary or a torn final record — a strict prefix of a valid
+// frame. Replay exploits that: damage that reaches end-of-journal is a torn
+// tail and is truncated away; damage with valid bytes after it can only be
+// real corruption and fails loudly (ErrCorrupt). Nothing recovers silently.
+const (
+	recMagic   = 0x424a4c31 // "BJL1"
+	recHdrSize = 13
+)
+
+// Record kinds.
+const (
+	kindWrite      = uint8(1) // pid + ref + block words: new content
+	kindMap        = uint8(2) // pid + ref: write deduplicated to known content
+	kindFree       = uint8(3) // pid: block dropped
+	kindCheckpoint = uint8(4) // manifest + full pid->ref map at the barrier
+	kindRevert     = uint8(5) // live map reset to the last checkpoint's
+)
+
+// ErrCorrupt reports journal damage that cannot be a torn tail: bytes in
+// the durable prefix fail their CRC, reference unknown content, or break
+// record sequencing. Opening such a journal fails; it never half-loads.
+var ErrCorrupt = errors.New("blockstore: journal corrupt")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ref is a 128-bit content address: two independent word-folded FNV-1a
+// accumulators finished with the murmur fmix64 avalanche (the fleet ring's
+// trick, reused here for the same reason — raw FNV clusters). sha256 would
+// cost more than the rest of the page-out path combined; 128 fast bits keep
+// content addressing off the hot path's critical cost, and dedup verifies
+// candidate matches byte-for-byte anyway, so a collision is detected, not
+// silently merged.
+type ref struct{ hi, lo uint64 }
+
+func (r ref) String() string { return fmt.Sprintf("%016x%016x", r.hi, r.lo) }
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	refSeed2  = 0x9e3779b97f4a7c15 // splits the second lane off the first
+)
+
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// refOf addresses a block's content.
+func refOf(words []uint64) ref {
+	h1 := uint64(fnvOffset)
+	h2 := uint64(fnvOffset) ^ uint64(refSeed2)
+	for _, w := range words {
+		h1 = (h1 ^ w) * fnvPrime
+		h2 = (h2 ^ bits.RotateLeft64(w, 31)) * fnvPrime
+	}
+	n := uint64(len(words))
+	return ref{hi: fmix64(h1 ^ n), lo: fmix64(h2 ^ (n * fnvPrime))}
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// recEncoder builds one framed record in a reusable buffer.
+type recEncoder struct{ buf []byte }
+
+func (e *recEncoder) begin(kind uint8) {
+	e.buf = e.buf[:0]
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, recMagic)
+	e.buf = append(e.buf, kind)
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, 0) // plen, patched in finish
+	e.buf = binary.LittleEndian.AppendUint32(e.buf, 0) // crc, patched in finish
+}
+
+func (e *recEncoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *recEncoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *recEncoder) pid(p mem.PageID) {
+	e.u64(p.SegUID)
+	e.u64(uint64(int64(p.Index)))
+}
+func (e *recEncoder) ref(r ref) {
+	e.u64(r.hi)
+	e.u64(r.lo)
+}
+func (e *recEncoder) words(ws []uint64) {
+	e.u32(uint32(len(ws)))
+	// Presize once and store with PutUint64: per-word appends are the
+	// hottest serialization in the store (every evicted page passes here).
+	off := len(e.buf)
+	need := off + len(ws)*8
+	if cap(e.buf) < need {
+		e.buf = append(e.buf[:cap(e.buf)], make([]byte, need-cap(e.buf))...)
+	}
+	e.buf = e.buf[:need]
+	for _, w := range ws {
+		binary.LittleEndian.PutUint64(e.buf[off:], w)
+		off += 8
+	}
+}
+func (e *recEncoder) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+// finish patches length and CRC and returns the framed record.
+func (e *recEncoder) finish() []byte {
+	plen := uint32(len(e.buf) - recHdrSize)
+	binary.LittleEndian.PutUint32(e.buf[5:9], plen)
+	crc := crc32.Checksum(e.buf[4:9], crcTable)           // kind + plen
+	crc = crc32.Update(crc, crcTable, e.buf[recHdrSize:]) // payload
+	binary.LittleEndian.PutUint32(e.buf[9:recHdrSize], crc)
+	return e.buf
+}
+
+// recDecoder reads payload fields with saturating error state.
+type recDecoder struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (d *recDecoder) u32() uint32 {
+	if d.bad || d.off+4 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *recDecoder) u64() uint64 {
+	if d.bad || d.off+8 > len(d.p) {
+		d.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *recDecoder) pid() mem.PageID {
+	uid := d.u64()
+	idx := int64(d.u64())
+	return mem.PageID{SegUID: uid, Index: int(idx)}
+}
+
+func (d *recDecoder) ref() ref {
+	hi := d.u64()
+	lo := d.u64()
+	return ref{hi: hi, lo: lo}
+}
+
+func (d *recDecoder) words() []uint64 {
+	n := d.u32()
+	if d.bad || d.off+int(n)*8 > len(d.p) {
+		d.bad = true
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(d.p[d.off:])
+		d.off += 8
+	}
+	return out
+}
+
+func (d *recDecoder) bytes() []byte {
+	n := d.u32()
+	if d.bad || d.off+int(n) > len(d.p) {
+		d.bad = true
+		return nil
+	}
+	out := append([]byte(nil), d.p[d.off:d.off+int(n)]...)
+	d.off += int(n)
+	return out
+}
+
+// RecoveryReport describes what replay found when a journal was opened.
+type RecoveryReport struct {
+	Records     int   `json:"records"`      // valid records applied
+	Writes      int   `json:"writes"`       // kindWrite records
+	Maps        int   `json:"maps"`         // kindMap (deduplicated writes)
+	Frees       int   `json:"frees"`        // kindFree records
+	Checkpoints int   `json:"checkpoints"`  // kindCheckpoint records
+	Reverts     int   `json:"reverts"`      // kindRevert records
+	TornBytes   int64 `json:"torn_bytes"`   // bytes discarded from a torn tail
+	Truncated   bool  `json:"truncated"`    // journal was cut back to the last whole record
+	JournalSize int64 `json:"journal_size"` // size after recovery
+}
+
+// replayState is the in-memory image replay rebuilds.
+type replayState struct {
+	index   map[mem.PageID]ref
+	content map[ref][]uint64
+	ckpt    map[mem.PageID]ref // nil until a checkpoint record
+	manifest []byte
+}
+
+// replay scans the journal bytes, applies every whole valid record, and
+// classifies damage: torn tail (recoverable, truncated) vs corruption
+// (ErrCorrupt). It returns the rebuilt state, the report, and the byte
+// offset the journal should be truncated to (== len(data) when intact).
+func replay(data []byte) (*replayState, *RecoveryReport, int64, error) {
+	st := &replayState{
+		index:   make(map[mem.PageID]ref),
+		content: make(map[ref][]uint64),
+	}
+	rep := &RecoveryReport{}
+	off := 0
+	for off < len(data) {
+		remain := len(data) - off
+		if remain < recHdrSize {
+			return st, rep, torn(rep, off, len(data)), nil
+		}
+		if binary.LittleEndian.Uint32(data[off:]) != recMagic {
+			return nil, nil, 0, fmt.Errorf("%w: bad record magic at offset %d", ErrCorrupt, off)
+		}
+		kind := data[off+4]
+		plen := int(binary.LittleEndian.Uint32(data[off+5:]))
+		if remain < recHdrSize+plen {
+			// The frame runs past end-of-journal: a torn final append.
+			return st, rep, torn(rep, off, len(data)), nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+9:])
+		payload := data[off+recHdrSize : off+recHdrSize+plen]
+		crc := crc32.Checksum(data[off+4:off+5], crcTable)
+		crc = crc32.Update(crc, crcTable, data[off+5:off+9])
+		crc = crc32.Update(crc, crcTable, payload)
+		if crc != wantCRC {
+			return nil, nil, 0, fmt.Errorf("%w: CRC mismatch in %s record at offset %d", ErrCorrupt, kindName(kind), off)
+		}
+		if err := applyRecord(st, rep, kind, payload, off); err != nil {
+			return nil, nil, 0, err
+		}
+		rep.Records++
+		off += recHdrSize + plen
+	}
+	rep.JournalSize = int64(len(data))
+	return st, rep, int64(len(data)), nil
+}
+
+// torn records a torn-tail truncation at offset off.
+func torn(rep *RecoveryReport, off, size int) int64 {
+	rep.TornBytes = int64(size - off)
+	rep.Truncated = true
+	rep.JournalSize = int64(off)
+	return int64(off)
+}
+
+func kindName(kind uint8) string {
+	switch kind {
+	case kindWrite:
+		return "write"
+	case kindMap:
+		return "map"
+	case kindFree:
+		return "free"
+	case kindCheckpoint:
+		return "checkpoint"
+	case kindRevert:
+		return "revert"
+	default:
+		return fmt.Sprintf("kind-%d", kind)
+	}
+}
+
+func applyRecord(st *replayState, rep *RecoveryReport, kind uint8, payload []byte, off int) error {
+	d := &recDecoder{p: payload}
+	switch kind {
+	case kindWrite:
+		pid := d.pid()
+		r := d.ref()
+		words := d.words()
+		if d.bad {
+			return fmt.Errorf("%w: short write record at offset %d", ErrCorrupt, off)
+		}
+		// End-to-end integrity beyond the CRC: the payload must still
+		// hash to the address it was stored under.
+		if refOf(words) != r {
+			return fmt.Errorf("%w: content of block %v does not match its address %v (offset %d)", ErrCorrupt, pid, r, off)
+		}
+		st.content[r] = words
+		st.index[pid] = r
+		rep.Writes++
+	case kindMap:
+		pid := d.pid()
+		r := d.ref()
+		if d.bad {
+			return fmt.Errorf("%w: short map record at offset %d", ErrCorrupt, off)
+		}
+		if _, ok := st.content[r]; !ok {
+			return fmt.Errorf("%w: map record for block %v references unknown content %v (offset %d)", ErrCorrupt, pid, r, off)
+		}
+		st.index[pid] = r
+		rep.Maps++
+	case kindFree:
+		pid := d.pid()
+		if d.bad {
+			return fmt.Errorf("%w: short free record at offset %d", ErrCorrupt, off)
+		}
+		delete(st.index, pid)
+		rep.Frees++
+	case kindCheckpoint:
+		manifest := d.bytes()
+		n := d.u32()
+		if d.bad {
+			return fmt.Errorf("%w: short checkpoint record at offset %d", ErrCorrupt, off)
+		}
+		ckpt := make(map[mem.PageID]ref, n)
+		for i := 0; i < int(n); i++ {
+			pid := d.pid()
+			r := d.ref()
+			if d.bad {
+				return fmt.Errorf("%w: short checkpoint map at offset %d", ErrCorrupt, off)
+			}
+			if _, ok := st.content[r]; !ok {
+				return fmt.Errorf("%w: checkpoint references unknown content %v for block %v (offset %d)", ErrCorrupt, r, pid, off)
+			}
+			ckpt[pid] = r
+		}
+		st.ckpt = ckpt
+		st.manifest = manifest
+		rep.Checkpoints++
+	case kindRevert:
+		if st.ckpt == nil {
+			return fmt.Errorf("%w: revert record with no prior checkpoint (offset %d)", ErrCorrupt, off)
+		}
+		st.index = make(map[mem.PageID]ref, len(st.ckpt))
+		for pid, r := range st.ckpt {
+			st.index[pid] = r
+		}
+		rep.Reverts++
+	default:
+		return fmt.Errorf("%w: unknown record kind %d at offset %d", ErrCorrupt, kind, off)
+	}
+	return nil
+}

@@ -193,6 +193,19 @@ type Kernel struct {
 
 // New constructs and boots a kernel at the configured stage.
 func New(cfg Config) (*Kernel, error) {
+	return build(cfg, nil)
+}
+
+// restoreState carries a decoded checkpoint through build's restore path.
+type restoreState struct {
+	man     *Manifest
+	backing mem.BackingStore
+}
+
+// build is the construction path shared by New (rst == nil: fresh boot)
+// and Restore (rst != nil: rebuild layer-1 and layer-2 state from the
+// checkpoint manifest instead of bootstrapping).
+func build(cfg Config, rst *restoreState) (*Kernel, error) {
 	if cfg.Stage < 0 || cfg.Stage >= NumStages {
 		return nil, fmt.Errorf("core: invalid stage %d", int(cfg.Stage))
 	}
@@ -230,14 +243,32 @@ func New(cfg Config) (*Kernel, error) {
 	if memCfg.Metrics == nil {
 		memCfg.Metrics = k.metrics
 	}
+	if rst != nil {
+		memCfg.Backing = rst.backing
+		if memCfg.PageWords != rst.man.PageWords {
+			return nil, fmt.Errorf("core: restore page size %d does not match checkpoint page size %d",
+				memCfg.PageWords, rst.man.PageWords)
+		}
+	}
 	var err error
 	k.store, err = mem.NewStore(memCfg)
 	if err != nil {
 		return nil, fmt.Errorf("core: building memory hierarchy: %w", err)
 	}
-	k.hier, err = fs.New(k.store, cfg.RootLabel)
-	if err != nil {
-		return nil, fmt.Errorf("core: building file hierarchy: %w", err)
+	// A durable backing store opened before the kernel existed publishes
+	// into a private registry; adopt it into the kernel's measurement
+	// plane. The structural assertion keeps core free of a blockstore
+	// import — any store with the rebind surface joins.
+	if sm, ok := k.store.Backing().(interface{ SetMetrics(*metrics.Registry) }); ok {
+		sm.SetMetrics(k.metrics)
+	}
+	if rst == nil {
+		k.hier, err = fs.New(k.store, cfg.RootLabel)
+		if err != nil {
+			return nil, fmt.Errorf("core: building file hierarchy: %w", err)
+		}
+	} else if err := k.restoreStorage(rst); err != nil {
+		return nil, fmt.Errorf("core: restoring from checkpoint: %w", err)
 	}
 	k.hier.SetMetrics(k.metrics)
 	if cfg.Faults != nil {
@@ -285,6 +316,10 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k.modules = stageModules(cfg.Stage)
 
+	if rst != nil {
+		k.restoreBoot(rst.man)
+		return k, nil
+	}
 	if err := k.initialize(); err != nil {
 		return nil, fmt.Errorf("core: initializing: %w", err)
 	}

@@ -20,11 +20,12 @@ type Counts struct {
 	ConnResets       int64
 	ConnStalls       int64
 	CrashCorruptions int64
+	StoreTears       int64
 }
 
 // Total sums every injected fault.
 func (c Counts) Total() int64 {
-	return c.MemIO + c.TornWrites + c.IntLost + c.IntDup + c.ConnResets + c.ConnStalls + c.CrashCorruptions
+	return c.MemIO + c.TornWrites + c.IntLost + c.IntDup + c.ConnResets + c.ConnStalls + c.CrashCorruptions + c.StoreTears
 }
 
 // Injector interposes a compiled Plan on the live kernel. One value
@@ -49,6 +50,7 @@ type Injector struct {
 
 	memIO, torn, intLost, intDup  atomic.Int64
 	connResets, connStalls, crash atomic.Int64
+	storeTears                    atomic.Int64
 }
 
 // occKey identifies one entity at one injection point.
@@ -77,6 +79,7 @@ func (in *Injector) Counts() Counts {
 		ConnResets:       in.connResets.Load(),
 		ConnStalls:       in.connStalls.Load(),
 		CrashCorruptions: in.crash.Load(),
+		StoreTears:       in.storeTears.Load(),
 	}
 }
 

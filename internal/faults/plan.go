@@ -51,6 +51,12 @@ const (
 	PointConnStall
 	// PointCrash: an object is corrupted by the simulated crash.
 	PointCrash
+	// PointStoreTear: the backing store's journal loses part of its
+	// unsynced tail in the simulated crash. The point has no rate — the
+	// crash driver always tears when handed a journal — but its decision
+	// hash picks, deterministically per plan, how many unsynced bytes
+	// survive.
+	PointStoreTear
 	numPoints
 )
 
@@ -70,6 +76,8 @@ func (p Point) String() string {
 		return "conn-stall"
 	case PointCrash:
 		return "crash-corrupt"
+	case PointStoreTear:
+		return "store-tear"
 	default:
 		return "?"
 	}

@@ -1,0 +1,100 @@
+package fs
+
+import (
+	"fmt"
+
+	"repro/internal/acl"
+	"repro/internal/mls"
+)
+
+// ListPage returns up to limit entries of directory dirUID in name order,
+// starting strictly after cursor (empty cursor starts from the beginning),
+// plus the cursor to pass for the next page — "" when the listing is
+// exhausted. The cursor is the last name returned, so pagination is stable
+// under concurrent mutation: entries created or deleted between pages never
+// shift or repeat names the caller has already seen, they only appear (or
+// vanish) in their name-ordered position.
+//
+// Each page costs O(n log limit) via bounded-heap selection rather than the
+// O(n log n) full sort List pays — the difference between paging a
+// million-entry directory and copying it per page.
+func (h *Hierarchy) ListPage(who acl.Principal, subj mls.Label, dirUID uint64, cursor string, limit int) ([]DirEntry, string, error) {
+	if limit <= 0 {
+		return nil, "", fmt.Errorf("fs: ListPage limit %d must be positive", limit)
+	}
+	dir, err := h.directory(dirUID)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := h.checkDir(dir, who, subj, acl.ModeStatus); err != nil {
+		return nil, "", err
+	}
+	h.ops.lookups.Inc()
+
+	// Bounded max-heap over entry names: keep the `limit` smallest names
+	// beyond the cursor; every further candidate evicts the current
+	// maximum. remaining counts candidates that did not fit — nonzero
+	// means another page exists.
+	heap := make([]DirEntry, 0, limit)
+	remaining := 0
+	dir.mu.RLock()
+	for _, e := range dir.entries {
+		if e.Name <= cursor && cursor != "" {
+			continue
+		}
+		if len(heap) < limit {
+			heap = append(heap, *e)
+			siftUp(heap, len(heap)-1)
+			continue
+		}
+		if e.Name >= heap[0].Name {
+			remaining++
+			continue
+		}
+		remaining++
+		heap[0] = *e
+		siftDown(heap, 0)
+	}
+	dir.mu.RUnlock()
+
+	// Drain the heap into ascending order in place: repeatedly swap the
+	// max to the end and shrink.
+	for end := len(heap) - 1; end > 0; end-- {
+		heap[0], heap[end] = heap[end], heap[0]
+		siftDown(heap[:end], 0)
+	}
+	next := ""
+	if remaining > 0 && len(heap) > 0 {
+		next = heap[len(heap)-1].Name
+	}
+	return heap, next, nil
+}
+
+func siftUp(h []DirEntry, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].Name >= h[i].Name {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []DirEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && h[l].Name > h[big].Name {
+			big = l
+		}
+		if r < len(h) && h[r].Name > h[big].Name {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}

@@ -53,7 +53,7 @@ func TestSalvageDetectsAndRepairsOrphan(t *testing.T) {
 	if rep.Count(OrphanObject) != 1 || !rep.Problems[0].Repaired {
 		t.Fatalf("repair run: %v", rep.Problems)
 	}
-	uid, err := h.ResolvePath(alice, unc, ">lost+found>orphan."+hex(uids["a"]))
+	uid, err := h.ResolvePath(alice, unc, ">lost+found>orphan."+hexUint(uids["a"]))
 	if err != nil || uid != uids["a"] {
 		t.Errorf("recovered orphan = %#x, %v", uid, err)
 	}
@@ -67,7 +67,7 @@ func TestSalvageDetectsAndRepairsOrphan(t *testing.T) {
 	}
 }
 
-func hex(v uint64) string {
+func hexUint(v uint64) string {
 	const digits = "0123456789abcdef"
 	if v == 0 {
 		return "0"

@@ -26,6 +26,10 @@ func TestClassify(t *testing.T) {
 		{&machine.Fault{Class: machine.FaultAccess}, ClassAccessDenied},
 		{&machine.Fault{Class: machine.FaultSegment}, ClassFailed},
 		{mem.ErrBusy, ClassBusy},
+		{mem.ErrOutOfRange, ClassBadArgs},
+		{fmt.Errorf("%w: offset 99", mem.ErrOutOfRange), ClassBadArgs},
+		{mem.ErrSegmentGone, ClassFailed},
+		{fmt.Errorf("%w: segment 7", mem.ErrSegmentGone), ClassFailed},
 		{errors.New("anything else"), ClassFailed},
 	}
 	for _, c := range cases {

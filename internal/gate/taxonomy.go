@@ -97,5 +97,15 @@ func Classify(err error) Class {
 	if errors.Is(err, mem.ErrBusy) {
 		return ClassBusy
 	}
+	// Storage-reference errors from mem.PagedBacking.locate: an offset
+	// outside the segment is the caller's malformed argument; a reference
+	// through a deleted segment is a kernel-side failure (explicit here so
+	// the bucketing is a decision, not a fallthrough).
+	if errors.Is(err, mem.ErrOutOfRange) {
+		return ClassBadArgs
+	}
+	if errors.Is(err, mem.ErrSegmentGone) {
+		return ClassFailed
+	}
 	return ClassFailed
 }

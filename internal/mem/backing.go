@@ -1,9 +1,22 @@
 package mem
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/machine"
+)
+
+// Classified errors for segment references through a PagedBacking. They
+// exist so the gate error taxonomy can bucket storage references without
+// string matching: a stale reference to a deleted segment is a kernel-side
+// failure, an out-of-range offset is the caller's bad argument.
+var (
+	// ErrSegmentGone reports a reference through a backing whose segment
+	// has been deleted out from under it.
+	ErrSegmentGone = errors.New("mem: segment deleted")
+	// ErrOutOfRange reports an offset outside the segment's length.
+	ErrOutOfRange = errors.New("mem: offset outside segment")
 )
 
 // PagedBacking adapts one segment of the Store to the machine.Backing
@@ -31,10 +44,10 @@ func (b *PagedBacking) UID() uint64 { return b.uid }
 func (b *PagedBacking) locate(off int) (FrameID, int, error) {
 	sp, ok := b.store.Segment(b.uid)
 	if !ok {
-		return 0, 0, fmt.Errorf("mem: segment %#x deleted", b.uid)
+		return 0, 0, fmt.Errorf("%w: segment %#x", ErrSegmentGone, b.uid)
 	}
 	if length := sp.Length(); off < 0 || off >= length {
-		return 0, 0, fmt.Errorf("mem: offset %d outside segment %#x length %d", off, b.uid, length)
+		return 0, 0, fmt.Errorf("%w: offset %d, segment %#x length %d", ErrOutOfRange, off, b.uid, length)
 	}
 	page := off / b.store.cfg.PageWords
 	pid := PageID{SegUID: b.uid, Index: page}

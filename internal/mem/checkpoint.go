@@ -1,0 +1,95 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checkpoint support: the kernel's checkpoint flushes every materialized
+// page through the backing store without moving it, and restore re-adopts
+// segments with their pages at the disk level. Both ends live here because
+// they need the page-table and stripe locks.
+
+// FlushSegment writes a durable copy of every materialized page of uid
+// through the backing store, leaving live locations untouched, and returns
+// the sorted indexes of the materialized pages. Pages already at the disk
+// level are durable by definition and are not rewritten. The caller is
+// responsible for the durability barrier (BackingStore.Sync or Checkpoint).
+func (s *Store) FlushSegment(uid uint64) ([]int, error) {
+	sp, ok := s.seg(uid)
+	if !ok {
+		return nil, fmt.Errorf("mem: segment %#x does not exist", uid)
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.deleted {
+		return nil, fmt.Errorf("mem: segment %#x does not exist", uid)
+	}
+	idxs := make([]int, 0, len(sp.pages))
+	for idx, loc := range sp.pages {
+		pid := PageID{SegUID: uid, Index: idx}
+		var data []uint64
+		switch loc.Level {
+		case LevelCore:
+			fi := int(loc.Frame) & stripeMask
+			s.frameMu[fi].Lock()
+			fr := &s.frames[loc.Frame]
+			if fr.free || fr.pid != pid {
+				s.frameMu[fi].Unlock()
+				return nil, fmt.Errorf("mem: flush of %v found frame %d inconsistent", pid, loc.Frame)
+			}
+			data = append([]uint64(nil), fr.data...)
+			s.frameMu[fi].Unlock()
+		case LevelBulk:
+			bi := int(loc.Block) & stripeMask
+			s.blockMu[bi].Lock()
+			bl := &s.blocks[loc.Block]
+			if bl.free || bl.pid != pid {
+				s.blockMu[bi].Unlock()
+				return nil, fmt.Errorf("mem: flush of %v found block %d inconsistent", pid, loc.Block)
+			}
+			data = append([]uint64(nil), bl.data...)
+			s.blockMu[bi].Unlock()
+		case LevelDisk:
+			idxs = append(idxs, idx)
+			continue
+		default:
+			continue
+		}
+		if err := s.backing.WriteBlock(pid, data); err != nil {
+			return nil, fmt.Errorf("mem: flush of %v: %w", pid, err)
+		}
+		s.ckptFlushes.Inc()
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// AdoptSegment registers a segment restored from a checkpoint manifest with
+// the listed pages resident at the disk level. The durable copies must
+// already be present in the backing store's live map (RevertToCheckpoint
+// puts them there); AdoptSegment verifies nothing — the restore path does,
+// by reading the pages back.
+func (s *Store) AdoptSegment(uid uint64, length int, pages []int) error {
+	if length < 0 {
+		return fmt.Errorf("mem: negative segment length %d", length)
+	}
+	numPages := (length + s.cfg.PageWords - 1) / s.cfg.PageWords
+	for _, idx := range pages {
+		if idx < 0 || idx >= numPages {
+			return fmt.Errorf("mem: adopted page %d outside segment %#x (%d pages)", idx, uid, numPages)
+		}
+	}
+	s.segMu.Lock()
+	defer s.segMu.Unlock()
+	if _, ok := s.segs[uid]; ok {
+		return fmt.Errorf("mem: segment %#x already exists", uid)
+	}
+	sp := &SegmentPages{UID: uid, length: length, pages: make(map[int]Location, len(pages))}
+	for _, idx := range pages {
+		sp.pages[idx] = Location{Level: LevelDisk}
+	}
+	s.segs[uid] = sp
+	return nil
+}

@@ -81,6 +81,10 @@ type Config struct {
 	// transfer and contention counters into (mem.* names). When nil the
 	// store uses a private registry so Stats keeps working standalone.
 	Metrics *metrics.Registry
+	// Backing, when set, is the durable block layer under the disk
+	// level. When nil the store uses a fresh volatile MemStore — the
+	// historical behavior.
+	Backing BackingStore
 }
 
 // DefaultConfig returns a hierarchy sized for the experiments: a small core
@@ -176,9 +180,9 @@ type freeShard struct {
 // sharded, and transfer statistics are atomics — there is no global lock.
 //
 // Lock order (outermost first): segs map -> one segment's page table -> one
-// frame/block stripe -> free-list shard or disk map. No operation ever holds
-// two stripes at once; a transfer that touches both a frame and a block
-// finishes with one before locking the other.
+// frame/block stripe -> free-list shard or the backing store's own lock. No
+// operation ever holds two stripes at once; a transfer that touches both a
+// frame and a block finishes with one before locking the other.
 type Store struct {
 	cfg Config
 
@@ -187,8 +191,11 @@ type Store struct {
 	blocks  []block
 	blockMu [numStripes]sync.Mutex
 
-	diskMu sync.Mutex
-	disk   map[PageID][]uint64
+	// backing is the durable block layer serving LevelDisk. It may also
+	// hold stale copies of pages whose live location is core or bulk —
+	// checkpoint flushes write through without moving pages, exactly as
+	// a real disk copy goes stale when the page is later dirtied in core.
+	backing BackingStore
 
 	// segMu guards the segs map only; each SegmentPages has its own lock.
 	segMu sync.RWMutex
@@ -205,6 +212,7 @@ type Store struct {
 	bulkToDisk, diskToBulk   *metrics.Counter
 	zeroFills                *metrics.Counter
 	frameSteals, blockSteals *metrics.Counter
+	ckptFlushes              *metrics.Counter
 
 	// hook, when set, interposes on every backing-store transfer; see
 	// faulthook.go.
@@ -245,11 +253,15 @@ func NewStore(cfg Config) (*Store, error) {
 	if reg == nil {
 		reg = metrics.New()
 	}
+	backing := cfg.Backing
+	if backing == nil {
+		backing = NewMemStore()
+	}
 	st := &Store{
 		cfg:         cfg,
 		frames:      make([]frame, cfg.CoreFrames),
 		blocks:      make([]block, cfg.BulkBlocks),
-		disk:        make(map[PageID][]uint64),
+		backing:     backing,
 		segs:        make(map[uint64]*SegmentPages),
 		bulkToCore:  reg.Counter("mem.bulk_to_core"),
 		diskToCore:  reg.Counter("mem.disk_to_core"),
@@ -260,6 +272,7 @@ func NewStore(cfg Config) (*Store, error) {
 		zeroFills:   reg.Counter("mem.zero_fills"),
 		frameSteals: reg.Counter("mem.frame_steals"),
 		blockSteals: reg.Counter("mem.block_steals"),
+		ckptFlushes: reg.Counter("mem.checkpoint_flushes"),
 	}
 	for i := range st.frames {
 		st.frames[i].free = true
@@ -276,6 +289,9 @@ func NewStore(cfg Config) (*Store, error) {
 
 // Config returns the hierarchy configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Backing returns the durable block layer serving the disk level.
+func (s *Store) Backing() BackingStore { return s.backing }
 
 // Stats returns the transfer counts so far.
 func (s *Store) Stats() TransferStats {
@@ -368,11 +384,12 @@ func (s *Store) releasePage(pid PageID, loc Location) {
 		s.releaseFrame(loc.Frame)
 	case LevelBulk:
 		s.releaseBlock(loc.Block)
-	case LevelDisk:
-		s.diskMu.Lock()
-		delete(s.disk, pid)
-		s.diskMu.Unlock()
 	}
+	// Drop the durable copy regardless of the live level: a checkpoint
+	// flush may have left one behind a core- or bulk-resident page. A
+	// failed free only strands a stale block — restore trusts the
+	// manifest, not the live map — so it does not abort the release.
+	_ = s.backing.FreeBlock(pid)
 }
 
 // SetLength grows or shrinks a segment. Shrinking releases pages beyond the
@@ -638,10 +655,11 @@ func (s *Store) PageIn(pid PageID) (FrameID, int64, error) {
 		if !ok {
 			return 0, 0, ErrNoFreeFrame
 		}
-		s.diskMu.Lock()
-		data := s.disk[pid]
-		delete(s.disk, pid)
-		s.diskMu.Unlock()
+		data, err := s.backing.ReadBlock(pid)
+		if err != nil {
+			putFree(&s.freeFrames, int(f))
+			return 0, 0, fmt.Errorf("mem: disk read of %v: %w", pid, err)
+		}
 		s.installFrame(f, pid, data)
 		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
 		s.diskToCore.Inc()
@@ -764,12 +782,26 @@ func (s *Store) EvictToDisk(f FrameID) (int64, error) {
 		return 0, err
 	}
 	s.pageOut(OpDiskWrite, pid, data)
-	s.diskMu.Lock()
-	s.disk[pid] = data
-	s.diskMu.Unlock()
+	if err := s.backing.WriteBlock(pid, data); err != nil {
+		s.reinstatePage(sp, pid, data)
+		return 0, fmt.Errorf("mem: disk write of %v: %w", pid, err)
+	}
 	sp.pages[pid.Index] = Location{Level: LevelDisk}
 	s.coreToDisk.Inc()
 	return s.cfg.DiskWrite, nil
+}
+
+// reinstatePage puts a page whose frame or block was already stripped back
+// into core after the backing store refused the write. If no frame is free
+// the page reverts to unmaterialized — the data is gone, which is exactly
+// what a device that fails mid-write does; the caller's error says so.
+func (s *Store) reinstatePage(sp *SegmentPages, pid PageID, data []uint64) {
+	if f, ok := s.takeFrame(pid); ok {
+		s.installFrame(f, pid, data)
+		sp.pages[pid.Index] = Location{Level: LevelCore, Frame: f}
+		return
+	}
+	delete(sp.pages, pid.Index)
 }
 
 // BulkToDisk moves the page in bulk block b to disk. In the real system
@@ -813,9 +845,10 @@ func (s *Store) BulkToDisk(b BlockID) (int64, error) {
 	putFree(&s.freeBlocks, int(b))
 
 	s.pageOut(OpBulkToDisk, pid, data)
-	s.diskMu.Lock()
-	s.disk[pid] = data
-	s.diskMu.Unlock()
+	if err := s.backing.WriteBlock(pid, data); err != nil {
+		s.reinstatePage(sp, pid, data)
+		return 0, fmt.Errorf("mem: disk write of %v: %w", pid, err)
+	}
 	sp.pages[pid.Index] = Location{Level: LevelDisk}
 	s.bulkToDisk.Inc()
 	return s.cfg.BulkRead + s.cfg.DiskWrite, nil

@@ -316,6 +316,47 @@ func TestPagedBacking(t *testing.T) {
 	}
 }
 
+// Locate's failures carry classified sentinels so the gate taxonomy can
+// bucket storage references without string matching: out-of-range offsets
+// are the caller's bad argument, a deleted segment is a kernel failure.
+func TestPagedBackingClassifiedErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		delete bool
+		off    int
+		want   error
+	}{
+		{name: "negative offset", off: -1, want: ErrOutOfRange},
+		{name: "offset at length", off: 10, want: ErrOutOfRange},
+		{name: "offset past length", off: 4096, want: ErrOutOfRange},
+		{name: "deleted segment", delete: true, off: 0, want: ErrSegmentGone},
+		{name: "deleted segment out of range", delete: true, off: 99, want: ErrSegmentGone},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newStore(t, smallConfig())
+			if _, err := s.CreateSegment(7, 10); err != nil {
+				t.Fatal(err)
+			}
+			pb, err := NewPagedBacking(s, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.delete {
+				if err := s.DeleteSegment(7); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := pb.ReadWord(tc.off); !errors.Is(err, tc.want) {
+				t.Errorf("ReadWord(%d) = %v, want %v", tc.off, err, tc.want)
+			}
+			if err := pb.WriteWord(tc.off, 1); !errors.Is(err, tc.want) {
+				t.Errorf("WriteWord(%d) = %v, want %v", tc.off, err, tc.want)
+			}
+		})
+	}
+}
+
 // Property: frame/block accounting is conserved — after any interleaving of
 // page-ins and evictions, free + occupied == total at each level, and no two
 // pages occupy the same frame.

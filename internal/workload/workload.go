@@ -73,6 +73,11 @@ type Config struct {
 	// compute Report.TraceDigest; the sink is a tee for callers that
 	// want the raw stream.
 	TraceSink gate.TraceSink
+	// Backing, when set, is the durable backing store Boot threads under
+	// the memory hierarchy (mem.Config.Backing); nil keeps the volatile
+	// default. With a durable store, checkpoint/restore (core.Checkpoint,
+	// core.Restore) survives process death.
+	Backing mem.BackingStore
 	// Faults, when set, boots the system with a deterministic fault plan
 	// (see internal/faults) and switches the engine into survival mode:
 	// a connection whose session errors out is counted in Report.Failed
@@ -190,12 +195,12 @@ func GenScripts(cfg Config) []Script {
 	return scripts
 }
 
-// Boot builds a system at the given stage with memory scaled for n
-// concurrent connections, and registers the generated accounts.
-func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
-	if err := cfg.setDefaults(); err != nil {
-		return nil, err
-	}
+// MemConfig returns the memory geometry Boot gives a system serving cfg.
+// A restore of a checkpoint taken under this geometry must be handed the
+// same shape (core.Restore checks the page size; the frame counts govern
+// paging behavior, not correctness).
+func MemConfig(cfg Config) mem.Config {
+	_ = cfg.setDefaults()
 	frames := 4 * cfg.Conns
 	if frames < 4096 {
 		frames = 4096
@@ -203,17 +208,40 @@ func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
 	mc := mem.DefaultConfig()
 	mc.CoreFrames = frames
 	mc.BulkBlocks = frames
-	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc, Faults: cfg.Faults})
-	if err != nil {
-		return nil, err
-	}
+	mc.Backing = cfg.Backing
+	return mc
+}
+
+// RegisterUsers registers cfg's generated accounts with sys. Boot calls
+// it; a system restored from a checkpoint needs it again, because the
+// answering service's user registry is deliberately outside the
+// checkpoint.
+func RegisterUsers(sys *multics.System, cfg Config) error {
+	_ = cfg.setDefaults()
 	for u := 0; u < cfg.Users; u++ {
 		err := sys.AddUser(fmt.Sprintf("Load%d", u), "Traffic",
 			fmt.Sprintf("storm%d pw", u), multics.Secret)
 		if err != nil {
-			sys.Shutdown()
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// Boot builds a system at the given stage with memory scaled for n
+// concurrent connections, and registers the generated accounts.
+func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	mc := MemConfig(cfg)
+	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc, Faults: cfg.Faults})
+	if err != nil {
+		return nil, err
+	}
+	if err := RegisterUsers(sys, cfg); err != nil {
+		sys.Shutdown()
+		return nil, err
 	}
 	return sys, nil
 }

@@ -445,3 +445,33 @@ func (se *Session) Call(segName, entryName string, args ...uint64) ([]uint64, er
 	}
 	return se.Proc.CPU.CallSym(core.SegArgs, ref, args)
 }
+
+// Checkpoint drains the system to a virtual-cycle barrier and writes a
+// durable checkpoint through the kernel's backing store: the front-end (if
+// serving) is flushed so no accepted connection has work in flight, then
+// the kernel flushes every materialized page and commits the manifest.
+// Meaningful only when the system was booted over a durable backing store
+// (mem.Config.Backing); over the default volatile store the checkpoint is
+// written but dies with the process.
+func (s *System) Checkpoint(meta map[string]string) (*core.CheckpointReport, error) {
+	if s.frontend != nil {
+		s.frontend.Flush()
+	}
+	return s.Kernel.Checkpoint(meta)
+}
+
+// Adopt wraps an already-built kernel — typically one that came back from
+// core.Restore — in a System, attaching the stage-appropriate login
+// machinery. The answering service's user registry is not part of a
+// checkpoint: re-register users with AddUser before logging in.
+func Adopt(k *core.Kernel) (*System, error) {
+	s := &System{Kernel: k}
+	if k.Services().Stage >= core.S4LoginDemoted {
+		var err error
+		s.answering, err = userspace.NewAnsweringSubsystem(k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}

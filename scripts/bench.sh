@@ -74,6 +74,26 @@ if [ -n "$e16" ]; then
 	echo "$e16"
 fi
 
+# Same for the journaled page-out bound (≤2x the volatile store): both
+# E19 arms land in the archive; restate the ratio beside it.
+e19=$(awk '
+/^BenchmarkE19JournaledPageOut\/(volatile|journaled)/ {
+    for (i = 3; i < NF; i += 2) {
+        if ($(i + 1) == "ns/page-out") {
+            if ($1 ~ /journaled/) j = $i; else v = $i
+        }
+        if ($(i + 1) == "journaled-vs-volatile-x") ratio = $i
+    }
+}
+END {
+    if (j != "" && v != "")
+        printf "E19 journaled page-out: %s vs %s ns (volatile), %sx (bound 2x)", j, v, ratio
+}
+' "$raw")
+if [ -n "$e19" ]; then
+	echo "$e19"
+fi
+
 if [ -n "$base" ]; then
 	echo ""
 	echo "delta vs $baselabel:"

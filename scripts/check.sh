@@ -127,6 +127,26 @@ check_bump SetACL bumpACLGen
 check_bump RemoveACL bumpACLGen
 check_bump Reclassify bumpACLGen
 
+echo "== data-path os-import lint"
+# Every byte the kernel persists flows through mem.BackingStore, and the
+# only package allowed to touch the host OS for data-path I/O is the
+# durable implementation behind it: internal/blockstore. An "os" import
+# in any storage-stack package above it means bytes are escaping the
+# journal's torn-write/replay discipline. (cmd/* binaries may use os for
+# flags and exit codes; they are drivers, not the data path.)
+bad=""
+for f in $(grep -rl '"os"' --include='*.go' \
+	internal/mem/ internal/pagectl/ internal/fs/ internal/core/ \
+	internal/iosys/ internal/machine/ internal/boot/ internal/kst/ \
+	internal/workload/ multics/ 2>/dev/null | grep -v '_test\.go$' || true); do
+	bad="$bad
+$f"
+done
+if [ -n "$bad" ]; then
+	echo "os imported in a data-path package above blockstore (all bytes flow through BackingStore):$bad" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -188,6 +208,20 @@ case "$out" in
 esac
 if ! echo "$out" | grep -q 'sweep digests identical across par 1/8 and uncached: true'; then
 	echo "E18: revocation sweep digests not identical across parallelism / cache modes" >&2
+	exit 1
+fi
+
+echo "== crash-restore smoke (E19: seeded checkpoint, torn-write crash, byte-identical restore)"
+out=$(go run ./cmd/experiments -run E19)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E19 checkpoint/restore did not meet its claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'digest identical true'; then
+	echo "E19: restored transcript digest diverged from the uninterrupted run" >&2
 	exit 1
 fi
 
