@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/gate"
 	"repro/internal/workload"
@@ -30,23 +31,22 @@ func main() {
 	seed := flag.Int64("seed", 75, "with -stats: workload seed")
 	flag.Parse()
 
+	if *stage >= 0 {
+		if err := cliutil.FirstError(
+			cliutil.InRange("stage", *stage, 0, int(core.NumStages)-1),
+		); err != nil {
+			cliutil.Exit2("gateaudit", err)
+		}
+	}
 	if *stats {
 		s := multics.StageRestructured
 		if *stage >= 0 {
-			if *stage >= int(core.NumStages) {
-				fmt.Fprintf(os.Stderr, "gateaudit: stage must be 0..%d\n", int(core.NumStages)-1)
-				os.Exit(2)
-			}
 			s = multics.Stage(*stage)
 		}
 		runtimeStats(s, *top, *seed)
 		return
 	}
 	if *stage >= 0 {
-		if *stage >= int(core.NumStages) {
-			fmt.Fprintf(os.Stderr, "gateaudit: stage must be 0..%d\n", int(core.NumStages)-1)
-			os.Exit(2)
-		}
 		detail(core.Stage(*stage))
 		return
 	}

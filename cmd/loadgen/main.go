@@ -58,6 +58,7 @@ import (
 	"strconv"
 
 	"repro/internal/blockstore"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/fleet"
@@ -89,72 +90,44 @@ type options struct {
 	restore   bool
 }
 
-// validate rejects contradictory or out-of-range flag combinations.
-// Contradictory flags are a usage error, not a workload: main turns the
-// first error into exit code 2 rather than letting the engine translate
-// it into a half-configured run.
+// validate rejects contradictory or out-of-range flag combinations
+// through the shared cliutil rule table. Contradictory flags are a
+// usage error, not a workload: main turns the first error into exit
+// code 2 rather than letting the engine translate it into a
+// half-configured run.
 func validate(o options) error {
-	if o.n < 1 {
-		return fmt.Errorf("-n %d: need at least one connection", o.n)
-	}
-	if o.steps < 1 {
-		return fmt.Errorf("-steps %d: need at least one request per session", o.steps)
-	}
-	if o.burst < 0 {
-		return fmt.Errorf("-burst %d: cannot be negative", o.burst)
-	}
-	if o.users < 0 {
-		return fmt.Errorf("-users %d: cannot be negative", o.users)
-	}
-	if o.par < 1 {
-		return fmt.Errorf("-par %d: need at least one worker", o.par)
-	}
-	if o.faultRate < 0 || o.faultRate > 1 || o.faultRate != o.faultRate {
-		return fmt.Errorf("-fault-rate %v: must be a probability in [0, 1]", o.faultRate)
-	}
-	if o.faultSeedSet && o.faultRate == 0 {
-		return fmt.Errorf("-fault-seed without -fault-rate > 0: the seed selects a fault plan, but no faults were requested")
-	}
-	if o.stage < int(core.S0Baseline) || o.stage > int(core.S6Restructured) {
-		return fmt.Errorf("-stage %d: out of range 0..6", o.stage)
-	}
-	if o.metricsEvery < 1 {
-		return fmt.Errorf("-metrics-every %d: need a positive sampling period", o.metricsEvery)
-	}
-	if o.kernels < 1 {
-		return fmt.Errorf("-kernels %d: need at least one kernel", o.kernels)
-	}
-	if o.migrateEvery < 0 {
-		return fmt.Errorf("-migrate-every %d: cannot be negative", o.migrateEvery)
-	}
-	if o.migrateEvery > 0 && o.kernels <= 1 {
-		return fmt.Errorf("-migrate-every without -kernels > 1: migration needs a fleet to move sessions between")
-	}
-	if o.kernels > 1 && o.compare {
-		return fmt.Errorf("-compare with -kernels %d: the legacy comparison is single-kernel", o.kernels)
-	}
-	if o.kernels > 1 && o.metrics {
-		return fmt.Errorf("-metrics with -kernels %d: live sampling is single-kernel; fleet counters print in the report", o.kernels)
-	}
-	if o.ckptEvery < 0 {
-		return fmt.Errorf("-checkpoint-every %d: cannot be negative", o.ckptEvery)
-	}
-	if o.ckptEvery > 0 && o.store == "" {
-		return fmt.Errorf("-checkpoint-every without -store: checkpoints need a durable store to land in")
-	}
-	if o.restore && o.store == "" {
-		return fmt.Errorf("-restore without -store: there is no journal to restore from")
-	}
-	if o.store != "" && o.kernels > 1 {
-		return fmt.Errorf("-store with -kernels %d: the fleet members are volatile; durable backing is single-kernel", o.kernels)
-	}
-	if o.store != "" && o.compare {
-		return fmt.Errorf("-compare with -store: the legacy path predates the backing store")
-	}
-	if o.restore && o.faultRate > 0 {
-		return fmt.Errorf("-fault-rate with -restore: the fault plan is not part of the checkpoint; restore boots without one")
-	}
-	return nil
+	return cliutil.FirstError(
+		cliutil.AtLeast("n", o.n, 1, "one connection"),
+		cliutil.AtLeast("steps", o.steps, 1, "one request per session"),
+		cliutil.NonNegative("burst", o.burst),
+		cliutil.NonNegative("users", o.users),
+		cliutil.AtLeast("par", o.par, 1, "one worker"),
+		cliutil.Probability("fault-rate", o.faultRate),
+		cliutil.Rule{Bad: o.faultSeedSet && o.faultRate == 0,
+			Msg: "-fault-seed without -fault-rate > 0: the seed selects a fault plan, but no faults were requested"},
+		cliutil.InRange("stage", o.stage, int(core.S0Baseline), int(core.S6Restructured)),
+		cliutil.Rule{Bad: o.metricsEvery < 1,
+			Msg: fmt.Sprintf("-metrics-every %d: need a positive sampling period", o.metricsEvery)},
+		cliutil.AtLeast("kernels", o.kernels, 1, "one kernel"),
+		cliutil.NonNegative("migrate-every", o.migrateEvery),
+		cliutil.Rule{Bad: o.migrateEvery > 0 && o.kernels <= 1,
+			Msg: "-migrate-every without -kernels > 1: migration needs a fleet to move sessions between"},
+		cliutil.Rule{Bad: o.kernels > 1 && o.compare,
+			Msg: fmt.Sprintf("-compare with -kernels %d: the legacy comparison is single-kernel", o.kernels)},
+		cliutil.Rule{Bad: o.kernels > 1 && o.metrics,
+			Msg: fmt.Sprintf("-metrics with -kernels %d: live sampling is single-kernel; fleet counters print in the report", o.kernels)},
+		cliutil.NonNegative("checkpoint-every", o.ckptEvery),
+		cliutil.Rule{Bad: o.ckptEvery > 0 && o.store == "",
+			Msg: "-checkpoint-every without -store: checkpoints need a durable store to land in"},
+		cliutil.Rule{Bad: o.restore && o.store == "",
+			Msg: "-restore without -store: there is no journal to restore from"},
+		cliutil.Rule{Bad: o.store != "" && o.kernels > 1,
+			Msg: fmt.Sprintf("-store with -kernels %d: the fleet members are volatile; durable backing is single-kernel", o.kernels)},
+		cliutil.Rule{Bad: o.store != "" && o.compare,
+			Msg: "-compare with -store: the legacy path predates the backing store"},
+		cliutil.Rule{Bad: o.restore && o.faultRate > 0,
+			Msg: "-fault-rate with -restore: the fault plan is not part of the checkpoint; restore boots without one"},
+	)
 }
 
 func main() {
@@ -191,9 +164,7 @@ func main() {
 		}
 	})
 	if err := validate(o); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
-		flag.Usage()
-		os.Exit(2)
+		cliutil.Exit2("loadgen", err)
 	}
 
 	cfg := workload.Config{

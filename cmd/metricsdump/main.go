@@ -20,6 +20,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/workload"
 	"repro/multics"
@@ -36,19 +37,14 @@ func main() {
 	sample := flag.Int64("sample", 0, "sampling period in virtual cycles (0 disables the sampler)")
 	flag.Parse()
 
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "metricsdump: "+format+"\n", args...)
-		flag.Usage()
-		os.Exit(2)
-	}
-	if *stage < int(core.S0Baseline) || *stage > int(core.S6Restructured) {
-		fail("-stage %d: out of range 0..6", *stage)
-	}
-	if *n < 1 || *steps < 1 || *par < 1 {
-		fail("-n %d -steps %d -par %d: all must be at least 1", *n, *steps, *par)
-	}
-	if *sample < 0 {
-		fail("-sample %d: cannot be negative", *sample)
+	if err := cliutil.FirstError(
+		cliutil.InRange("stage", *stage, int(core.S0Baseline), int(core.S6Restructured)),
+		cliutil.AtLeast("n", *n, 1, "one connection"),
+		cliutil.AtLeast("steps", *steps, 1, "one request per session"),
+		cliutil.AtLeast("par", *par, 1, "one worker"),
+		cliutil.Rule{Bad: *sample < 0, Msg: fmt.Sprintf("-sample %d: cannot be negative", *sample)},
+	); err != nil {
+		cliutil.Exit2("metricsdump", err)
 	}
 
 	cfg := workload.Config{Conns: *n, Steps: *steps, Seed: *seed, Parallelism: *par}

@@ -1,0 +1,157 @@
+package blockstore
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestWriteBlocksSingleRecordGroup(t *testing.T) {
+	m := NewMemMedia()
+	s, _ := mustOpen(t, m)
+	writes := []mem.BlockWrite{
+		{PID: pid(1, 0), Data: block(10)},
+		{PID: pid(1, 1), Data: block(11)},
+		{PID: pid(2, 0), Data: block(12)},
+	}
+	if err := s.WriteBlocks(writes); err != nil {
+		t.Fatalf("WriteBlocks: %v", err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StoreStats()
+	if st.Writes != 3 || st.Batches != 1 {
+		t.Errorf("stats = %+v, want 3 writes in 1 batch", st)
+	}
+	// The whole batch is one journal record.
+	s2, rep := mustOpen(t, m)
+	if rep.Batches != 1 || rep.Records != 1 {
+		t.Fatalf("recovery = %+v, want exactly 1 batch record", rep)
+	}
+	if rep.Writes != 3 {
+		t.Errorf("recovery writes = %d, want 3", rep.Writes)
+	}
+	got, err := s2.ReadBlocks([]mem.PageID{pid(1, 0), pid(1, 1), pid(2, 0)})
+	if err != nil {
+		t.Fatalf("ReadBlocks after replay: %v", err)
+	}
+	wantWords(t, got[0], 10, "batch block 0")
+	wantWords(t, got[1], 11, "batch block 1")
+	wantWords(t, got[2], 12, "batch block 2")
+}
+
+func TestWriteBlocksDedupsWithinAndAcrossBatches(t *testing.T) {
+	m := NewMemMedia()
+	s, _ := mustOpen(t, m)
+	if err := s.WriteBlock(pid(1, 0), block(7)); err != nil {
+		t.Fatal(err)
+	}
+	// One entry dedups against the prior single write, two entries share
+	// fresh content within the batch itself.
+	err := s.WriteBlocks([]mem.BlockWrite{
+		{PID: pid(2, 0), Data: block(7)},
+		{PID: pid(2, 1), Data: block(8)},
+		{PID: pid(2, 2), Data: block(8)},
+	})
+	if err != nil {
+		t.Fatalf("WriteBlocks: %v", err)
+	}
+	st := s.StoreStats()
+	if st.DedupHits != 2 {
+		t.Errorf("dedup hits = %d, want 2", st.DedupHits)
+	}
+	if st.ContentBlocks != 2 {
+		t.Errorf("content blocks = %d, want 2 (7 and 8)", st.ContentBlocks)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, m)
+	if rep.Maps != 2 {
+		t.Errorf("recovery maps = %d, want 2 dedup entries", rep.Maps)
+	}
+	for _, p := range []mem.PageID{pid(2, 0), pid(2, 1), pid(2, 2)} {
+		seed := uint64(7)
+		if p.Index > 0 {
+			seed = 8
+		}
+		got, err := s2.ReadBlock(p)
+		if err != nil {
+			t.Fatalf("ReadBlock %v: %v", p, err)
+		}
+		wantWords(t, got, seed, "deduped batch entry")
+	}
+}
+
+func TestReadBlocksAllOrNothing(t *testing.T) {
+	s, _ := mustOpen(t, NewMemMedia())
+	if err := s.WriteBlocks([]mem.BlockWrite{{PID: pid(1, 0), Data: block(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadBlocks([]mem.PageID{pid(1, 0), pid(9, 9)}); !errors.Is(err, mem.ErrNoBlock) {
+		t.Fatalf("want ErrNoBlock, got %v", err)
+	}
+	// The failed batch consumed nothing.
+	got, err := s.ReadBlocks([]mem.PageID{pid(1, 0)})
+	if err != nil {
+		t.Fatalf("mapping consumed by failed batch: %v", err)
+	}
+	wantWords(t, got[0], 1, "surviving block")
+}
+
+func TestWriteBlocksEmptyIsNoop(t *testing.T) {
+	m := NewMemMedia()
+	s, _ := mustOpen(t, m)
+	if err := s.WriteBlocks(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := mustOpen(t, m)
+	if rep.Records != 0 {
+		t.Fatalf("empty batch appended a record: %+v", rep)
+	}
+}
+
+func TestBatchRecordTornTailRecovers(t *testing.T) {
+	m := NewMemMedia()
+	s, _ := mustOpen(t, m)
+	if err := s.WriteBlock(pid(1, 0), block(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBlocks([]mem.BlockWrite{
+		{PID: pid(2, 0), Data: block(2)},
+		{PID: pid(2, 1), Data: block(3)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the unsynced batch record mid-frame: replay truncates back to
+	// the synced prefix instead of failing.
+	if err := m.Tear(10); err != nil {
+		t.Fatal(err)
+	}
+	s2, rep := mustOpen(t, m)
+	if !rep.Truncated {
+		t.Fatalf("recovery = %+v, want torn-tail truncation", rep)
+	}
+	if rep.Batches != 0 {
+		t.Errorf("torn batch record applied: %+v", rep)
+	}
+	got, err := s2.ReadBlock(pid(1, 0))
+	if err != nil {
+		t.Fatalf("synced prefix lost: %v", err)
+	}
+	wantWords(t, got, 1, "synced block")
+	if _, err := s2.ReadBlock(pid(2, 0)); !errors.Is(err, mem.ErrNoBlock) {
+		t.Fatalf("torn batch entry resurrected: %v", err)
+	}
+}

@@ -32,6 +32,7 @@ type Store struct {
 
 	writes, reads, dedups  *metrics.Counter
 	frees, syncs, appended *metrics.Counter
+	batches                *metrics.Counter
 }
 
 // pendingFlushBytes bounds the store-side record buffer. Records below the
@@ -95,6 +96,7 @@ func (s *Store) bindMetrics(reg *metrics.Registry) {
 	s.frees = reg.Counter("blockstore.frees")
 	s.syncs = reg.Counter("blockstore.syncs")
 	s.appended = reg.Counter("blockstore.bytes_appended")
+	s.batches = reg.Counter("blockstore.batch_writes")
 }
 
 // SetMetrics repoints the store's counters at reg. The kernel calls it at
@@ -347,6 +349,7 @@ type Stats struct {
 	DedupHits     int64 `json:"dedup_hits"`
 	Frees         int64 `json:"frees"`
 	Syncs         int64 `json:"syncs"`
+	Batches       int64 `json:"batch_writes"`
 	BytesAppended int64 `json:"bytes_appended"`
 	HasCheckpoint bool  `json:"has_checkpoint"`
 }
@@ -362,6 +365,7 @@ func (s *Store) StoreStats() Stats {
 		DedupHits:     s.dedups.Value(),
 		Frees:         s.frees.Value(),
 		Syncs:         s.syncs.Value(),
+		Batches:       s.batches.Value(),
 		BytesAppended: s.appended.Value(),
 		HasCheckpoint: s.ckpt != nil,
 	}

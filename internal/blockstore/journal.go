@@ -35,6 +35,7 @@ const (
 	kindFree       = uint8(3) // pid: block dropped
 	kindCheckpoint = uint8(4) // manifest + full pid->ref map at the barrier
 	kindRevert     = uint8(5) // live map reset to the last checkpoint's
+	kindBatch      = uint8(6) // count + per entry: pid, ref, new-content flag, [words]
 )
 
 // ErrCorrupt reports journal damage that cannot be a torn tail: bytes in
@@ -105,8 +106,8 @@ func (e *recEncoder) begin(kind uint8) {
 	e.buf = binary.LittleEndian.AppendUint32(e.buf, 0) // crc, patched in finish
 }
 
-func (e *recEncoder) u32(v uint32)  { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
-func (e *recEncoder) u64(v uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *recEncoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *recEncoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *recEncoder) pid(p mem.PageID) {
 	e.u64(p.SegUID)
 	e.u64(uint64(int64(p.Index)))
@@ -217,6 +218,7 @@ type RecoveryReport struct {
 	Frees       int   `json:"frees"`        // kindFree records
 	Checkpoints int   `json:"checkpoints"`  // kindCheckpoint records
 	Reverts     int   `json:"reverts"`      // kindRevert records
+	Batches     int   `json:"batches"`      // kindBatch record groups
 	TornBytes   int64 `json:"torn_bytes"`   // bytes discarded from a torn tail
 	Truncated   bool  `json:"truncated"`    // journal was cut back to the last whole record
 	JournalSize int64 `json:"journal_size"` // size after recovery
@@ -224,9 +226,9 @@ type RecoveryReport struct {
 
 // replayState is the in-memory image replay rebuilds.
 type replayState struct {
-	index   map[mem.PageID]ref
-	content map[ref][]uint64
-	ckpt    map[mem.PageID]ref // nil until a checkpoint record
+	index    map[mem.PageID]ref
+	content  map[ref][]uint64
+	ckpt     map[mem.PageID]ref // nil until a checkpoint record
 	manifest []byte
 }
 
@@ -293,6 +295,8 @@ func kindName(kind uint8) string {
 		return "checkpoint"
 	case kindRevert:
 		return "revert"
+	case kindBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("kind-%d", kind)
 	}
@@ -364,6 +368,37 @@ func applyRecord(st *replayState, rep *RecoveryReport, kind uint8, payload []byt
 			st.index[pid] = r
 		}
 		rep.Reverts++
+	case kindBatch:
+		n := d.u32()
+		if d.bad {
+			return fmt.Errorf("%w: short batch record at offset %d", ErrCorrupt, off)
+		}
+		for i := 0; i < int(n); i++ {
+			pid := d.pid()
+			r := d.ref()
+			flag := d.u32()
+			if d.bad {
+				return fmt.Errorf("%w: short batch entry %d at offset %d", ErrCorrupt, i, off)
+			}
+			if flag == 1 {
+				words := d.words()
+				if d.bad {
+					return fmt.Errorf("%w: short batch entry %d at offset %d", ErrCorrupt, i, off)
+				}
+				if refOf(words) != r {
+					return fmt.Errorf("%w: content of block %v does not match its address %v (batch offset %d)", ErrCorrupt, pid, r, off)
+				}
+				st.content[r] = words
+				rep.Writes++
+			} else {
+				if _, ok := st.content[r]; !ok {
+					return fmt.Errorf("%w: batch entry for block %v references unknown content %v (offset %d)", ErrCorrupt, pid, r, off)
+				}
+				rep.Maps++
+			}
+			st.index[pid] = r
+		}
+		rep.Batches++
 	default:
 		return fmt.Errorf("%w: unknown record kind %d at offset %d", ErrCorrupt, kind, off)
 	}

@@ -1,0 +1,74 @@
+package cliutil
+
+import (
+	"testing"
+)
+
+func TestFirstErrorOrderAndPass(t *testing.T) {
+	if err := FirstError(
+		AtLeast("n", 5, 1, "one connection"),
+		NonNegative("burst", 0),
+		InRange("stage", 6, 0, 6),
+		Probability("rate", 1.0),
+	); err != nil {
+		t.Fatalf("all-good rules rejected: %v", err)
+	}
+	err := FirstError(
+		Rule{Bad: false, Msg: "not this"},
+		Rule{Bad: true, Msg: "first violation"},
+		Rule{Bad: true, Msg: "second violation"},
+	)
+	if err == nil || err.Error() != "first violation" {
+		t.Fatalf("err = %v, want the first violated rule", err)
+	}
+}
+
+func TestRuleConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Rule
+		bad  bool
+		want string
+	}{
+		{"at-least violated", AtLeast("par", 0, 1, "one worker"), true, "-par 0: need at least one worker"},
+		{"at-least ok", AtLeast("par", 1, 1, "one worker"), false, ""},
+		{"non-negative violated", NonNegative("burst", -1), true, "-burst -1: cannot be negative"},
+		{"non-negative ok", NonNegative("burst", 0), false, ""},
+		{"in-range low", InRange("stage", -1, 0, 6), true, "-stage -1: out of range 0..6"},
+		{"in-range high", InRange("stage", 7, 0, 6), true, "-stage 7: out of range 0..6"},
+		{"in-range ok", InRange("stage", 3, 0, 6), false, ""},
+		{"probability high", Probability("fault-rate", 1.5), true, "-fault-rate 1.5: must be a probability in [0, 1]"},
+		{"probability negative", Probability("fault-rate", -0.1), true, ""},
+		{"probability nan", Probability("fault-rate", nan()), true, ""},
+		{"probability ok", Probability("fault-rate", 0.5), false, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.r.Bad != tc.bad {
+				t.Fatalf("Bad = %v, want %v (msg %q)", tc.r.Bad, tc.bad, tc.r.Msg)
+			}
+			if tc.bad && tc.want != "" && tc.r.Msg != tc.want {
+				t.Fatalf("Msg = %q, want %q", tc.r.Msg, tc.want)
+			}
+		})
+	}
+}
+
+func TestExit2UsesStatusTwo(t *testing.T) {
+	var code int
+	osExit = func(c int) { code = c }
+	defer func() { osExit = realExit }()
+	Exit2("prog", FirstError(Rule{Bad: true, Msg: "boom"}))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// realExit keeps a handle on the production exit for restoration.
+var realExit = osExit
+
+// nan builds a NaN without importing math.
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/mls"
 	"repro/internal/pagectl"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Stage identifies one configuration of the kernel-reduction programme.
@@ -141,7 +142,7 @@ type Kernel struct {
 
 	// trace is the kernel-crossing trace ring shared by the gate spine,
 	// fault delivery, the scheduler, and the network front-end.
-	trace *gate.TraceRing
+	trace *trace.Ring
 
 	// metrics is the unified measurement plane: every instrumented
 	// subsystem (machine, mem, pagectl, sched, gate, netattach,
@@ -222,7 +223,7 @@ func build(cfg Config, rst *restoreState) (*Kernel, error) {
 		byCPU:    make(map[*machine.Processor]*Proc),
 		channels: make(map[uint64]*kernelChannel),
 		nextChn:  1,
-		trace:    gate.NewTraceRing(traceRingSize),
+		trace:    trace.NewRing(traceRingSize),
 		metrics:  metrics.New(),
 	}
 	k.metrics.SetNow(k.clock.Now)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mls"
 	"repro/internal/pagectl"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Services is the kernel's service facade: every subsystem a caller
@@ -45,7 +46,7 @@ type Services struct {
 	// Trace is the kernel-crossing trace ring. Every layer of the spine
 	// — gate dispatch, fault delivery, scheduling, network attachment,
 	// fault injection — records into this one ring.
-	Trace *gate.TraceRing
+	Trace *trace.Ring
 	// UserGates and PrivGates are the hcs_ / phcs_ gate registries.
 	UserGates *gate.Registry
 	PrivGates *gate.Registry

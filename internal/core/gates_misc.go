@@ -259,15 +259,24 @@ func (k *Kernel) miscGates() []gdef {
 	return []gdef{
 		{name: "hcs_$get_system_info", cat: gate.CatMisc, bracket: userRing, units: 2, anon: true,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				return []uint64{uint64(k.cfg.Stage), uint64(k.clock.Now())}, nil
+				// The status gates return through the call frame's Out
+				// arena: they are the dispatch benchmark's hot path and
+				// must not allocate per call.
+				out := ctx.Out(2)
+				out[0], out[1] = uint64(k.cfg.Stage), uint64(k.clock.Now())
+				return out, nil
 			}},
 		{name: "hcs_$get_authorization", cat: gate.CatMisc, bracket: userRing, units: 1,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				return []uint64{uint64(p.Label.Level)}, nil
+				out := ctx.Out(1)
+				out[0] = uint64(p.Label.Level)
+				return out, nil
 			}},
 		{name: "hcs_$total_cpu_time", cat: gate.CatMisc, bracket: userRing, units: 1, anon: true,
 			impl: func(p *Proc, ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-				return []uint64{uint64(k.clock.Now())}, nil
+				out := ctx.Out(1)
+				out[0] = uint64(k.clock.Now())
+				return out, nil
 			}},
 	}
 }

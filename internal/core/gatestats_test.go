@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/gate"
+	"repro/internal/trace"
 )
 
 // statFor finds one gate's stat row by name.
@@ -48,7 +49,7 @@ func TestGateStatsAccounting(t *testing.T) {
 	// Both crossings are in the trace ring, classified.
 	var ok, bad bool
 	for _, ev := range k.Services().Trace.Snapshot() {
-		if ev.Stage != gate.StageGate {
+		if ev.Stage != trace.StageGate {
 			continue
 		}
 		switch {

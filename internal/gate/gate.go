@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Category classifies a gate by the functional area it serves. Categories
@@ -66,7 +67,7 @@ type Registry struct {
 	defs     []Def
 	byName   map[string]int // name -> entry index
 	counters []*counters    // parallel to defs
-	ring     *TraceRing     // trace spine destination, nil = off
+	ring     *trace.Ring    // trace spine destination, nil = off
 	extra    []Middleware   // extra links installed with Use
 	// metrics is where the spine publishes per-gate accounting
 	// (gate.<name>.calls/errors/rejected/vcycles). NewRegistry starts

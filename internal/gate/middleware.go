@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Middleware wraps one gate entry. BuildProcedure composes the standard
@@ -59,7 +60,7 @@ func (r *Registry) Use(mw Middleware) { r.extra = append(r.extra, mw) }
 
 // SetTraceRing directs the registry's trace middleware at ring. A nil
 // ring disables gate tracing. Applies to procedures built after the call.
-func (r *Registry) SetTraceRing(ring *TraceRing) { r.ring = ring }
+func (r *Registry) SetTraceRing(ring *trace.Ring) { r.ring = ring }
 
 // SetMetrics repoints the spine's per-gate accounting at reg, so one
 // kernel's gate registries share the unified registry exposed as
@@ -123,24 +124,39 @@ func countMW(c *counters) Middleware {
 	}
 }
 
-// traceMW records one event per crossing into the spine's ring.
+// traceMW records one event per crossing into the spine's ring — or,
+// when the calling processor carries a per-processor gate sink
+// (machine.Processor.SetGateSink), into that sink instead. The override
+// is how the execution engine routes each task's gate events into the
+// task's private effect buffer for deterministic commit.
 func traceMW(r *Registry) Middleware {
 	return func(d Def, next machine.EntryFunc) machine.EntryFunc {
 		return func(ctx *machine.ExecContext, args []uint64) ([]uint64, error) {
-			ring := r.ring
-			if ring == nil || !ring.Enabled() {
-				return next(ctx, args)
+			var sink trace.Sink
+			var clk *machine.Clock
+			var proc *machine.Processor
+			if ctx != nil {
+				proc = ctx.Processor()
 			}
-			ev := TraceEvent{Stage: StageGate, Name: d.Name}
+			if proc != nil {
+				sink = proc.GateSink()
+			}
+			ring := r.ring
+			if sink == nil {
+				if ring == nil || !ring.Enabled() {
+					return next(ctx, args)
+				}
+				sink = ring
+			}
+			ev := trace.Event{Stage: trace.StageGate, Name: d.Name}
 			if len(args) > 0 {
 				ev.Arg = args[0]
 			}
-			var clk *machine.Clock
 			var before int64
 			if ctx != nil {
 				ev.Ring = int(ctx.Ring())
-				if p := ctx.Processor(); p != nil && p.Clock != nil {
-					clk = p.Clock
+				if proc != nil && proc.Clock != nil {
+					clk = proc.Clock
 					before = clk.Now()
 					ev.At = before
 				}
@@ -153,7 +169,7 @@ func traceMW(r *Registry) Middleware {
 			if err != nil {
 				ev.Detail = err.Error()
 			}
-			ring.Record(ev)
+			sink.Record(ev)
 			return out, err
 		}
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/mem"
+	"repro/internal/trace"
 )
 
 func TestClassify(t *testing.T) {
@@ -129,7 +130,7 @@ func TestArgBoundaries(t *testing.T) {
 // numbers must stay unique, and the snapshot must hold the ring capacity
 // once the cursor has lapped it.
 func TestTraceRingWraparound(t *testing.T) {
-	ring := NewTraceRing(16)
+	ring := trace.NewRing(16)
 	if ring.Cap() != 16 {
 		t.Fatalf("cap = %d", ring.Cap())
 	}
@@ -141,7 +142,7 @@ func TestTraceRingWraparound(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < perWriter; i++ {
-				ring.Record(TraceEvent{Stage: StageGate, Name: "hammer", Subject: uint64(w), Arg: uint64(i)})
+				ring.Record(trace.Event{Stage: trace.StageGate, Name: "hammer", Subject: uint64(w), Arg: uint64(i)})
 			}
 		}(w)
 	}
@@ -166,7 +167,7 @@ func TestTraceRingWraparound(t *testing.T) {
 	// Disabled rings drop events without advancing the cursor.
 	ring.SetEnabled(false)
 	before := ring.Written()
-	ring.Record(TraceEvent{Name: "dropped"})
+	ring.Record(trace.Event{Name: "dropped"})
 	if ring.Written() != before {
 		t.Errorf("disabled ring still recorded")
 	}
@@ -177,7 +178,7 @@ func TestTraceRingWraparound(t *testing.T) {
 func TestTraceMW(t *testing.T) {
 	r := NewRegistry()
 	r.MustRegister(Def{Name: "strict", Category: CatMisc, CodeUnits: 1, Arity: 1, Impl: echo})
-	ring := NewTraceRing(64)
+	ring := trace.NewRing(64)
 	r.SetTraceRing(ring)
 	proc := r.BuildProcedure()
 

@@ -77,6 +77,14 @@ type Processor struct {
 	// sink, when set, receives one trace.Event per delivered fault — the
 	// uniform spine hookup shared with sched, netattach, and faults.
 	sink trace.Sink
+	// gateSink, when set, overrides the gate registry's trace ring for
+	// gate events emitted by calls on THIS processor. The execution
+	// engine points it at a task's private effect buffer so gate events
+	// commit in deterministic quantum order with zero allocation.
+	gateSink trace.Sink
+	// ctxCache holds one reusable ExecContext per call depth, so gate
+	// dispatch allocates nothing on the steady-state hot path.
+	ctxCache []ExecContext
 	// mAssocHits/mAssocMisses/mFaults, when set, publish into the unified
 	// metrics registry alongside the per-processor stats (see SetMetrics).
 	mAssocHits   *metrics.Counter
@@ -140,6 +148,15 @@ func (p *Processor) ResetStats() {
 
 // SetTrace installs fn as the call-trace observer; nil disables tracing.
 func (p *Processor) SetTrace(fn func(ev TraceEvent)) { p.traceFn = fn }
+
+// SetGateSink directs gate trace events from calls on this processor at
+// s, overriding the gate registry's shared trace ring. A nil sink
+// restores the ring. The gatekeeper's trace middleware consults this via
+// ExecContext.Processor().
+func (p *Processor) SetGateSink(s trace.Sink) { p.gateSink = s }
+
+// GateSink returns the per-processor gate event sink, or nil.
+func (p *Processor) GateSink() trace.Sink { return p.gateSink }
 
 // SetSink directs fault delivery at s: every fault the processor
 // charges — including page and linkage faults that are subsequently
@@ -444,8 +461,15 @@ func (p *Processor) Call(seg SegNo, entry int, args []uint64) ([]uint64, error) 
 
 	caller := p.ring
 	p.ring = target
+	// One cached ExecContext per call depth: frames deeper than any seen
+	// before grow the cache once, then every later call at that depth
+	// reuses the same context (and its Out arena) allocation-free.
+	if p.depth >= len(p.ctxCache) {
+		p.ctxCache = append(p.ctxCache, ExecContext{})
+	}
+	ctx := &p.ctxCache[p.depth]
+	ctx.proc, ctx.seg, ctx.entry = p, seg, entry
 	p.depth++
-	ctx := &ExecContext{proc: p, seg: seg, entry: entry}
 	out, err := sdw.Proc.Entries[entry](ctx, args)
 	p.depth--
 	p.ring = caller
@@ -489,6 +513,21 @@ type ExecContext struct {
 	proc  *Processor
 	seg   SegNo
 	entry int
+	// out is the frame's reusable result arena; see Out.
+	out []uint64
+}
+
+// Out returns an n-word result buffer owned by this call frame, for gate
+// bodies to return without allocating. The buffer is reused by the next
+// call at the same depth on the same processor, so callers of
+// Processor.Call must consume (or copy) results before calling again —
+// which every in-tree caller already does.
+func (c *ExecContext) Out(n int) []uint64 {
+	if cap(c.out) < n {
+		c.out = make([]uint64, n)
+	}
+	c.out = c.out[:n]
+	return c.out
 }
 
 // Ring returns the ring this code is executing in.

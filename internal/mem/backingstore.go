@@ -29,9 +29,22 @@ var ErrNoBlock = errors.New("mem: no backing block for page")
 // when no checkpoint has been taken.
 var ErrNoCheckpoint = errors.New("mem: backing store has no checkpoint")
 
+// BlockWrite is one entry of a WriteBlocks batch.
+type BlockWrite struct {
+	PID  PageID
+	Data []uint64
+}
+
 // BackingStore is the durable block layer under the memory hierarchy. All
 // implementations must be safe for concurrent use; the store calls them
 // from every worker.
+//
+// The batch methods (ReadBlocks/WriteBlocks) exist so page control can
+// coalesce the faults of one scheduling quantum into a single round trip
+// to the device: one lock acquisition for the volatile store, one journal
+// record group for the durable one. Implementations that have no batching
+// advantage can loop; external implementations written against the PR-8
+// per-block surface keep working through AdaptBatch.
 type BackingStore interface {
 	// ReadBlock returns a copy of pid's block and drops the live mapping.
 	// Returns ErrNoBlock if the store holds no block for pid.
@@ -39,6 +52,15 @@ type BackingStore interface {
 	// WriteBlock records data as the durable copy of pid, replacing any
 	// previous block, and takes ownership of the slice.
 	WriteBlock(pid PageID, data []uint64) error
+	// ReadBlocks is the batch form of ReadBlock: one round trip for all
+	// pids, same copy-and-drop semantics per block. The result is indexed
+	// like pids. All-or-nothing: any missing block fails the whole batch
+	// with ErrNoBlock and drops no mapping.
+	ReadBlocks(pids []PageID) ([][]uint64, error)
+	// WriteBlocks is the batch form of WriteBlock: one round trip records
+	// every entry, taking ownership of each data slice. All-or-nothing:
+	// on error no entry is recorded and ownership stays with the caller.
+	WriteBlocks(writes []BlockWrite) error
 	// FreeBlock durably drops pid's block. Unknown pids are a no-op.
 	FreeBlock(pid PageID) error
 	// BlockIDs enumerates the pids with live blocks, sorted by segment

@@ -1,0 +1,79 @@
+package mem
+
+// Compatibility shim for backing stores written against the PR-8
+// per-block surface, before ReadBlocks/WriteBlocks joined the interface.
+
+// SingleBlockStore is the historical BackingStore method set: every
+// operation moves exactly one block. Third-party implementations that
+// predate the batch methods satisfy this interface; AdaptBatch lifts
+// them to the full BackingStore.
+type SingleBlockStore interface {
+	ReadBlock(pid PageID) ([]uint64, error)
+	WriteBlock(pid PageID, data []uint64) error
+	FreeBlock(pid PageID) error
+	BlockIDs() []PageID
+	Sync() error
+	Checkpoint(manifest []byte) error
+	Manifest() ([]byte, error)
+	CheckpointBlock(pid PageID) ([]uint64, error)
+	RevertToCheckpoint() error
+	Close() error
+}
+
+// AdaptBatch returns s as a full BackingStore. A store that already
+// implements the batch methods is returned unchanged; otherwise it is
+// wrapped with looping batch methods that preserve the all-or-nothing
+// contract (reads probe before consuming; writes that fail mid-batch
+// roll the recorded prefix back by freeing it).
+func AdaptBatch(s SingleBlockStore) BackingStore {
+	if b, ok := s.(BackingStore); ok {
+		return b
+	}
+	return &batchAdapter{SingleBlockStore: s}
+}
+
+// batchAdapter lifts a SingleBlockStore to the batch interface by
+// looping. It adds no concurrency of its own: the wrapped store's
+// per-call safety is the batch's safety.
+type batchAdapter struct {
+	SingleBlockStore
+}
+
+// ReadBlocks implements BackingStore. The all-or-nothing contract is
+// approximated from single-block reads: every pid is probed via the
+// live map enumeration first, so a missing block fails before any
+// mapping is consumed.
+func (a *batchAdapter) ReadBlocks(pids []PageID) ([][]uint64, error) {
+	live := make(map[PageID]bool)
+	for _, pid := range a.BlockIDs() {
+		live[pid] = true
+	}
+	for _, pid := range pids {
+		if !live[pid] {
+			return nil, ErrNoBlock
+		}
+	}
+	out := make([][]uint64, len(pids))
+	for i, pid := range pids {
+		data, err := a.ReadBlock(pid)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = data
+	}
+	return out, nil
+}
+
+// WriteBlocks implements BackingStore. A failure mid-batch frees the
+// already-recorded prefix so no partial batch remains.
+func (a *batchAdapter) WriteBlocks(writes []BlockWrite) error {
+	for i, w := range writes {
+		if err := a.WriteBlock(w.PID, w.Data); err != nil {
+			for _, done := range writes[:i] {
+				_ = a.FreeBlock(done.PID)
+			}
+			return err
+		}
+	}
+	return nil
+}

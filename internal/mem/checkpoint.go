@@ -25,7 +25,11 @@ func (s *Store) FlushSegment(uid uint64) ([]int, error) {
 	if sp.deleted {
 		return nil, fmt.Errorf("mem: segment %#x does not exist", uid)
 	}
+	// Collect every core- and bulk-resident page, then push the whole
+	// segment through the backing store in one batch — one journal record
+	// group per segment instead of one record per page.
 	idxs := make([]int, 0, len(sp.pages))
+	writes := make([]BlockWrite, 0, len(sp.pages))
 	for idx, loc := range sp.pages {
 		pid := PageID{SegUID: uid, Index: idx}
 		var data []uint64
@@ -56,11 +60,16 @@ func (s *Store) FlushSegment(uid uint64) ([]int, error) {
 		default:
 			continue
 		}
-		if err := s.backing.WriteBlock(pid, data); err != nil {
-			return nil, fmt.Errorf("mem: flush of %v: %w", pid, err)
-		}
-		s.ckptFlushes.Inc()
+		writes = append(writes, BlockWrite{PID: pid, Data: data})
 		idxs = append(idxs, idx)
+	}
+	if len(writes) > 0 {
+		// Deterministic batch order regardless of page-map iteration.
+		sort.Slice(writes, func(i, j int) bool { return writes[i].PID.Index < writes[j].PID.Index })
+		if err := s.backing.WriteBlocks(writes); err != nil {
+			return nil, fmt.Errorf("mem: flush of segment %#x (%d pages): %w", uid, len(writes), err)
+		}
+		s.ckptFlushes.Add(int64(len(writes)))
 	}
 	sort.Ints(idxs)
 	return idxs, nil

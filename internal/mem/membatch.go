@@ -1,0 +1,204 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Batched page transfers: the page-control side of the BackingStore batch
+// methods. One scheduling quantum's evictions (or faults) become one
+// round trip to the backing store — one lock acquisition on the volatile
+// store, one journal record group on the durable one — instead of one
+// per page.
+//
+// Cost model: a batch charges the full device latency for the first page
+// and a quarter for each subsequent one, modeling sequential transfer
+// after a single positioning delay. The formula is fixed so batched runs
+// stay deterministic at any engine parallelism.
+
+// batchCost charges full latency for the first transfer and per/4 for
+// each of the rest.
+func batchCost(per int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return per + int64(n-1)*(per/4)
+}
+
+// segLockSet acquires the segment locks of every distinct segment in
+// pids, in ascending UID order — the one place in the store where two
+// segment locks are held at once. Every other path holds at most one, so
+// the ordered acquisition cannot deadlock.
+type segLockSet struct {
+	segs []*SegmentPages
+}
+
+func (s *Store) lockSegments(pids []PageID) (*segLockSet, error) {
+	uids := make([]uint64, 0, len(pids))
+	seen := make(map[uint64]bool, len(pids))
+	for _, pid := range pids {
+		if !seen[pid.SegUID] {
+			seen[pid.SegUID] = true
+			uids = append(uids, pid.SegUID)
+		}
+	}
+	sort.Slice(uids, func(i, j int) bool { return uids[i] < uids[j] })
+	ls := &segLockSet{segs: make([]*SegmentPages, 0, len(uids))}
+	for _, uid := range uids {
+		sp, ok := s.seg(uid)
+		if !ok {
+			ls.unlock()
+			return nil, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, uid)
+		}
+		sp.mu.Lock()
+		if sp.deleted {
+			sp.mu.Unlock()
+			ls.unlock()
+			return nil, fmt.Errorf("%w (segment %#x deleted)", ErrBusy, uid)
+		}
+		ls.segs = append(ls.segs, sp)
+	}
+	return ls, nil
+}
+
+func (ls *segLockSet) unlock() {
+	for i := len(ls.segs) - 1; i >= 0; i-- {
+		ls.segs[i].mu.Unlock()
+	}
+}
+
+func (ls *segLockSet) seg(uid uint64) *SegmentPages {
+	for _, sp := range ls.segs {
+		if sp.UID == uid {
+			return sp
+		}
+	}
+	return nil
+}
+
+// EvictToDiskBatch moves the pages in frames to disk through a single
+// backing-store round trip. Frames that lost a race — freed, wired, or
+// re-used for another page since the caller chose them — are skipped and
+// counted, exactly as a per-frame EvictToDisk would have returned
+// ErrBusy. An injected I/O error or a backing-store write failure aborts
+// the whole batch: stripped pages are reinstated and nothing reaches the
+// device. It returns how many pages were written and the batched
+// latency.
+func (s *Store) EvictToDiskBatch(frames []FrameID) (written int, cost int64, err error) {
+	for _, f := range frames {
+		if int(f) < 0 || int(f) >= len(s.frames) {
+			return 0, 0, fmt.Errorf("mem: frame %d out of range", f)
+		}
+	}
+	// Peek the victims' page identities; racing frames drop out here or
+	// at the re-check under the segment lock inside stripFrame.
+	pids := make([]PageID, 0, len(frames))
+	live := make([]FrameID, 0, len(frames))
+	for _, f := range frames {
+		pid, perr := s.peekFrame(f)
+		if perr != nil {
+			continue
+		}
+		pids = append(pids, pid)
+		live = append(live, f)
+	}
+	if len(pids) == 0 {
+		return 0, 0, nil
+	}
+	ls, err := s.lockSegments(pids)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer ls.unlock()
+
+	// Injected faults fire before any page is stripped, so an aborted
+	// batch leaves the store untouched and is safe to retry.
+	for _, pid := range pids {
+		if err := s.checkIO(OpDiskWrite, pid); err != nil {
+			return 0, 0, err
+		}
+	}
+	type stripped struct {
+		pid  PageID
+		sp   *SegmentPages
+		data []uint64
+	}
+	batch := make([]stripped, 0, len(pids))
+	writes := make([]BlockWrite, 0, len(pids))
+	for i, pid := range pids {
+		sp := ls.seg(pid.SegUID)
+		data, serr := s.stripFrame(live[i], pid)
+		if serr != nil {
+			continue
+		}
+		s.pageOut(OpDiskWrite, pid, data)
+		batch = append(batch, stripped{pid: pid, sp: sp, data: data})
+		writes = append(writes, BlockWrite{PID: pid, Data: data})
+	}
+	if len(writes) == 0 {
+		return 0, 0, nil
+	}
+	if err := s.backing.WriteBlocks(writes); err != nil {
+		for _, st := range batch {
+			s.reinstatePage(st.sp, st.pid, st.data)
+		}
+		return 0, 0, fmt.Errorf("mem: batched disk write of %d pages: %w", len(writes), err)
+	}
+	for _, st := range batch {
+		st.sp.pages[st.pid.Index] = Location{Level: LevelDisk}
+	}
+	s.coreToDisk.Add(int64(len(batch)))
+	return len(batch), batchCost(s.cfg.DiskWrite, len(batch)), nil
+}
+
+// PageInBatch brings a set of disk-resident pages into core through a
+// single backing-store round trip, returning the frames in pid order and
+// the batched latency. The call is all-or-nothing: every pid must name a
+// disk-resident page of a live segment and a free frame must exist for
+// each, or the batch aborts with no state change (allocated frames are
+// returned to the free pool).
+func (s *Store) PageInBatch(pids []PageID) ([]FrameID, int64, error) {
+	if len(pids) == 0 {
+		return nil, 0, nil
+	}
+	ls, err := s.lockSegments(pids)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer ls.unlock()
+
+	for _, pid := range pids {
+		sp := ls.seg(pid.SegUID)
+		loc, ok := sp.pages[pid.Index]
+		if !ok || loc.Level != LevelDisk {
+			return nil, 0, fmt.Errorf("%w (page %v not disk-resident)", ErrBusy, pid)
+		}
+		if err := s.checkIO(OpDiskRead, pid); err != nil {
+			return nil, 0, err
+		}
+	}
+	frames := make([]FrameID, len(pids))
+	for i, pid := range pids {
+		f, ok := s.takeFrame(pid)
+		if !ok {
+			for _, g := range frames[:i] {
+				putFree(&s.freeFrames, int(g))
+			}
+			return nil, 0, ErrNoFreeFrame
+		}
+		frames[i] = f
+	}
+	blocks, err := s.backing.ReadBlocks(pids)
+	if err != nil {
+		for _, f := range frames {
+			putFree(&s.freeFrames, int(f))
+		}
+		return nil, 0, fmt.Errorf("mem: batched disk read of %d pages: %w", len(pids), err)
+	}
+	for i, pid := range pids {
+		s.installFrame(frames[i], pid, blocks[i])
+		ls.seg(pid.SegUID).pages[pid.Index] = Location{Level: LevelCore, Frame: frames[i]}
+	}
+	s.diskToCore.Add(int64(len(pids)))
+	return frames, batchCost(s.cfg.DiskRead, len(pids)), nil
+}

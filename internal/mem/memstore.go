@@ -51,6 +51,40 @@ func (m *MemStore) WriteBlock(pid PageID, data []uint64) error {
 	return nil
 }
 
+// ReadBlocks implements BackingStore natively: one lock acquisition
+// covers the whole batch, and the all-or-nothing check runs before any
+// mapping is dropped.
+func (m *MemStore) ReadBlocks(pids []PageID) ([][]uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, pid := range pids {
+		if _, ok := m.blocks[pid]; !ok {
+			return nil, fmt.Errorf("%w: %v", ErrNoBlock, pid)
+		}
+	}
+	out := make([][]uint64, len(pids))
+	for i, pid := range pids {
+		data := m.blocks[pid]
+		delete(m.blocks, pid)
+		cp := make([]uint64, len(data))
+		copy(cp, data)
+		out[i] = cp
+	}
+	return out, nil
+}
+
+// WriteBlocks implements BackingStore natively: one lock acquisition
+// records the whole batch. The volatile map cannot fail mid-batch, so
+// the all-or-nothing contract is trivial.
+func (m *MemStore) WriteBlocks(writes []BlockWrite) error {
+	m.mu.Lock()
+	for _, w := range writes {
+		m.blocks[w.PID] = w.Data
+	}
+	m.mu.Unlock()
+	return nil
+}
+
 // FreeBlock implements BackingStore.
 func (m *MemStore) FreeBlock(pid PageID) error {
 	m.mu.Lock()

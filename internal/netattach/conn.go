@@ -7,6 +7,7 @@ import (
 	"repro/internal/gate"
 	"repro/internal/iosys"
 	"repro/internal/mls"
+	"repro/internal/trace"
 )
 
 // State is a connection's position in the attachment lifecycle.
@@ -232,7 +233,7 @@ func (c *Conn) Close() error {
 		return nil
 	}
 	c.state = StateDraining
-	fe.emit(gate.TraceEvent{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
+	fe.emit(trace.Event{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
 	if err := fe.drainLocked(c); err != nil {
 		return err
 	}

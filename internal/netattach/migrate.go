@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gate"
 	"repro/internal/mls"
+	"repro/internal/trace"
 )
 
 // Live session migration support. A session is migrated between two
@@ -89,7 +90,7 @@ func (c *Conn) Snapshot() (*SessionState, error) {
 		st.KnownUIDs = append(st.KnownUIDs, e.UID)
 	}
 	st.KnownSegs = len(st.KnownUIDs)
-	fe.emit(gate.TraceEvent{Name: "migrate_out", Subject: c.id,
+	fe.emit(trace.Event{Name: "migrate_out", Subject: c.id,
 		Arg: uint64(st.KnownSegs), Outcome: gate.ClassOK})
 	return st, nil
 }
@@ -121,7 +122,7 @@ func (fe *Frontend) AttachMigrated(person, project, password string, level mls.L
 	c.replySeq = st.ReplySeq
 	c.delivered = st.Delivered
 	c.processed = st.Processed
-	fe.emit(gate.TraceEvent{Name: "migrate_in", Subject: c.id,
+	fe.emit(trace.Event{Name: "migrate_in", Subject: c.id,
 		Arg: uint64(st.KnownSegs), Outcome: gate.ClassOK})
 	fe.mu.Unlock()
 	return c, nil

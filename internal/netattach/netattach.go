@@ -335,8 +335,8 @@ func (fe *Frontend) SetSink(sink trace.Sink) {
 // emit records one StageNet lifecycle event into the kernel-crossing
 // trace spine and the optional sink. Caller holds fe.mu (directly or by
 // running inside the simulation under pump).
-func (fe *Frontend) emit(ev gate.TraceEvent) {
-	ev.Stage = gate.StageNet
+func (fe *Frontend) emit(ev trace.Event) {
+	ev.Stage = trace.StageNet
 	fe.svc.Trace.Record(ev)
 	if fe.sink != nil {
 		fe.sink.Record(ev)
@@ -461,7 +461,7 @@ func (fe *Frontend) accept(pc *sched.ProcCtx, c *Conn) {
 	fe.accepted++
 	fe.nm.accepted.Inc()
 	fe.nm.attachLat.Observe(c.attachLat)
-	fe.emit(gate.TraceEvent{Name: "attach", Subject: c.id, Cost: c.attachLat, Outcome: gate.ClassOK})
+	fe.emit(trace.Event{Name: "attach", Subject: c.id, Cost: c.attachLat, Outcome: gate.ClassOK})
 }
 
 // reject records a failed accept. Caller holds fe.mu via the simulation.
@@ -469,7 +469,7 @@ func (fe *Frontend) reject(c *Conn, err error) {
 	fe.rejected++
 	fe.nm.rejected.Inc()
 	c.fail(err)
-	fe.emit(gate.TraceEvent{Name: "reject", Subject: c.id, Outcome: gate.Classify(err), Detail: err.Error()})
+	fe.emit(trace.Event{Name: "reject", Subject: c.id, Outcome: gate.Classify(err), Detail: err.Error()})
 }
 
 // markRunnable queues the connection for the worker pool (idempotent) and
@@ -609,7 +609,7 @@ func (fe *Frontend) execute(pc *sched.ProcCtx, c *Conn, word uint64) {
 	c.processed++
 	fe.processed++
 	fe.nm.processed.Inc()
-	fe.emit(gate.TraceEvent{Name: "request", Subject: c.id, Arg: word, Outcome: gate.ClassOK})
+	fe.emit(trace.Event{Name: "request", Subject: c.id, Arg: word, Outcome: gate.ClassOK})
 	fe.enqueueReply(c, reply)
 }
 
@@ -689,7 +689,7 @@ func (fe *Frontend) finishClose(c *Conn) error {
 	c.state = StateClosed
 	delete(fe.conns, c.id)
 	fe.nm.active.Set(int64(len(fe.conns)))
-	fe.emit(gate.TraceEvent{Name: "close", Subject: c.id, Arg: uint64(c.processed), Outcome: gate.ClassOK})
+	fe.emit(trace.Event{Name: "close", Subject: c.id, Arg: uint64(c.processed), Outcome: gate.ClassOK})
 	return nil
 }
 
@@ -707,7 +707,7 @@ func (fe *Frontend) Close() error {
 		switch c.state {
 		case StateAttached, StateDraining:
 			c.state = StateDraining
-			fe.emit(gate.TraceEvent{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
+			fe.emit(trace.Event{Name: "drain", Subject: c.id, Outcome: gate.ClassOK})
 			if err := fe.drainLocked(c); err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -1,0 +1,98 @@
+package pagectl
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// BatchPager is the page-control half of the deterministic execution
+// engine's batch seam. Engine tasks do not perform page-outs inline:
+// during a quantum they *stage* victim frames (from the commit phase,
+// via TaskCtx.Defer, so staging is single-threaded and ordered), and at
+// the quantum barrier the engine calls Flush, which drains the staged
+// set through one mem.Store.EvictToDiskBatch round trip — one lock
+// cascade on the volatile hierarchy, one journal record group on a
+// durable backing store — and returns the batched device latency for
+// the engine to charge to the global clock.
+//
+// Frames are flushed in ascending FrameID order regardless of staging
+// order, so the transcript and the backing-store journal are identical
+// at any engine parallelism.
+type BatchPager struct {
+	store   *mem.Store
+	pending []mem.FrameID
+	staged  map[mem.FrameID]bool
+
+	stats BatchStats
+}
+
+// BatchStats is the accumulated accounting of a BatchPager.
+type BatchStats struct {
+	// Staged counts frames accepted by Stage (after dedup).
+	Staged int64 `json:"staged"`
+	// Written counts pages that reached the backing store.
+	Written int64 `json:"written"`
+	// Skipped counts staged frames that lost a race (freed, wired, or
+	// re-used) before the flush and were dropped, as a per-frame evict
+	// would have returned ErrBusy.
+	Skipped int64 `json:"skipped"`
+	// Batches counts non-empty Flush calls — backing-store round trips.
+	Batches int64 `json:"batches"`
+	// Cost is the total batched device latency returned to the engine.
+	Cost int64 `json:"cost"`
+}
+
+// NewBatchPager returns a pager staging page-outs against store.
+func NewBatchPager(store *mem.Store) *BatchPager {
+	return &BatchPager{store: store, staged: make(map[mem.FrameID]bool)}
+}
+
+// Stage queues frame for page-out at the next quantum barrier. Staging
+// the same frame twice before a flush is a no-op. Stage is not
+// goroutine-safe: call it from the engine's commit phase (TaskCtx.Defer)
+// or from a flusher, never directly from a task slice.
+func (b *BatchPager) Stage(frame mem.FrameID) {
+	if b.staged[frame] {
+		return
+	}
+	b.staged[frame] = true
+	b.pending = append(b.pending, frame)
+	b.stats.Staged++
+}
+
+// Pending reports how many frames are staged for the next flush.
+func (b *BatchPager) Pending() int { return len(b.pending) }
+
+// Flush drains the staged frames through one batched backing-store
+// round trip and returns the batched latency. It is the engine-flusher
+// form: register it with Engine.AddFlusher (or call Attach).
+func (b *BatchPager) Flush() (int64, error) {
+	if len(b.pending) == 0 {
+		return 0, nil
+	}
+	frames := b.pending
+	sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+	written, cost, err := b.store.EvictToDiskBatch(frames)
+	b.pending = b.pending[:0]
+	clear(b.staged)
+	if err != nil {
+		return 0, err
+	}
+	b.stats.Written += int64(written)
+	b.stats.Skipped += int64(len(frames) - written)
+	if written > 0 {
+		b.stats.Batches++
+		b.stats.Cost += cost
+	}
+	return cost, nil
+}
+
+// Attach registers Flush as an engine flusher named "pagectl.batch".
+func (b *BatchPager) Attach(e *sched.Engine) {
+	e.AddFlusher("pagectl.batch", b.Flush)
+}
+
+// BatchStats returns the accumulated accounting.
+func (b *BatchPager) BatchStats() BatchStats { return b.stats }

@@ -1,0 +1,149 @@
+package pagectl
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/mem"
+	"repro/internal/sched"
+)
+
+// evictBatchCost mirrors mem's batch cost model: full latency for the
+// first transfer, a quarter for each of the rest.
+func evictBatchCost(per int64, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return per + int64(n-1)*(per/4)
+}
+
+func stageThree(t *testing.T, store *mem.Store, b *BatchPager) []mem.PageID {
+	t.Helper()
+	pids := []mem.PageID{{SegUID: 1, Index: 0}, {SegUID: 1, Index: 1}, {SegUID: 1, Index: 2}}
+	for i, pid := range pids {
+		f, _, err := store.PageIn(pid)
+		if err != nil {
+			t.Fatalf("PageIn %v: %v", pid, err)
+		}
+		if err := store.WriteWord(f, 0, uint64(40+i)); err != nil {
+			t.Fatal(err)
+		}
+		b.Stage(f)
+		b.Stage(f) // duplicate staging is a no-op
+	}
+	return pids
+}
+
+func TestBatchPagerFlushIsOneBatch(t *testing.T) {
+	store := tinyMem(t, 8, 8)
+	if _, err := store.CreateSegment(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchPager(store)
+	pids := stageThree(t, store, b)
+	if b.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3 (dup staging must dedup)", b.Pending())
+	}
+	cost, err := b.Flush()
+	if err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if want := evictBatchCost(store.Config().DiskWrite, 3); cost != want {
+		t.Errorf("cost = %d, want %d", cost, want)
+	}
+	for _, pid := range pids {
+		loc, err := store.Locate(pid)
+		if err != nil || loc.Level != mem.LevelDisk {
+			t.Errorf("page %v at %v (err %v), want disk", pid, loc.Level, err)
+		}
+	}
+	st := b.BatchStats()
+	if st.Staged != 3 || st.Written != 3 || st.Skipped != 0 || st.Batches != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// A drained pager flushes to nothing.
+	if cost, err := b.Flush(); err != nil || cost != 0 {
+		t.Errorf("empty flush = (%d, %v), want (0, nil)", cost, err)
+	}
+	if b.BatchStats().Batches != 1 {
+		t.Errorf("empty flush counted as a batch")
+	}
+}
+
+func TestBatchPagerSkipsRacedFrames(t *testing.T) {
+	store := tinyMem(t, 8, 8)
+	if _, err := store.CreateSegment(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchPager(store)
+	pids := stageThree(t, store, b)
+	// One staged page races away before the barrier.
+	if err := store.Discard(pids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	st := b.BatchStats()
+	if st.Written != 2 || st.Skipped != 1 {
+		t.Errorf("stats = %+v, want 2 written / 1 skipped", st)
+	}
+}
+
+// TestBatchPagerUnderEngine drives the pager the way E20 does: engine
+// tasks page data in during their slices and stage page-outs from the
+// commit phase; the barrier flush batches them, and its cost advances
+// the shared clock. The final clock and pager accounting must not
+// depend on the worker count.
+func TestBatchPagerUnderEngine(t *testing.T) {
+	run := func(workers int) (int64, BatchStats) {
+		store := tinyMem(t, 16, 8)
+		if _, err := store.CreateSegment(1, 400); err != nil {
+			t.Fatal(err)
+		}
+		clk := machine.NewClock()
+		e, err := sched.NewEngine(sched.EngineConfig{Workers: workers, Quantum: 64, Clock: clk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := NewBatchPager(store)
+		b.Attach(e)
+		for i := 0; i < 4; i++ {
+			i := i
+			rounds := 0
+			e.AddTask(fmt.Sprintf("dirtier%d", i), 0, func(tc *sched.TaskCtx) sched.TaskStatus {
+				rounds++
+				pid := mem.PageID{SegUID: 1, Index: i*8 + rounds}
+				f, _, err := store.PageIn(pid)
+				if err != nil {
+					t.Errorf("PageIn %v: %v", pid, err)
+					return sched.TaskDone
+				}
+				tc.Consume(3)
+				tc.Defer(func() { b.Stage(f) })
+				if rounds >= 3 {
+					return sched.TaskDone
+				}
+				return sched.TaskRunnable
+			})
+		}
+		if err := e.Run(0); err != nil {
+			t.Fatalf("Run(workers=%d): %v", workers, err)
+		}
+		return clk.Now(), b.BatchStats()
+	}
+	refClk, refStats := run(1)
+	if refStats.Written != 12 || refStats.Batches != 3 {
+		t.Fatalf("sequential stats = %+v, want 12 written in 3 batches", refStats)
+	}
+	for _, workers := range []int{2, 4} {
+		clk, st := run(workers)
+		if clk != refClk {
+			t.Errorf("workers=%d: clock %d != sequential %d", workers, clk, refClk)
+		}
+		if st != refStats {
+			t.Errorf("workers=%d: stats %+v != sequential %+v", workers, st, refStats)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// The deterministic parallel execution engine. The cooperative Scheduler
+// above multiplexes ONE physical processor; the Engine multiplexes N real
+// goroutines while keeping every run byte-identical to the sequential
+// one. The trick is the quantum barrier:
+//
+//   - Virtual time is sliced into fixed quanta. At each quantum start the
+//     runnable tasks are snapshotted into a run queue with a stable order
+//     (priority descending, then task ID ascending).
+//   - Workers claim tasks from that queue — the first W slices are
+//     pre-assigned round-robin so every worker participates, the rest go
+//     through an atomic cursor — and run each task's slice on its own
+//     task-local machine.Clock, buffering every side effect (trace
+//     events, deferred actions, interrupt raises, wakeups) in the task's
+//     private effect buffers.
+//   - At the barrier the effects commit single-threaded in run-queue
+//     order, so the observable transcript is a pure function of task
+//     code and the stable order — never of goroutine interleaving.
+//   - The global clock advances by the longest slice, registered
+//     flushers run (batched page control lives here), and buffered
+//     interrupts deliver FIFO.
+//
+// A task slice may touch shared kernel structures only through their own
+// locks (mem.Store, blockstore.Store are safe); anything whose ORDER is
+// observable must go through the effect buffers.
+type TaskStatus int
+
+// Task slice outcomes.
+const (
+	TaskRunnable TaskStatus = iota // run again next quantum
+	TaskBlocked                    // off the run queue until woken
+	TaskDone                       // finished; never runs again
+)
+
+// TaskFunc runs one quantum slice of a task and reports what the task
+// does next. It must buffer ordered side effects through tc and consume
+// virtual time through tc's task-local clock only.
+type TaskFunc func(tc *TaskCtx) TaskStatus
+
+// Task is one unit of schedulable kernel work on the engine.
+type Task struct {
+	Name     string
+	Priority int
+
+	id    int
+	fn    TaskFunc
+	state TaskStatus
+	ctx   TaskCtx
+	// Slices counts quanta in which this task ran.
+	Slices int64
+}
+
+// State returns the task's current status.
+func (t *Task) State() TaskStatus { return t.state }
+
+// irq is one buffered interrupt raise. due is the virtual time the
+// delivery boundary must have reached: a slice raise models an async
+// line with one quantum of latency, a commit-phase RaiseNow is already
+// at the boundary and is due immediately.
+type irq struct {
+	source string
+	data   uint64
+	at     int64
+	due    int64
+}
+
+// flusher is a named end-of-quantum commit hook.
+type flusher struct {
+	name string
+	fn   func() (int64, error)
+}
+
+// WorkerStats reports one worker's share of the engine's work.
+type WorkerStats struct {
+	Slices int64 // task slices this worker executed
+}
+
+// EngineConfig configures NewEngine.
+type EngineConfig struct {
+	// Workers is the number of OS-thread-backed workers (>= 1).
+	Workers int
+	// Quantum is the virtual-cycle width of an idle tick — how far the
+	// clock advances when every task is blocked and only a pending
+	// interrupt can make progress. Must be >= 1.
+	Quantum int64
+	// Clock is the global virtual clock. Required.
+	Clock *machine.Clock
+	// Sink, when set, receives the committed event stream — the
+	// transcript the determinism guarantee is about.
+	Sink trace.Sink
+}
+
+// Engine executes tasks in deterministic parallel quanta.
+type Engine struct {
+	cfg      EngineConfig
+	tasks    []*Task
+	flushers []flusher
+	handlers map[string]func(data uint64, at int64)
+
+	runq    []*Task
+	cursor  int64 // atomic claim index into runq, offset by Workers
+	qstart  int64 // global clock at the current quantum's start
+	workers []WorkerStats
+	irqs    []irq
+	quanta  int64
+}
+
+// NewEngine validates cfg and returns an engine with no tasks.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("sched: engine needs at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Quantum < 1 {
+		return nil, fmt.Errorf("sched: engine quantum must be >= 1, got %d", cfg.Quantum)
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("sched: engine needs a clock")
+	}
+	return &Engine{
+		cfg:      cfg,
+		handlers: make(map[string]func(uint64, int64)),
+		workers:  make([]WorkerStats, cfg.Workers),
+	}, nil
+}
+
+// AddTask registers a task. Higher priority runs earlier in every
+// quantum's commit order; ties break by registration order. Tasks must
+// all be added before Run.
+func (e *Engine) AddTask(name string, priority int, fn TaskFunc) *Task {
+	t := &Task{Name: name, Priority: priority, id: len(e.tasks), fn: fn, state: TaskRunnable}
+	t.ctx = TaskCtx{e: e, t: t, clock: machine.NewClock()}
+	e.tasks = append(e.tasks, t)
+	return t
+}
+
+// AddFlusher registers an end-of-quantum hook, run single-threaded after
+// the commit phase in registration order. The returned cost advances the
+// global clock — this is where batched page control pays its latency.
+func (e *Engine) AddFlusher(name string, fn func() (int64, error)) {
+	e.flushers = append(e.flushers, flusher{name: name, fn: fn})
+}
+
+// OnInterrupt registers the delivery handler for an interrupt source.
+// Handlers run single-threaded in the delivery phase and may wake tasks
+// or forward into an interrupt.Interceptor.
+func (e *Engine) OnInterrupt(source string, fn func(data uint64, at int64)) {
+	e.handlers[source] = fn
+}
+
+// Wake makes a blocked task runnable from a commit-phase context (a
+// flusher, an interrupt handler, or a deferred action). Waking a
+// runnable or done task is a no-op, so wakeups are idempotent.
+func (e *Engine) Wake(t *Task) {
+	if t.state == TaskBlocked {
+		t.state = TaskRunnable
+	}
+}
+
+// RaiseNow buffers an interrupt from a commit-phase context (a flusher
+// or another handler). It is due immediately — the "arrived exactly on
+// the quantum boundary" case — and delivers at the next boundary check.
+func (e *Engine) RaiseNow(source string, data uint64) {
+	now := e.cfg.Clock.Now()
+	e.irqs = append(e.irqs, irq{source: source, data: data, at: now, due: now})
+}
+
+// WorkerStats returns each worker's slice count. Valid after Run.
+func (e *Engine) WorkerStats() []WorkerStats {
+	out := make([]WorkerStats, len(e.workers))
+	copy(out, e.workers)
+	return out
+}
+
+// Quanta returns how many quanta (including idle ticks) Run executed.
+func (e *Engine) Quanta() int64 { return e.quanta }
+
+// buildRunq snapshots the runnable tasks in stable order.
+func (e *Engine) buildRunq() {
+	e.runq = e.runq[:0]
+	for _, t := range e.tasks {
+		if t.state == TaskRunnable {
+			e.runq = append(e.runq, t)
+		}
+	}
+	sort.SliceStable(e.runq, func(i, j int) bool {
+		if e.runq[i].Priority != e.runq[j].Priority {
+			return e.runq[i].Priority > e.runq[j].Priority
+		}
+		return e.runq[i].id < e.runq[j].id
+	})
+}
+
+// claim hands the next unclaimed runq index to a worker, or -1.
+func (e *Engine) claim() int {
+	idx := int(atomic.AddInt64(&e.cursor, 1)) - 1
+	if idx >= len(e.runq) {
+		return -1
+	}
+	return idx
+}
+
+// runSlice executes one task's quantum slice on worker w. Called
+// concurrently; everything it touches is task-private.
+func (e *Engine) runSlice(w, idx int) {
+	t := e.runq[idx]
+	tc := &t.ctx
+	tc.worker = w
+	tc.reset()
+	// Re-home the task clock to the quantum start. Task clocks only ever
+	// lag the global clock (a slice advances at most the longest slice,
+	// which is exactly what the global clock advanced by), so this is a
+	// forward sync.
+	tc.clock.AdvanceTo(e.qstart)
+	tc.next = t.fn(tc)
+	t.Slices++
+	e.workers[w].Slices++
+}
+
+// commit applies one quantum's buffered effects in runq order and
+// returns the longest slice length.
+func (e *Engine) commit() int64 {
+	maxUsed := int64(1)
+	for _, t := range e.runq {
+		tc := &t.ctx
+		if e.cfg.Sink != nil {
+			for i := range tc.events {
+				e.cfg.Sink.Record(tc.events[i])
+			}
+		}
+		for _, fn := range tc.actions {
+			fn()
+		}
+		e.irqs = append(e.irqs, tc.raises...)
+		for _, w := range tc.wakes {
+			e.Wake(w)
+		}
+		// State transition last: a same-quantum wake of a task that
+		// blocked earlier in commit order lands after this and wins.
+		if t.state == TaskRunnable || tc.next != TaskRunnable {
+			t.state = tc.next
+		}
+		if used := tc.clock.Now() - e.qstart; used > maxUsed {
+			maxUsed = used
+		}
+	}
+	return maxUsed
+}
+
+// deliver runs at each quantum boundary and hands every DUE interrupt
+// to its registered handler, FIFO. Interrupts not yet due stay queued;
+// interrupts with no handler are dropped, like a masked line.
+func (e *Engine) deliver() {
+	i := 0
+	for i < len(e.irqs) {
+		if e.irqs[i].due > e.cfg.Clock.Now() {
+			i++
+			continue
+		}
+		iq := e.irqs[i]
+		e.irqs = append(e.irqs[:i], e.irqs[i+1:]...)
+		if h := e.handlers[iq.source]; h != nil {
+			h(iq.data, iq.at)
+		}
+	}
+}
+
+// anyBlocked reports whether a task is waiting on a wakeup.
+func (e *Engine) anyBlocked() bool {
+	for _, t := range e.tasks {
+		if t.state == TaskBlocked {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes quanta until every task is done, a flusher fails, or the
+// engine deadlocks (blocked tasks, no pending interrupts, no runnable
+// work). maxQuanta <= 0 means no bound.
+func (e *Engine) Run(maxQuanta int64) error {
+	for q := int64(0); maxQuanta <= 0 || q < maxQuanta; q++ {
+		e.deliver()
+		e.buildRunq()
+		if len(e.runq) == 0 {
+			if len(e.irqs) > 0 {
+				// Idle tick: nothing runnable, but a queued interrupt
+				// becomes due once the clock reaches it.
+				e.quanta++
+				e.cfg.Clock.Advance(e.cfg.Quantum)
+				continue
+			}
+			if e.anyBlocked() {
+				return fmt.Errorf("sched: engine deadlock at vcycle %d: %s", e.cfg.Clock.Now(), e.blockedNames())
+			}
+			return nil
+		}
+		e.quanta++
+		e.qstart = e.cfg.Clock.Now()
+		atomic.StoreInt64(&e.cursor, int64(min(e.cfg.Workers, len(e.runq))))
+		e.runQuantum()
+		maxUsed := e.commit()
+		e.cfg.Clock.AdvanceTo(e.qstart + maxUsed)
+		for _, f := range e.flushers {
+			cost, err := f.fn()
+			if err != nil {
+				return fmt.Errorf("sched: engine flusher %q: %w", f.name, err)
+			}
+			if cost > 0 {
+				e.cfg.Clock.Advance(cost)
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) blockedNames() string {
+	names := ""
+	for _, t := range e.tasks {
+		if t.state == TaskBlocked {
+			if names != "" {
+				names += ", "
+			}
+			names += t.Name
+		}
+	}
+	return "blocked: " + names
+}
+
+// TaskCtx is a task's interface to the engine during its slice. All
+// buffers are task-private and reused across quanta, so a steady-state
+// slice allocates nothing.
+type TaskCtx struct {
+	e      *Engine
+	t      *Task
+	worker int
+	clock  *machine.Clock
+	next   TaskStatus
+
+	events  []trace.Event
+	actions []func()
+	raises  []irq
+	wakes   []*Task
+}
+
+// reset clears the effect buffers for a new slice, keeping capacity.
+func (tc *TaskCtx) reset() {
+	tc.events = tc.events[:0]
+	tc.actions = tc.actions[:0]
+	tc.raises = tc.raises[:0]
+	tc.wakes = tc.wakes[:0]
+}
+
+// Task returns the owning task.
+func (tc *TaskCtx) Task() *Task { return tc.t }
+
+// Worker returns the worker index executing this slice.
+func (tc *TaskCtx) Worker() int { return tc.worker }
+
+// Clock returns the task-local clock. Kernel objects that consume time
+// on behalf of this task (a Processor, a pager process context) must be
+// re-homed onto this clock, never the global one.
+func (tc *TaskCtx) Clock() *machine.Clock { return tc.clock }
+
+// Now returns the task-local virtual time.
+func (tc *TaskCtx) Now() int64 { return tc.clock.Now() }
+
+// Consume charges virtual cycles to the task.
+func (tc *TaskCtx) Consume(cycles int64) { tc.clock.Advance(cycles) }
+
+// Emit buffers a trace event for ordered commit. A zero At is stamped
+// with the task-local time.
+func (tc *TaskCtx) Emit(ev trace.Event) {
+	if ev.At == 0 {
+		ev.At = tc.clock.Now()
+	}
+	tc.events = append(tc.events, ev)
+}
+
+// Defer buffers an action to run single-threaded at the barrier, in
+// commit order. This is how a slice touches order-sensitive shared
+// state (staging batched page-outs, posting to the cooperative
+// scheduler).
+func (tc *TaskCtx) Defer(fn func()) { tc.actions = append(tc.actions, fn) }
+
+// Raise buffers an interrupt with one quantum of line latency: it
+// becomes due a full quantum after the task-local raise time and
+// delivers at the first boundary the clock reaches it.
+func (tc *TaskCtx) Raise(source string, data uint64) {
+	at := tc.clock.Now()
+	tc.raises = append(tc.raises, irq{source: source, data: data, at: at, due: at + tc.e.cfg.Quantum})
+}
+
+// Wake buffers a wakeup of another task, applied in commit order.
+func (tc *TaskCtx) Wake(t *Task) { tc.wakes = append(tc.wakes, t) }

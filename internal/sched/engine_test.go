@@ -1,0 +1,290 @@
+package sched
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// digestSink hashes the committed event stream — the transcript the
+// engine's determinism guarantee is about.
+type digestSink struct {
+	h     [32]byte
+	count int
+}
+
+func (d *digestSink) Record(ev trace.Event) {
+	line := fmt.Sprintf("%x|%d|%s|%d|%d|%d|%d", d.h, ev.Stage, ev.Name, ev.Subject, ev.Arg, ev.Cost, ev.At)
+	d.h = sha256.Sum256([]byte(line))
+	d.count++
+}
+
+// buildMixedWorkload populates e with tasks that consume uneven time,
+// emit events, block, wake each other, and raise interrupts — enough
+// cross-task traffic that a nondeterministic engine would scramble the
+// transcript. stall, when non-zero, wall-sleeps one task every slice to
+// simulate a stalled worker.
+func buildMixedWorkload(e *Engine, stall time.Duration) {
+	const nTasks = 9
+	tasks := make([]*Task, nTasks)
+	for i := 0; i < nTasks; i++ {
+		i := i
+		rounds := 0
+		tasks[i] = e.AddTask(fmt.Sprintf("task%d", i), i%3, func(tc *TaskCtx) TaskStatus {
+			if i == 0 && stall > 0 {
+				time.Sleep(stall)
+			}
+			rounds++
+			tc.Consume(int64(3 + (i*7+rounds)%11))
+			tc.Emit(trace.Event{Stage: trace.StageSched, Name: tc.Task().Name, Arg: uint64(rounds)})
+			if rounds%4 == 3 {
+				// Wake the next task in case it blocked, and raise a line.
+				tc.Wake(tasks[(i+1)%nTasks])
+				tc.Raise("line", uint64(i))
+				if i%2 == 1 {
+					// Odd tasks block here; the raise they just buffered
+					// is their own wake-up call one quantum later.
+					return TaskBlocked
+				}
+			}
+			if rounds >= 20 {
+				return TaskDone
+			}
+			return TaskRunnable
+		})
+	}
+	e.OnInterrupt("line", func(data uint64, at int64) {
+		for _, t := range tasks {
+			e.Wake(t)
+		}
+	})
+}
+
+func runMixed(t *testing.T, workers int, stall time.Duration) ([32]byte, int, []WorkerStats, int64) {
+	t.Helper()
+	clk := machine.NewClock()
+	sink := &digestSink{}
+	e, err := NewEngine(EngineConfig{Workers: workers, Quantum: 16, Clock: clk, Sink: sink})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	buildMixedWorkload(e, stall)
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run(workers=%d): %v", workers, err)
+	}
+	return sink.h, sink.count, e.WorkerStats(), clk.Now()
+}
+
+func TestEngineDeterministicAcrossWorkerCounts(t *testing.T) {
+	refDigest, refCount, _, refClock := runMixed(t, 1, 0)
+	if refCount == 0 {
+		t.Fatal("workload emitted no events")
+	}
+	for _, workers := range []int{2, 4, 8} {
+		d, c, ws, clk := runMixed(t, workers, 0)
+		if d != refDigest {
+			t.Errorf("workers=%d: digest %x != sequential %x", workers, d, refDigest)
+		}
+		if c != refCount {
+			t.Errorf("workers=%d: %d events, sequential had %d", workers, c, refCount)
+		}
+		if clk != refClock {
+			t.Errorf("workers=%d: final clock %d != sequential %d", workers, clk, refClock)
+		}
+		var total int64
+		for _, w := range ws {
+			total += w.Slices
+		}
+		if total == 0 {
+			t.Errorf("workers=%d: no slices recorded", workers)
+		}
+	}
+}
+
+func TestEngineWorkerStallDoesNotChangeTranscript(t *testing.T) {
+	// A worker stalled mid-quantum (wall-clock, not virtual) holds the
+	// barrier but must not change what commits or when.
+	refDigest, _, _, _ := runMixed(t, 1, 0)
+	d, _, _, _ := runMixed(t, 4, 200*time.Microsecond)
+	if d != refDigest {
+		t.Errorf("stalled run digest %x != reference %x", d, refDigest)
+	}
+}
+
+func TestEngineConcurrencyIsReal(t *testing.T) {
+	// With the queue deeper than the worker pool, the round-robin
+	// pre-assignment guarantees every worker executes slices.
+	clk := machine.NewClock()
+	e, err := NewEngine(EngineConfig{Workers: 4, Quantum: 8, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		rounds := 0
+		e.AddTask(fmt.Sprintf("t%d", i), 0, func(tc *TaskCtx) TaskStatus {
+			rounds++
+			tc.Consume(2)
+			if rounds >= 10 {
+				return TaskDone
+			}
+			return TaskRunnable
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for w, ws := range e.WorkerStats() {
+		if ws.Slices == 0 {
+			t.Errorf("worker %d executed no slices", w)
+		}
+	}
+}
+
+func TestEngineIdleTickDeliversLatentInterrupt(t *testing.T) {
+	// Zero-runnable quantum: the only task raises a latent interrupt and
+	// blocks. The engine must idle-tick the clock forward until the
+	// interrupt is due, deliver it, and resume the woken task — not
+	// declare deadlock.
+	clk := machine.NewClock()
+	e, err := NewEngine(EngineConfig{Workers: 2, Quantum: 32, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phase := 0
+	var task *Task
+	task = e.AddTask("sleeper", 0, func(tc *TaskCtx) TaskStatus {
+		phase++
+		tc.Consume(4)
+		if phase == 1 {
+			tc.Raise("timer", 99)
+			return TaskBlocked
+		}
+		return TaskDone
+	})
+	var delivered []uint64
+	e.OnInterrupt("timer", func(data uint64, at int64) {
+		delivered = append(delivered, data)
+		e.Wake(task)
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(delivered) != 1 || delivered[0] != 99 {
+		t.Fatalf("delivered = %v, want [99]", delivered)
+	}
+	if phase != 2 {
+		t.Fatalf("task ran %d slices, want 2 (woken after idle tick)", phase)
+	}
+	// The raise at vcycle 4 was due at 4+32; the clock must have idle-
+	// ticked past it, never short of it.
+	if clk.Now() < 36 {
+		t.Errorf("clock %d never reached the interrupt's due time", clk.Now())
+	}
+}
+
+func TestEngineBoundaryInterrupt(t *testing.T) {
+	// An interrupt raised by a flusher lands exactly on the quantum
+	// boundary and must deliver at the very next boundary check — before
+	// any further task slice runs.
+	clk := machine.NewClock()
+	e, err := NewEngine(EngineConfig{Workers: 2, Quantum: 16, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	slices := 0
+	e.AddTask("worker", 0, func(tc *TaskCtx) TaskStatus {
+		slices++
+		tc.Consume(2)
+		tc.Defer(func() { order = append(order, fmt.Sprintf("slice%d", slices)) })
+		if slices >= 2 {
+			return TaskDone
+		}
+		return TaskRunnable
+	})
+	raised := false
+	e.AddFlusher("boundary", func() (int64, error) {
+		if !raised {
+			raised = true
+			e.RaiseNow("edge", 7)
+		}
+		return 0, nil
+	})
+	e.OnInterrupt("edge", func(data uint64, at int64) {
+		order = append(order, fmt.Sprintf("edge@%d", at))
+	})
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"slice1", "edge@2", "slice2"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestEngineDeadlockDetected(t *testing.T) {
+	clk := machine.NewClock()
+	e, err := NewEngine(EngineConfig{Workers: 2, Quantum: 8, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddTask("waiter", 0, func(tc *TaskCtx) TaskStatus {
+		tc.Consume(1)
+		return TaskBlocked
+	})
+	if err := e.Run(0); err == nil {
+		t.Fatal("blocked task with no wake source should deadlock")
+	}
+}
+
+func TestEngineFlusherCostAdvancesClock(t *testing.T) {
+	clk := machine.NewClock()
+	e, err := NewEngine(EngineConfig{Workers: 1, Quantum: 8, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AddTask("one", 0, func(tc *TaskCtx) TaskStatus {
+		tc.Consume(5)
+		return TaskDone
+	})
+	e.AddFlusher("io", func() (int64, error) { return 100, nil })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if clk.Now() != 105 {
+		t.Errorf("clock = %d, want 105 (5 slice + 100 flush)", clk.Now())
+	}
+}
+
+func TestEnginePriorityOrdersCommit(t *testing.T) {
+	clk := machine.NewClock()
+	sink := &orderSink{}
+	e, err := NewEngine(EngineConfig{Workers: 4, Quantum: 8, Clock: clk, Sink: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, prio := range []int{1, 3, 2} {
+		name := fmt.Sprintf("p%d", prio)
+		_ = i
+		e.AddTask(name, prio, func(tc *TaskCtx) TaskStatus {
+			tc.Consume(1)
+			tc.Emit(trace.Event{Stage: trace.StageSched, Name: name})
+			return TaskDone
+		})
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"p3", "p2", "p1"}
+	if fmt.Sprint(sink.names) != fmt.Sprint(want) {
+		t.Errorf("commit order = %v, want %v", sink.names, want)
+	}
+}
+
+type orderSink struct{ names []string }
+
+func (o *orderSink) Record(ev trace.Event) { o.names = append(o.names, ev.Name) }

@@ -1,0 +1,45 @@
+package sched
+
+import "sync"
+
+// runQuantum fans one quantum's run queue out across the configured
+// workers and waits for all of them — the barrier that makes the
+// parallelism invisible. This file is the engine's ONLY goroutine launch
+// site (check.sh lints the rest of the execution-engine files for bare
+// go statements): everything a worker runs is task-private by the
+// TaskCtx contract, and the WaitGroup's completion edge publishes the
+// workers' writes to the single-threaded commit phase.
+//
+// Worker i starts on runq[i] so every worker executes at least one slice
+// whenever the queue is deep enough — the per-worker slice counters are
+// how callers verify the work was genuinely concurrent — then claims
+// further slices through the shared cursor.
+func (e *Engine) runQuantum() {
+	n := min(e.cfg.Workers, len(e.runq))
+	if n == 1 {
+		e.runSlice(0, 0)
+		for {
+			idx := e.claim()
+			if idx < 0 {
+				return
+			}
+			e.runSlice(0, idx)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.runSlice(w, w)
+			for {
+				idx := e.claim()
+				if idx < 0 {
+					return
+				}
+				e.runSlice(w, idx)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -8,13 +8,14 @@
 //
 // The package is a leaf: it imports only the standard library, so the
 // machine, sched, netattach, and faults layers can all accept a
-// trace.Sink uniformly without import cycles. Package gate re-exports
-// these types under their historical names (gate.TraceEvent,
-// gate.TraceRing, ...) as type aliases.
+// trace.Sink uniformly without import cycles. The historical gate.Trace*
+// aliases are gone; every consumer imports this package directly
+// (enforced by the scripts/check.sh lint).
 package trace
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -153,16 +154,32 @@ type SinkFunc func(ev Event)
 // Record calls f(ev).
 func (f SinkFunc) Record(ev Event) { f(ev) }
 
-// Ring is a fixed-size lock-free ring buffer of trace events.
-// Writers claim a slot with a single atomic add and publish the event
-// with an atomic pointer store; the ring never blocks and old events are
-// overwritten once the ring wraps. A disabled ring drops events at the
-// cost of one atomic load.
+// Ring is a fixed-size ring buffer of trace events. Writers claim a
+// slot with a single atomic add and publish the event VALUE under that
+// slot's own mutex — no per-event heap allocation, which keeps Record
+// off the garbage collector's books on the gate-dispatch hot path. Slot
+// mutexes are uncontended except when two writers lap each other onto
+// the same slot; the ring never blocks on other slots and old events
+// are overwritten once the ring wraps. A disabled ring drops events at
+// the cost of one atomic load.
+// The slot array is allocated lazily on the first Record: a kernel
+// boots one ring per instance, and inventory-style workloads that boot
+// many kernels but trace little would otherwise pay the full slot
+// array's allocation and zeroing at every boot.
 type Ring struct {
-	slots   []atomic.Pointer[Event]
+	size    int // capacity (power of two)
 	mask    uint64
+	init    sync.Once
+	slots   []ringSlot
 	cursor  atomic.Uint64
 	enabled atomic.Bool
+}
+
+// ringSlot is one published event plus its occupancy flag.
+type ringSlot struct {
+	mu   sync.Mutex
+	full bool
+	ev   Event
 }
 
 // NewRing returns an enabled ring holding at least size events
@@ -172,9 +189,17 @@ func NewRing(size int) *Ring {
 	for n < size {
 		n <<= 1
 	}
-	r := &Ring{slots: make([]atomic.Pointer[Event], n), mask: uint64(n - 1)}
+	r := &Ring{size: n, mask: uint64(n - 1)}
 	r.enabled.Store(true)
 	return r
+}
+
+// lazySlots allocates the slot array on first use. The sync.Once fast
+// path is one atomic load, so the Record hot path stays allocation-free
+// after the first event.
+func (r *Ring) lazySlots() []ringSlot {
+	r.init.Do(func() { r.slots = make([]ringSlot, r.size) })
+	return r.slots
 }
 
 // SetEnabled turns recording on or off. Disabling is how benchmarks
@@ -196,8 +221,11 @@ func (r *Ring) Record(ev Event) {
 	}
 	seq := r.cursor.Add(1) - 1
 	ev.Seq = seq
-	e := ev
-	r.slots[seq&r.mask].Store(&e)
+	s := &r.lazySlots()[seq&r.mask]
+	s.mu.Lock()
+	s.ev = ev
+	s.full = true
+	s.mu.Unlock()
 }
 
 // Written returns the number of events recorded since creation,
@@ -214,22 +242,29 @@ func (r *Ring) Cap() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.slots)
+	return r.size
 }
 
 // Snapshot copies the currently published events out of the ring, oldest
 // first by sequence number. Under concurrent writers the snapshot is a
-// best-effort cut: each slot is read atomically, but slots race with
-// overwrites, so Snapshot is for inspection and post-run reporting.
+// best-effort cut: each slot is read under its own lock, but slots race
+// with overwrites, so Snapshot is for inspection and post-run reporting.
 func (r *Ring) Snapshot() []Event {
 	if r == nil {
 		return nil
 	}
-	out := make([]Event, 0, len(r.slots))
-	for i := range r.slots {
-		if p := r.slots[i].Load(); p != nil {
-			out = append(out, *p)
+	if r.cursor.Load() == 0 {
+		return nil
+	}
+	slots := r.lazySlots()
+	out := make([]Event, 0, len(slots))
+	for i := range slots {
+		s := &slots[i]
+		s.mu.Lock()
+		if s.full {
+			out = append(out, s.ev)
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out

@@ -22,9 +22,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
-	"repro/internal/gate"
 	"repro/internal/mem"
 	"repro/internal/netattach"
+	"repro/internal/trace"
 	"repro/multics"
 )
 
@@ -68,11 +68,11 @@ type Config struct {
 	// concurrent memory store from many goroutines at once.
 	Parallelism int
 	// TraceSink, when set, receives every attachment-lifecycle trace
-	// event (gate.StageNet) the front-end emits during the run, in
+	// event (trace.StageNet) the front-end emits during the run, in
 	// emission order. The engine always collects these events itself to
 	// compute Report.TraceDigest; the sink is a tee for callers that
 	// want the raw stream.
-	TraceSink gate.TraceSink
+	TraceSink trace.Sink
 	// Backing, when set, is the durable backing store Boot threads under
 	// the memory hierarchy (mem.Config.Backing); nil keeps the volatile
 	// default. With a durable store, checkpoint/restore (core.Checkpoint,
@@ -273,7 +273,7 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	}
 	// The canonical trace collector sees every lifecycle event the run
 	// produces; a caller-supplied TraceSink rides along as a tee.
-	tc := &traceCollector{tee: cfg.TraceSink, byID: make(map[uint64][]gate.TraceEvent)}
+	tc := &traceCollector{tee: cfg.TraceSink, byID: make(map[uint64][]trace.Event)}
 	fe.SetSink(tc)
 	defer fe.SetSink(nil)
 
@@ -472,11 +472,11 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 // so it is a valid TraceSink regardless of who calls it.
 type traceCollector struct {
 	mu   sync.Mutex
-	tee  gate.TraceSink
-	byID map[uint64][]gate.TraceEvent
+	tee  trace.Sink
+	byID map[uint64][]trace.Event
 }
 
-func (tc *traceCollector) Record(ev gate.TraceEvent) {
+func (tc *traceCollector) Record(ev trace.Event) {
 	tc.mu.Lock()
 	tc.byID[ev.Subject] = append(tc.byID[ev.Subject], ev)
 	tc.mu.Unlock()

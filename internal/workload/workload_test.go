@@ -8,8 +8,8 @@ import (
 	"repro/internal/acl"
 	"repro/internal/faults"
 	"repro/internal/fs"
-	"repro/internal/gate"
 	"repro/internal/mls"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/multics"
 )
@@ -156,7 +156,7 @@ type countingSink struct {
 	n  int
 }
 
-func (s *countingSink) Record(gate.TraceEvent) {
+func (s *countingSink) Record(trace.Event) {
 	s.mu.Lock()
 	s.n++
 	s.mu.Unlock()

@@ -94,10 +94,13 @@ if [ -n "$e19" ]; then
 	echo "$e19"
 fi
 
+# The delta doubles as a regression gate: any benchmark whose ns/op grew
+# more than 20% over the baseline is flagged and fails the run, so a perf
+# regression cannot land silently with a fresh archive.
 if [ -n "$base" ]; then
 	echo ""
 	echo "delta vs $baselabel:"
-	awk '
+	if ! awk -v limit=20 '
 	FNR == 1 { fileno++ }
 	match($0, /"name": "[^"]*"/) {
 	    name = substr($0, RSTART + 9, RLENGTH - 10)
@@ -106,12 +109,19 @@ if [ -n "$base" ]; then
 	        if (fileno == 1) {
 	            old[name] = ns
 	        } else if (name in old) {
-	            printf "  %-52s %14s -> %14s ns/op  %+.1f%%\n",
-	                name, old[name], ns, (ns - old[name]) / old[name] * 100
+	            pct = (ns - old[name]) / old[name] * 100
+	            mark = ""
+	            if (pct > limit) { mark = "  ** REGRESSION"; bad = 1 }
+	            printf "  %-52s %14s -> %14s ns/op  %+.1f%%%s\n",
+	                name, old[name], ns, pct, mark
 	        } else {
 	            printf "  %-52s %33s ns/op  (new)\n", name, ns
 	        }
 	    }
 	}
-	' "$base" "$out"
+	END { exit bad }
+	' "$base" "$out"; then
+		echo "bench: ns/op regression over 20% vs $baselabel (see ** lines above)" >&2
+		exit 1
+	fi
 fi

@@ -147,6 +147,47 @@ if [ -n "$bad" ]; then
 	exit 1
 fi
 
+echo "== trace-alias lint"
+# The gate.Trace*/gate.Stage* compatibility aliases are deleted: the
+# trace spine has one set of names, in repro/internal/trace. Any file
+# spelling the old names is depending on a surface that no longer
+# exists (or worse, re-growing it).
+bad=""
+for f in $(grep -rl 'gate\.Trace\(Event\|Ring\|Sink\|Stage\)\|gate\.NewTraceRing\|gate\.Stage\(Gate\|Fault\|Sched\|Net\)' \
+	--include='*.go' internal/ cmd/ multics/ examples/ ./*.go 2>/dev/null || true); do
+	bad="$bad
+$(grep -n 'gate\.Trace\|gate\.NewTraceRing\|gate\.Stage' "$f" | sed "s|^|$f:|")"
+done
+if [ -n "$bad" ]; then
+	echo "deleted gate.Trace*/gate.Stage* aliases referenced (use repro/internal/trace):$bad" >&2
+	exit 1
+fi
+
+echo "== engine-determinism lint"
+# The execution engine's determinism guarantee (byte-identical
+# transcripts at any worker count) forbids three things in engine code:
+# wall-clock reads (time.Now), unseeded randomness (math/rand), and
+# goroutines launched anywhere but the one barrier-protected site in
+# engineworkers.go. Tests may sleep to simulate stalls, but engine
+# sources themselves must be pure functions of the virtual clock.
+bad=""
+for f in internal/sched/engine.go internal/pagectl/batch.go; do
+	hits=$(grep -n 'time\.Now\|math/rand\|^\s*go \|[^a-zA-Z]go func' "$f" || true)
+	if [ -n "$hits" ]; then
+		bad="$bad
+$(printf '%s' "$hits" | sed "s|^|$f:|")"
+	fi
+done
+hits=$(grep -n 'time\.Now\|math/rand' internal/sched/engineworkers.go || true)
+if [ -n "$hits" ]; then
+	bad="$bad
+$(printf '%s' "$hits" | sed 's|^|internal/sched/engineworkers.go:|')"
+fi
+if [ -n "$bad" ]; then
+	echo "nondeterminism in execution-engine sources (wall clock / rand / stray goroutine):$bad" >&2
+	exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -222,6 +263,24 @@ case "$out" in
 esac
 if ! echo "$out" | grep -q 'digest identical true'; then
 	echo "E19: restored transcript digest diverged from the uninterrupted run" >&2
+	exit 1
+fi
+
+echo "== execution-engine smoke (E20: deterministic parallel engine, batched page control)"
+out=$(go run ./cmd/experiments -run E20)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E20 execution engine did not meet its claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'digests identical across engine workers 1/2/8: true'; then
+	echo "E20: transcripts diverged across engine parallelism" >&2
+	exit 1
+fi
+if ! echo "$out" | grep -q 'all workers active: true'; then
+	echo "E20: worker pool was not actually exercised in parallel" >&2
 	exit 1
 fi
 
