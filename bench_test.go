@@ -345,10 +345,12 @@ func BenchmarkE12ImageInit(b *testing.B) {
 // simulation's own throughput (requests per thousand virtual cycles)
 // alongside wall time.
 func BenchmarkE13NetAttachThroughput(b *testing.B) {
-	cfg := workload.Config{Conns: 32, Steps: 24, Burst: 24, Seed: 75}
+	sc := workload.NewScenario("bench-e13", 75).
+		Mix(workload.Stormer(24, 24, 0), 1).
+		Sessions(32)
 	var throughput, lost float64
 	for i := 0; i < b.N; i++ {
-		rep, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+		rep, err := workload.RunAt(multics.StageIOConsolidated, sc)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -606,16 +608,17 @@ func BenchmarkE15FaultStorm(b *testing.B) {
 	for _, rate := range []float64{0, 0.001, 0.01} {
 		b.Run(fmt.Sprintf("rate-%.1f%%", rate*100), func(b *testing.B) {
 			spec := faults.UniformSpec(7501, rate, 6)
-			cfg := workload.Config{
-				Conns: 32, Steps: 12, Burst: 12, Seed: 75, Faults: &spec,
-			}
+			sc := workload.NewScenario("bench-e15", 75).
+				Mix(workload.Stormer(12, 12, 0), 1).
+				Sessions(32).
+				Faults(&spec)
 			var survival, cycles, injected float64
 			for i := 0; i < b.N; i++ {
-				sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+				sys, err := workload.Boot(multics.StageIOConsolidated, sc)
 				if err != nil {
 					b.Fatal(err)
 				}
-				rep, err := workload.Run(sys, cfg)
+				rep, err := workload.Run(sys, sc)
 				if err != nil {
 					sys.Shutdown()
 					b.Fatal(err)
@@ -709,7 +712,12 @@ func BenchmarkE16MetricsOverhead(b *testing.B) {
 // and the session digest must match the single-kernel run — scaling is
 // only interesting if the transcripts prove nobody noticed.
 func BenchmarkE17FleetScaling(b *testing.B) {
-	wl := workload.Config{Conns: 32, Steps: 8, Burst: 2, Users: 32, Seed: 75}
+	const benchConns = 32
+	wl := func() *workload.Scenario {
+		return workload.NewScenario("bench-e17", 75).
+			Mix(workload.Stormer(8, 2, benchConns), 1).
+			Sessions(benchConns)
+	}
 	var baseline string
 	for _, arm := range []struct {
 		name         string
@@ -726,13 +734,13 @@ func BenchmarkE17FleetScaling(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				f, err := fleet.New(fleet.Config{
 					Kernels: arm.kernels, Workers: 8,
-					MaxConns: wl.Conns, MemFrames: 4096,
+					MaxConns: benchConns, MemFrames: 4096,
 				})
 				if err != nil {
 					b.Fatal(err)
 				}
 				rep, err = fleet.Run(f, fleet.RunConfig{
-					Workload: wl, MigrateEvery: arm.migrateEvery,
+					Scenario: wl(), MigrateEvery: arm.migrateEvery,
 				})
 				f.Close()
 				if err != nil {

@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "", "run only the experiment with this ID (E1..E20, A1, A2)")
+	run := flag.String("run", "", "run only the experiment with this ID (E1..E21, A1, A2)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	ablations := flag.Bool("ablations", false, "also run the A1/A2 ablations in the full sweep")
 	flag.Parse()
@@ -43,10 +43,11 @@ func main() {
 		"E18": experiments.E18HierarchyScale,
 		"E19": experiments.E19CheckpointRestore,
 		"E20": experiments.E20DeterministicEngine,
+		"E21": experiments.E21PersonaWorkloads,
 		"A1":  experiments.A1SecurityCost,
 		"A2":  experiments.A2WaterMarks,
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	if *ablations {
 		order = append(order, "A1", "A2")
 	}
@@ -62,7 +63,7 @@ func main() {
 	if *run != "" {
 		fn, ok := all[*run]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E20)\n", *run)
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (want E1..E21)\n", *run)
 			os.Exit(2)
 		}
 		rep := fn()

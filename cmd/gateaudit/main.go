@@ -58,14 +58,16 @@ func main() {
 // counters: calls, errors, rejected argument lists, and virtual cycles
 // charged, sorted by cost.
 func runtimeStats(s multics.Stage, top int, seed int64) {
-	cfg := workload.Config{Conns: 32, Steps: 16, Burst: 8, Seed: seed}
-	sys, err := workload.Boot(s, cfg)
+	sc := workload.NewScenario("gateaudit", seed).
+		Mix(workload.Stormer(16, 8, 0), 1).
+		Sessions(32)
+	sys, err := workload.Boot(s, sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gateaudit: %v\n", err)
 		os.Exit(1)
 	}
 	defer sys.Shutdown()
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gateaudit: %v\n", err)
 		os.Exit(1)
@@ -86,7 +88,7 @@ func runtimeStats(s multics.Stage, top int, seed int64) {
 	}
 
 	fmt.Printf("gate runtime stats at %v (seed %d: %d conns x %d steps, %d requests processed)\n\n",
-		s, seed, cfg.Conns, cfg.Steps, rep.Stats.Processed)
+		s, seed, rep.Conns, rep.Steps, rep.Stats.Processed)
 	fmt.Printf("%-28s %-16s %9s %7s %9s %12s %9s\n",
 		"gate", "category", "calls", "errors", "rejected", "vcycles", "vcy/call")
 	var calls, errs, rejected, vcycles int64

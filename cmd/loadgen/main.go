@@ -13,6 +13,19 @@
 //	loadgen -n 32 -metrics        # live metric deltas + final registry snapshot
 //	loadgen -n 64 -kernels 4      # shard the sessions across a 4-kernel fleet
 //	loadgen -n 64 -kernels 4 -migrate-every 1      # and live-migrate every burst
+//	loadgen -n 24 -scenario office                 # mixed persona population
+//	loadgen -n 24 -scenario office -mix editor=3,compiler=2,daemon=1,tenants=2
+//	loadgen -n 24 -scenario office -arrival open:3 # seeded open-loop arrivals
+//
+// With -scenario the flat storm is replaced by a composed persona
+// population (see internal/workload): -mix weights the personas
+// (editor, compiler, daemon, tenants), -arrival picks the arrival
+// model — "closed" (fixed population with think time, the default) or
+// "open:GAP" (sessions enter the run at seeded staggered rounds with
+// the given mean gap). Persona definitions fix each session's shape,
+// so -steps, -burst and -users do not combine with -scenario. All
+// persona decisions are pure seeded hashes: the transcript digest is
+// byte-identical at any -par and any -kernels count.
 //
 // With -compare the same scripts are replayed against the pre-S5 legacy
 // per-device drivers (fixed circular buffers, silent overwrites counted
@@ -56,6 +69,7 @@ import (
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/blockstore"
 	"repro/internal/cliutil"
@@ -76,7 +90,12 @@ type options struct {
 	// faultSeedSet records whether -fault-seed appeared on the command
 	// line at all (its value is meaningful only with -fault-rate > 0).
 	faultSeedSet bool
-	metricsEvery int64
+	// scenario/mix/arrival select the persona path; shapeSet records
+	// whether any of -steps/-burst/-users appeared explicitly (personas
+	// fix the traffic shape, so the two are contradictory).
+	scenario, mix, arrival string
+	shapeSet               bool
+	metricsEvery           int64
 	// kernels/migrateEvery select the fleet path; compare/metrics are
 	// single-kernel reporting modes and conflict with it.
 	kernels      int
@@ -96,7 +115,7 @@ type options struct {
 // code 2 rather than letting the engine translate it into a
 // half-configured run.
 func validate(o options) error {
-	return cliutil.FirstError(
+	if err := cliutil.FirstError(
 		cliutil.AtLeast("n", o.n, 1, "one connection"),
 		cliutil.AtLeast("steps", o.steps, 1, "one request per session"),
 		cliutil.NonNegative("burst", o.burst),
@@ -127,7 +146,116 @@ func validate(o options) error {
 			Msg: "-compare with -store: the legacy path predates the backing store"},
 		cliutil.Rule{Bad: o.restore && o.faultRate > 0,
 			Msg: "-fault-rate with -restore: the fault plan is not part of the checkpoint; restore boots without one"},
-	)
+		cliutil.Rule{Bad: o.mix != "" && o.scenario == "",
+			Msg: "-mix without -scenario: a persona mix needs a scenario to compose into"},
+		cliutil.Rule{Bad: o.arrival != "" && o.arrival != "closed" && o.scenario == "",
+			Msg: fmt.Sprintf("-arrival %s without -scenario: the arrival model applies to persona scenarios", o.arrival)},
+		cliutil.Rule{Bad: o.scenario != "" && o.shapeSet,
+			Msg: "-steps/-burst/-users with -scenario: persona definitions fix the traffic shape"},
+		cliutil.Rule{Bad: o.scenario != "" && o.compare,
+			Msg: "-compare with -scenario: the legacy comparison replays the flat storm only"},
+	); err != nil {
+		return err
+	}
+	if o.scenario != "" {
+		if _, err := parseMix(o.mix); err != nil {
+			return err
+		}
+		if _, _, err := parseArrival(o.arrival); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// personaByName maps a -mix entry name to its builder. The names are
+// the personas' own Report section names.
+func personaByName(name string) (workload.Persona, bool) {
+	switch name {
+	case "editor":
+		return workload.InteractiveEditor(), true
+	case "compiler":
+		return workload.BatchCompiler(), true
+	case "daemon":
+		return workload.Daemon(), true
+	case "tenants":
+		return workload.TenantPair(), true
+	}
+	return workload.Persona{}, false
+}
+
+// defaultMix is the population used when -scenario is given without an
+// explicit -mix: a small office — mostly editors, some compilers, one
+// daemon slice, and an MLS tenant pair.
+const defaultMix = "editor=3,compiler=2,daemon=1,tenants=2"
+
+type mixEntry struct {
+	persona workload.Persona
+	weight  int
+}
+
+// parseMix parses "editor=3,compiler=2" into weighted personas. Every
+// weight must be positive, so the sum is too.
+func parseMix(spec string) ([]mixEntry, error) {
+	if spec == "" {
+		spec = defaultMix
+	}
+	var out []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-mix %q: entry %q is not name=weight", spec, part)
+		}
+		p, known := personaByName(name)
+		if !known {
+			return nil, fmt.Errorf("-mix %q: unknown persona %q (have editor, compiler, daemon, tenants)", spec, name)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("-mix %q: weight %q for %s: need a positive integer", spec, val, name)
+		}
+		out = append(out, mixEntry{persona: p, weight: w})
+	}
+	return out, nil
+}
+
+// parseArrival parses "closed", "open", or "open:GAP".
+func parseArrival(s string) (open bool, gap int, err error) {
+	switch {
+	case s == "" || s == "closed":
+		return false, 0, nil
+	case s == "open":
+		return true, 2, nil
+	case strings.HasPrefix(s, "open:"):
+		gap, err = strconv.Atoi(s[len("open:"):])
+		if err != nil || gap < 0 {
+			return false, 0, fmt.Errorf("-arrival %q: mean gap must be a non-negative integer", s)
+		}
+		return true, gap, nil
+	}
+	return false, 0, fmt.Errorf("-arrival %q: want closed, open, or open:GAP", s)
+}
+
+// buildScenario composes the run's scenario: the classic flat storm
+// (the same scripts workload.Legacy compiles for out-of-tree callers),
+// or a weighted persona mix. validate has already vetted the mix and
+// arrival specs.
+func buildScenario(o options, seed int64) *workload.Scenario {
+	if o.scenario == "" {
+		return workload.NewScenario("storm", seed).
+			Mix(workload.Stormer(o.steps, o.burst, o.users), 1).
+			Sessions(o.n).
+			Parallel(o.par)
+	}
+	sc := workload.NewScenario(o.scenario, seed).Sessions(o.n).Parallel(o.par)
+	mix, _ := parseMix(o.mix)
+	for _, e := range mix {
+		sc.Mix(e.persona, e.weight)
+	}
+	if open, gap, _ := parseArrival(o.arrival); open {
+		sc.OpenLoop(gap)
+	}
+	return sc
 }
 
 func main() {
@@ -148,36 +276,40 @@ func main() {
 	storePath := flag.String("store", "", "journal file for the durable backing store; empty keeps the volatile store")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint after every K steps (needs -store)")
 	restore := flag.Bool("restore", false, "resume from the last checkpoint in -store instead of booting fresh")
+	scenario := flag.String("scenario", "", "persona scenario name; empty replays the classic flat storm")
+	mix := flag.String("mix", "", "persona weights for -scenario, e.g. editor=3,compiler=2 (default "+defaultMix+")")
+	arrival := flag.String("arrival", "", "arrival model for -scenario: closed (default) or open[:GAP]")
 	flag.Parse()
 
 	o := options{
 		n: *n, steps: *steps, burst: *burst, users: *users,
 		par: *par, stage: *stage, faultRate: *faultRate,
+		scenario: *scenario, mix: *mix, arrival: *arrival,
 		metricsEvery: *metricsEvery,
 		kernels:      *kernels, migrateEvery: *migrateEvery,
 		compare: *compare, metrics: *showMetrics,
 		store: *storePath, ckptEvery: *ckptEvery, restore: *restore,
 	}
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "fault-seed" {
+		switch f.Name {
+		case "fault-seed":
 			o.faultSeedSet = true
+		case "steps", "burst", "users":
+			o.shapeSet = true
 		}
 	})
 	if err := validate(o); err != nil {
 		cliutil.Exit2("loadgen", err)
 	}
 
-	cfg := workload.Config{
-		Conns: *n, Steps: *steps, Burst: *burst, Users: *users, Seed: *seed,
-		Parallelism: *par,
-	}
+	sc := buildScenario(o, *seed)
 
 	if o.store != "" {
 		if o.faultRate > 0 {
 			spec := faults.UniformSpec(*faultSeed, o.faultRate, 0)
-			cfg.Faults = &spec
+			sc.Faults(&spec)
 		}
-		if err := runDurable(o, cfg); err != nil {
+		if err := runDurable(o, sc); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 			os.Exit(1)
 		}
@@ -201,7 +333,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "loadgen: fleet boot: %v\n", err)
 			os.Exit(1)
 		}
-		rep, err := fleet.Run(f, fleet.RunConfig{Workload: cfg, MigrateEvery: *migrateEvery})
+		rep, err := fleet.Run(f, fleet.RunConfig{Scenario: sc, MigrateEvery: *migrateEvery})
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: fleet run: %v\n", err)
@@ -213,10 +345,10 @@ func main() {
 
 	if *faultRate > 0 {
 		spec := faults.UniformSpec(*faultSeed, *faultRate, 0)
-		cfg.Faults = &spec
+		sc.Faults(&spec)
 	}
 
-	sys, err := workload.Boot(multics.Stage(*stage), cfg)
+	sys, err := workload.Boot(multics.Stage(*stage), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: boot: %v\n", err)
 		os.Exit(1)
@@ -231,7 +363,7 @@ func main() {
 		})
 		sys.Kernel.EnableMetricsSampler(*metricsEvery, live)
 	}
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		sys.Shutdown()
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -248,7 +380,7 @@ func main() {
 	sys.Shutdown()
 
 	if *compare {
-		legacy, err := workload.RunAt(multics.StageBaseline, cfg)
+		legacy, err := workload.RunAt(multics.StageBaseline, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: legacy run: %v\n", err)
 			os.Exit(1)
@@ -270,7 +402,12 @@ const (
 // runDurable is the -store path: the workload replays in windows over a
 // file-journaled blockstore, checkpointing between windows when asked,
 // or resuming a prior run's checkpoint with -restore.
-func runDurable(o options, cfg workload.Config) error {
+func runDurable(o options, sc *workload.Scenario) error {
+	plan, err := sc.Plan()
+	if err != nil {
+		return err
+	}
+	steps := plan.MaxSteps()
 	media, err := blockstore.OpenFileMedia(o.store)
 	if err != nil {
 		return err
@@ -292,9 +429,9 @@ func runDurable(o options, cfg workload.Config) error {
 	)
 	if o.restore {
 		// The manifest pins the stage and the memory geometry comes from
-		// the same config a fresh boot would use; the store itself is
-		// adopted by Restore, so cfg.Backing stays nil here.
-		mc := workload.MemConfig(cfg)
+		// the same scenario a fresh boot would use; the store itself is
+		// adopted by Restore, so the scenario's backing stays unset here.
+		mc := workload.MemConfig(sc)
 		k, res, err := core.Restore(core.Config{Mem: &mc}, bs)
 		if err != nil {
 			return fmt.Errorf("restore: %w", err)
@@ -304,7 +441,7 @@ func runDurable(o options, cfg workload.Config) error {
 			return err
 		}
 		// The user registry is outside the checkpoint by design.
-		if err := workload.RegisterUsers(sys, cfg); err != nil {
+		if err := workload.RegisterUsers(sys, sc); err != nil {
 			sys.Shutdown()
 			return err
 		}
@@ -314,7 +451,7 @@ func runDurable(o options, cfg workload.Config) error {
 				return err
 			}
 		} else {
-			tr = workload.NewTranscript(cfg.Conns)
+			tr = workload.NewTranscript(len(plan.Scripts))
 		}
 		if next, ok := res.Meta[metaNextStep]; ok {
 			if start, err = strconv.Atoi(next); err != nil {
@@ -325,13 +462,13 @@ func runDurable(o options, cfg workload.Config) error {
 		fmt.Printf("--- restored checkpoint @%d vcycles: stage S%d, %d segments, %d pages; resuming at step %d\n",
 			res.VCycle, res.Stage, res.Segments, res.Pages, start)
 	} else {
-		cfg.Backing = bs
+		sc.Backing(bs)
 		var err error
-		sys, err = workload.Boot(multics.Stage(o.stage), cfg)
+		sys, err = workload.Boot(multics.Stage(o.stage), sc)
 		if err != nil {
 			return fmt.Errorf("boot: %w", err)
 		}
-		tr = workload.NewTranscript(cfg.Conns)
+		tr = workload.NewTranscript(len(plan.Scripts))
 	}
 
 	if o.metrics {
@@ -345,15 +482,15 @@ func runDurable(o options, cfg workload.Config) error {
 
 	window := o.ckptEvery
 	if window <= 0 {
-		window = o.steps
+		window = steps
 	}
 	checkpoints := 0
-	for lo := start; lo < o.steps; lo += window {
+	for lo := start; lo < steps; lo += window {
 		hi := lo + window
-		if hi > o.steps {
-			hi = o.steps
+		if hi > steps {
+			hi = steps
 		}
-		if err := workload.RunWindow(sys, cfg, tr, lo, hi); err != nil {
+		if err := workload.RunWindow(sys, sc, tr, lo, hi); err != nil {
 			sys.Shutdown()
 			return fmt.Errorf("window [%d,%d): %w", lo, hi, err)
 		}
@@ -376,8 +513,8 @@ func runDurable(o options, cfg workload.Config) error {
 				rep.VCycle, rep.Segments, rep.PagesFlushed, rep.ManifestBytes)
 		}
 	}
-	if start >= o.steps {
-		fmt.Printf("--- checkpoint already covers all %d steps; nothing to replay\n", o.steps)
+	if start >= steps {
+		fmt.Printf("--- checkpoint already covers all %d steps; nothing to replay\n", steps)
 	}
 
 	sent, received, throttled := tr.Counts()

@@ -34,6 +34,21 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	if err := validate(withFleet); err != nil {
 		t.Fatalf("kernels+migrate-every rejected: %v", err)
 	}
+	withScenario := good()
+	withScenario.scenario = "office"
+	if err := validate(withScenario); err != nil {
+		t.Fatalf("scenario with default mix rejected: %v", err)
+	}
+	withScenario.mix = "editor=3,tenants=1"
+	withScenario.arrival = "open:3"
+	if err := validate(withScenario); err != nil {
+		t.Fatalf("scenario+mix+arrival rejected: %v", err)
+	}
+	closedNoScenario := good()
+	closedNoScenario.arrival = "closed"
+	if err := validate(closedNoScenario); err != nil {
+		t.Fatalf("explicit -arrival closed without -scenario rejected: %v", err)
+	}
 }
 
 func TestValidateRejectsBadFlags(t *testing.T) {
@@ -59,6 +74,15 @@ func TestValidateRejectsBadFlags(t *testing.T) {
 		{"migrate without fleet", func(o *options) { o.migrateEvery = 2 }, "-migrate-every without -kernels"},
 		{"compare with fleet", func(o *options) { o.kernels = 4; o.compare = true }, "-compare with -kernels"},
 		{"metrics with fleet", func(o *options) { o.kernels = 4; o.metrics = true }, "-metrics with -kernels"},
+		{"mix without scenario", func(o *options) { o.mix = "editor=3" }, "-mix without -scenario"},
+		{"arrival without scenario", func(o *options) { o.arrival = "open:2" }, "-arrival open:2 without -scenario"},
+		{"shape with scenario", func(o *options) { o.scenario = "office"; o.shapeSet = true }, "-steps/-burst/-users with -scenario"},
+		{"compare with scenario", func(o *options) { o.scenario = "office"; o.compare = true }, "-compare with -scenario"},
+		{"unknown persona", func(o *options) { o.scenario = "office"; o.mix = "wizard=2" }, "unknown persona"},
+		{"zero mix weight", func(o *options) { o.scenario = "office"; o.mix = "editor=0" }, "positive integer"},
+		{"malformed mix entry", func(o *options) { o.scenario = "office"; o.mix = "editor" }, "name=weight"},
+		{"bad arrival", func(o *options) { o.scenario = "office"; o.arrival = "poisson" }, "want closed, open, or open:GAP"},
+		{"negative arrival gap", func(o *options) { o.scenario = "office"; o.arrival = "open:-2" }, "non-negative"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -11,7 +11,13 @@
 //	metricsdump -stage 5 -seed 42   # different stage / traffic, still deterministic
 //	metricsdump -json               # machine-readable snapshot
 //	metricsdump -filter gate.       # only names with the prefix
+//	metricsdump -filter workload.persona.   # per-persona outcome counters
 //	metricsdump -sample 20000       # also run the periodic sampler and report it
+//
+// The workload engine publishes per-persona counters under
+// workload.persona.<name>.{sessions,sent,received,failed}; -filter
+// workload.persona. isolates them (the default storm runs a single
+// "stormer" persona).
 package main
 
 import (
@@ -47,8 +53,11 @@ func main() {
 		cliutil.Exit2("metricsdump", err)
 	}
 
-	cfg := workload.Config{Conns: *n, Steps: *steps, Seed: *seed, Parallelism: *par}
-	sys, err := workload.Boot(multics.Stage(*stage), cfg)
+	sc := workload.NewScenario("metricsdump", *seed).
+		Mix(workload.Stormer(*steps, 0, 0), 1).
+		Sessions(*n).
+		Parallel(*par)
+	sys, err := workload.Boot(multics.Stage(*stage), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metricsdump: boot: %v\n", err)
 		os.Exit(1)
@@ -60,7 +69,7 @@ func main() {
 		sys.Kernel.EnableMetricsSampler(*sample, nil)
 	}
 
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "metricsdump: run: %v\n", err)
 		os.Exit(1)

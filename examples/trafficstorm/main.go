@@ -24,19 +24,21 @@ const (
 )
 
 func main() {
-	cfg := workload.Config{Conns: sessions, Steps: steps, Burst: steps, Seed: seed}
+	sc := workload.NewScenario("trafficstorm", seed).
+		Mix(workload.Stormer(steps, steps, 0), 1).
+		Sessions(sessions)
 	fmt.Printf("storm: %d concurrent sessions x %d-request bursts (seed %d)\n\n",
 		sessions, steps, seed)
 
 	fmt.Println("S6 (consolidated attachment path, infinite buffers):")
-	s6, err := workload.RunAt(multics.StageRestructured, cfg)
+	s6, err := workload.RunAt(multics.StageRestructured, sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(indent(s6.Format()))
 
 	fmt.Println("S0 (legacy per-device drivers, 16-slot circular buffers):")
-	s0, err := workload.RunAt(multics.StageBaseline, cfg)
+	s0, err := workload.RunAt(multics.StageBaseline, sc)
 	if err != nil {
 		log.Fatal(err)
 	}

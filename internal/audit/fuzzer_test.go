@@ -1,0 +1,65 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFuzzDeterministicDigest pins the fuzzer's central property: a
+// FuzzConfig names one exact storm, so two runs agree byte-for-byte —
+// including under an active fault plane — and different seeds pick
+// different storms.
+func TestFuzzDeterministicDigest(t *testing.T) {
+	cfg := FuzzConfig{Stage: core.S6Restructured, Seed: 1975, Calls: 2000, FaultRate: 0.01}
+	a, err := Fuzz(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fuzz(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Errorf("same seed, different digests:\n%s\n%s", a.Digest, b.Digest)
+	}
+	if a.Calls != int64(cfg.Calls) || b.Calls != a.Calls {
+		t.Errorf("call counts: %d and %d, want %d", a.Calls, b.Calls, cfg.Calls)
+	}
+	cfg.Seed = 1976
+	c, err := Fuzz(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Digest == a.Digest {
+		t.Error("different seeds produced the same storm digest")
+	}
+}
+
+// TestFuzzNoViolations is the invariant claim at test scale: a storm of
+// mutated gate calls, label flips and raw probes under a 1% fault rate
+// breaks no access-control invariant at S6.
+func TestFuzzNoViolations(t *testing.T) {
+	rep, err := Fuzz(FuzzConfig{Stage: core.S6Restructured, Seed: 75, Calls: 5000, FaultRate: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("%d violations:\n%s", len(rep.Violations), rep.Format())
+	}
+	if rep.Malfunctions != 0 {
+		t.Fatalf("%d supervisor malfunctions", rep.Malfunctions)
+	}
+	// The storm must actually exercise the interesting paths.
+	if rep.Rejected == 0 || rep.Denied == 0 || rep.LabelFlips == 0 || rep.CanaryProbes == 0 {
+		t.Fatalf("storm too tame: %s", rep.Format())
+	}
+}
+
+// TestFuzzRejectsEarlyStages documents the fuzzer's floor: the UID-keyed
+// interface it drives does not exist before S2.
+func TestFuzzRejectsEarlyStages(t *testing.T) {
+	if _, err := Fuzz(FuzzConfig{Stage: core.S0Baseline, Seed: 1, Calls: 10}); err == nil {
+		t.Fatal("S0 accepted")
+	}
+}

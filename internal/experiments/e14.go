@@ -122,15 +122,16 @@ func E14HotPathPerformance() Report {
 
 	// Digest invariance across parallelism, with the kernel's performance
 	// counters collected from the parallel run.
-	wcfg := workload.Config{Conns: 16, Steps: 12, Burst: 12, Seed: 75}
 	runP := func(par int) (*workload.Report, *multics.System, error) {
-		cfg := wcfg
-		cfg.Parallelism = par
-		sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+		sc := workload.NewScenario("e14-storm", 75).
+			Mix(workload.Stormer(12, 12, 0), 1).
+			Sessions(16).
+			Parallel(par)
+		sys, err := workload.Boot(multics.StageIOConsolidated, sc)
 		if err != nil {
 			return nil, nil, err
 		}
-		rep, err := workload.Run(sys, cfg)
+		rep, err := workload.Run(sys, sc)
 		if err != nil {
 			sys.Shutdown()
 			return nil, nil, err

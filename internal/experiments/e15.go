@@ -36,16 +36,17 @@ type e15StormResult struct {
 
 func e15Storm(rate float64, parallelism int) (*e15StormResult, error) {
 	spec := faults.UniformSpec(e15Seed, rate, 6)
-	cfg := workload.Config{
-		Conns: 32, Steps: 12, Burst: 12, Seed: 75,
-		Parallelism: parallelism, Faults: &spec,
-	}
-	sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+	sc := workload.NewScenario("e15-storm", 75).
+		Mix(workload.Stormer(12, 12, 0), 1).
+		Sessions(32).
+		Parallel(parallelism).
+		Faults(&spec)
+	sys, err := workload.Boot(multics.StageIOConsolidated, sc)
 	if err != nil {
 		return nil, err
 	}
 	defer sys.Shutdown()
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -20,11 +20,11 @@ type e16Result struct {
 }
 
 func e16Run(parallelism int, enabled bool, sampleEvery int64) (*e16Result, error) {
-	cfg := workload.Config{
-		Conns: 32, Steps: 12, Burst: 12, Seed: 75,
-		Parallelism: parallelism,
-	}
-	sys, err := workload.Boot(multics.StageRestructured, cfg)
+	sc := workload.NewScenario("e16-storm", 75).
+		Mix(workload.Stormer(12, 12, 0), 1).
+		Sessions(32).
+		Parallel(parallelism)
+	sys, err := workload.Boot(multics.StageRestructured, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +34,7 @@ func e16Run(parallelism int, enabled bool, sampleEvery int64) (*e16Result, error
 	if sampleEvery > 0 {
 		sys.Kernel.EnableMetricsSampler(sampleEvery, nil)
 	}
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		return nil, err
 	}

@@ -13,8 +13,10 @@ import (
 // 8 requests in bursts of 2 — small bursts keep every send under the
 // front-end high-water mark, which is the precondition for transcript
 // digests being comparable across configurations.
-func e17Workload() workload.Config {
-	return workload.Config{Conns: 64, Steps: 8, Burst: 2, Users: 64, Seed: 75}
+func e17Workload() *workload.Scenario {
+	return workload.NewScenario("e17-storm", 75).
+		Mix(workload.Stormer(8, 2, 64), 1).
+		Sessions(64)
 }
 
 func e17Run(kernels, migrateEvery int) (*fleet.RunReport, error) {
@@ -25,7 +27,7 @@ func e17Run(kernels, migrateEvery int) (*fleet.RunReport, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return fleet.Run(f, fleet.RunConfig{Workload: e17Workload(), MigrateEvery: migrateEvery})
+	return fleet.Run(f, fleet.RunConfig{Scenario: e17Workload(), MigrateEvery: migrateEvery})
 }
 
 // E17FleetScaling measures the fleet layer: the same 64-session storm

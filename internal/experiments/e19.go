@@ -39,15 +39,11 @@ const (
 	e19Steps = 16
 )
 
-func e19Config(par int) workload.Config {
-	return workload.Config{
-		Conns:       e19Conns,
-		Steps:       e19Steps,
-		Burst:       4,
-		Users:       4,
-		Seed:        e19Seed,
-		Parallelism: par,
-	}
+func e19Scenario(par int) *workload.Scenario {
+	return workload.NewScenario("e19-storm", e19Seed).
+		Mix(workload.Stormer(e19Steps, 4, 4), 1).
+		Sessions(e19Conns).
+		Parallel(par)
 }
 
 // e19Pages is how many data pages each arm plants before the checkpoint.
@@ -114,13 +110,13 @@ func e19Mutate(k *core.Kernel, uid uint64) error {
 }
 
 // e19Boot opens a blockstore on media and boots a system over it.
-func e19Boot(cfg *workload.Config, media *blockstore.MemMedia) (*multics.System, *blockstore.Store, error) {
+func e19Boot(sc *workload.Scenario, media *blockstore.MemMedia) (*multics.System, *blockstore.Store, error) {
 	bs, _, err := blockstore.Open(blockstore.Config{Media: media})
 	if err != nil {
 		return nil, nil, err
 	}
-	cfg.Backing = bs
-	sys, err := workload.Boot(multics.StageRestructured, *cfg)
+	sc.Backing(bs)
+	sys, err := workload.Boot(multics.StageRestructured, sc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -131,8 +127,8 @@ func e19Boot(cfg *workload.Config, media *blockstore.MemMedia) (*multics.System,
 // the crash arm: two login sessions per connection) and returns the
 // transcript digest.
 func e19Reference(par int) (string, error) {
-	cfg := e19Config(par)
-	sys, _, err := e19Boot(&cfg, blockstore.NewMemMedia())
+	sc := e19Scenario(par)
+	sys, _, err := e19Boot(sc, blockstore.NewMemMedia())
 	if err != nil {
 		return "", err
 	}
@@ -141,15 +137,15 @@ func e19Reference(par int) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	tr := workload.NewTranscript(cfg.Conns)
-	half := cfg.Steps / 2
-	if err := workload.RunWindow(sys, cfg, tr, 0, half); err != nil {
+	tr := workload.NewTranscript(e19Conns)
+	half := e19Steps / 2
+	if err := workload.RunWindow(sys, sc, tr, 0, half); err != nil {
 		return "", err
 	}
 	if err := e19Mutate(sys.Kernel, uid); err != nil {
 		return "", err
 	}
-	if err := workload.RunWindow(sys, cfg, tr, half, cfg.Steps); err != nil {
+	if err := workload.RunWindow(sys, sc, tr, half, e19Steps); err != nil {
 		return "", err
 	}
 	return tr.Digest(), nil
@@ -168,9 +164,9 @@ type e19CrashResult struct {
 
 // e19Crash runs the checkpoint → torn-write crash → restore arm.
 func e19Crash(par int) (*e19CrashResult, error) {
-	cfg := e19Config(par)
+	sc := e19Scenario(par)
 	media := blockstore.NewMemMedia()
-	sys, bs, err := e19Boot(&cfg, media)
+	sys, bs, err := e19Boot(sc, media)
 	if err != nil {
 		return nil, err
 	}
@@ -181,9 +177,9 @@ func e19Crash(par int) (*e19CrashResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tr := workload.NewTranscript(cfg.Conns)
-	half := cfg.Steps / 2
-	if err := workload.RunWindow(sys, cfg, tr, 0, half); err != nil {
+	tr := workload.NewTranscript(e19Conns)
+	half := e19Steps / 2
+	if err := workload.RunWindow(sys, sc, tr, 0, half); err != nil {
 		return nil, err
 	}
 	snap, err := tr.Snapshot()
@@ -223,7 +219,7 @@ func e19Crash(par int) (*e19CrashResult, error) {
 	if err := e19Mutate(sys.Kernel, uid); err != nil {
 		return nil, err
 	}
-	if err := workload.RunWindow(sys, cfg, tr, half, cfg.Steps); err != nil {
+	if err := workload.RunWindow(sys, sc, tr, half, e19Steps); err != nil {
 		return nil, err
 	}
 	// A second checkpoint flush starts — write-through records land in the
@@ -260,9 +256,9 @@ func e19Crash(par int) (*e19CrashResult, error) {
 		if oerr != nil {
 			return nil, oerr
 		}
-		restoreCfg := cfg
-		restoreCfg.Backing = nil
-		mc := workload.MemConfig(restoreCfg)
+		// The restored kernel manages its own store; size core memory the
+		// way Boot would, but without re-attaching the backing store.
+		mc := workload.MemConfig(e19Scenario(par))
 		k2, res, oerr = core.Restore(core.Config{Mem: &mc}, bs2)
 		if oerr != nil {
 			return nil, oerr
@@ -308,14 +304,14 @@ func e19Crash(par int) (*e19CrashResult, error) {
 		return nil, err
 	}
 	shutdown = sys2.Shutdown
-	if err := workload.RegisterUsers(sys2, cfg); err != nil {
+	if err := workload.RegisterUsers(sys2, sc); err != nil {
 		return nil, err
 	}
 	tr2, err := workload.RestoreTranscript(res.Meta["transcript"])
 	if err != nil {
 		return nil, err
 	}
-	if err := workload.RunWindow(sys2, cfg, tr2, half, cfg.Steps); err != nil {
+	if err := workload.RunWindow(sys2, sc, tr2, half, e19Steps); err != nil {
 		return nil, fmt.Errorf("resumed window: %w", err)
 	}
 	out.Digest = tr2.Digest()

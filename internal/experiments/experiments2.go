@@ -407,5 +407,6 @@ func RunAll() []Report {
 		E16MetricsPlane(),
 		E17FleetScaling(),
 		E20DeterministicEngine(),
+		E21PersonaWorkloads(),
 	}
 }

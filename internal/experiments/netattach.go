@@ -17,10 +17,13 @@ import (
 // path delivers every request, and the run is deterministic — the same
 // seed yields the same transcript digest.
 func E13NetAttach() Report {
-	cfg := workload.Config{Conns: 32, Steps: 24, Burst: 24, Seed: 75}
+	const conns, steps, seed = 32, 24, 75
+	sc := workload.NewScenario("e13-storm", seed).
+		Mix(workload.Stormer(steps, steps, 0), 1).
+		Sessions(conns)
 
 	run := func(stage multics.Stage) *workload.Report {
-		rep, err := workload.RunAt(stage, cfg)
+		rep, err := workload.RunAt(stage, sc)
 		if err != nil {
 			panic(err)
 		}
@@ -42,7 +45,7 @@ func E13NetAttach() Report {
 	row(&b, "per-device drivers (S0)", legacy)
 	row(&b, "consolidated net_$ (S5)", cons)
 	fmt.Fprintf(&b, "storm: %d connections x %d-request bursts, seed %d\n",
-		cfg.Conns, cfg.Burst, cfg.Seed)
+		conns, steps, int64(seed))
 	fmt.Fprintf(&b, "replay digest match: %v (%s)\n",
 		cons.Digest == replay.Digest, cons.Digest[:16])
 

@@ -147,7 +147,12 @@ func TestSnapshotRefusesUndrained(t *testing.T) {
 // digest on 1 kernel, on 4 kernels, and on 4 kernels with every session
 // migrating after every burst.
 func TestFleetRunDigestInvariant(t *testing.T) {
-	base := workload.Config{Conns: 12, Steps: 8, Burst: 2, Users: 12, Seed: 41}
+	const conns, steps = 12, 8
+	base := func() *workload.Scenario {
+		return workload.NewScenario("fleet-storm", 41).
+			Mix(workload.Stormer(steps, 2, conns), 1).
+			Sessions(conns)
+	}
 	digests := make(map[string]string)
 	for _, tc := range []struct {
 		name    string
@@ -159,7 +164,7 @@ func TestFleetRunDigestInvariant(t *testing.T) {
 		{"4-kernel-migrating", 4, 1},
 	} {
 		f := newTestFleet(t, tc.kernels)
-		rep, err := Run(f, RunConfig{Workload: base, MigrateEvery: tc.migrate})
+		rep, err := Run(f, RunConfig{Scenario: base(), MigrateEvery: tc.migrate})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
 		}
@@ -169,8 +174,8 @@ func TestFleetRunDigestInvariant(t *testing.T) {
 		if rep.Throttled != 0 {
 			t.Fatalf("%s: %d throttled sends (digest not comparable)", tc.name, rep.Throttled)
 		}
-		if rep.Received != int64(base.Conns*base.Steps) {
-			t.Fatalf("%s: received %d of %d replies", tc.name, rep.Received, base.Conns*base.Steps)
+		if rep.Received != int64(conns*steps) {
+			t.Fatalf("%s: received %d of %d replies", tc.name, rep.Received, conns*steps)
 		}
 		if tc.migrate > 0 && rep.Migrations == 0 {
 			t.Fatalf("%s: migration cadence set but no migrations happened", tc.name)
@@ -194,7 +199,8 @@ func TestFleetRunDigestInvariant(t *testing.T) {
 // many-principal population instead of piling everything on one kernel.
 func TestFleetRunSpreadsSessions(t *testing.T) {
 	f := newTestFleet(t, 4)
-	rep, err := Run(f, RunConfig{Workload: workload.Config{Conns: 32, Steps: 2, Burst: 2, Users: 32, Seed: 9}})
+	sc := workload.NewScenario("spread", 9).Mix(workload.Stormer(2, 2, 32), 1).Sessions(32)
+	rep, err := Run(f, RunConfig{Scenario: sc})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,6 +215,49 @@ func TestFleetRunSpreadsSessions(t *testing.T) {
 	}
 	if busy < 3 {
 		t.Fatalf("only %d of 4 kernels got sessions: %+v", busy, rep.PerKernel)
+	}
+}
+
+// TestFleetPersonaMixMigrationStable is the persona half of the
+// determinism claim: a mixed persona scenario (editors, compilers,
+// daemons, MLS tenant pairs) produces the same per-session transcript
+// digest on 1 kernel, on 4 kernels with per-burst migration, and on the
+// single-kernel engine — persona schedules survive live migration.
+func TestFleetPersonaMixMigrationStable(t *testing.T) {
+	mixed := func() *workload.Scenario {
+		return workload.NewScenario("fleet-mixed", 75).
+			Mix(workload.InteractiveEditor(), 3).
+			Mix(workload.BatchCompiler(), 2).
+			Mix(workload.Daemon(), 1).
+			Mix(workload.TenantPair(), 2).
+			Sessions(16)
+	}
+	run := func(kernels, migrate int) string {
+		f := newTestFleet(t, kernels)
+		rep, err := Run(f, RunConfig{Scenario: mixed(), MigrateEvery: migrate})
+		if err != nil {
+			t.Fatalf("%d kernels: %v", kernels, err)
+		}
+		if rep.Failed != 0 || rep.Throttled != 0 {
+			t.Fatalf("%d kernels: failed %d throttled %d", kernels, rep.Failed, rep.Throttled)
+		}
+		if migrate > 0 && rep.Migrations == 0 {
+			t.Fatalf("%d kernels: no migrations despite cadence %d", kernels, migrate)
+		}
+		return rep.SessionDigest
+	}
+	d1 := run(1, 0)
+	if d4 := run(4, 1); d4 != d1 {
+		t.Errorf("persona mix digest differs under 4-kernel migration:\n%s\n%s", d1, d4)
+	}
+	// The single-kernel engine folds sessions with the same encoding:
+	// the two runners must agree byte-for-byte.
+	single, err := workload.RunAt(multics.StageRestructured, mixed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.SessionDigest != d1 {
+		t.Errorf("fleet and single-kernel engines disagree:\nfleet:  %s\nsingle: %s", d1, single.SessionDigest)
 	}
 }
 

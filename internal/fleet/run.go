@@ -9,19 +9,19 @@ import (
 
 	"repro/internal/netattach"
 	"repro/internal/workload"
-	"repro/multics"
 )
 
-// RunConfig shapes one fleet traffic run: the single-kernel workload
-// shape (scripts are generated exactly as the single-kernel engine
-// generates them) plus the migration cadence.
+// RunConfig shapes one fleet traffic run: the scenario (scripts,
+// persona mix and burst schedule are compiled exactly as the
+// single-kernel engine compiles them) plus the migration cadence.
 type RunConfig struct {
-	// Workload is the script shape: Conns sessions of Steps requests,
-	// fired in bursts of Burst, over Users distinct principals, from
-	// Seed. Parallelism/TraceSink/Faults are ignored — the fleet runner
-	// is goroutine-per-session, and fault plans are per-member
-	// (Config.FaultRate).
-	Workload workload.Config
+	// Scenario is the workload to replay. Its Parallel/Trace/Faults
+	// settings are ignored — the fleet runner is goroutine-per-session,
+	// and fault plans are per-member (Config.FaultRate). For the
+	// classic storm shape use workload.Stormer with Users set to the
+	// session count, so the router spreads principals across kernels
+	// instead of piling one principal's sessions on one member.
+	Scenario *workload.Scenario
 	// MigrateEvery, when positive, migrates every session to the next
 	// kernel (home+1 mod N) after every MigrateEvery bursts. Zero
 	// disables migration.
@@ -68,9 +68,11 @@ type RunReport struct {
 	Throughput float64 `json:"throughput"`
 
 	// SessionDigest folds the per-session reply transcripts in session
-	// order. It is a pure function of the scripts: byte-identical at any
-	// kernel count and under any migration cadence, as long as no
-	// request is throttled away (keep Burst under the high-water mark).
+	// order. It is a pure function of the scenario: byte-identical at
+	// any kernel count and under any migration cadence — and equal to
+	// the single-kernel engine's Report.SessionDigest for the same
+	// scenario — as long as no request is throttled away (keep persona
+	// bursts under the high-water mark).
 	SessionDigest string `json:"session_digest"`
 }
 
@@ -89,49 +91,37 @@ func (r RunReport) Format() string {
 	return s
 }
 
-// Run replays the scripted workload across the fleet: every session is
-// routed to its home kernel, driven by its own goroutine through the
-// classic burst→flush→drain loop, optionally migrated between kernels
-// mid-script, and its reply transcript hashed. Per-session transcripts
-// are pure functions of the scripts, so SessionDigest is identical
-// whether the fleet has 1 kernel or 16 and whether sessions migrated
-// zero times or every burst — that is the tentpole claim E17 measures.
+// Run replays the compiled scenario across the fleet: every session is
+// routed to its home kernel, driven by its own goroutine through its
+// burst schedule, optionally migrated between kernels mid-script, and
+// its reply transcript hashed. Per-session transcripts are pure
+// functions of the scripts, so SessionDigest is identical whether the
+// fleet has 1 kernel or 16 and whether sessions migrated zero times or
+// every burst — that is the tentpole claim E17 measures, and E21
+// extends it to mixed persona schedules.
 func Run(f *Fleet, cfg RunConfig) (*RunReport, error) {
-	w := cfg.Workload
-	if w.Conns == 0 {
-		w.Conns = 8
+	if cfg.Scenario == nil {
+		return nil, fmt.Errorf("fleet: RunConfig needs a Scenario")
 	}
-	if w.Steps == 0 {
-		w.Steps = 8
-	}
-	if w.Burst == 0 {
-		w.Burst = w.Steps
-	}
-	if w.Users == 0 {
-		// Fleet default: every session its own principal, so the router
-		// spreads sessions rather than piling one principal's sessions
-		// on one kernel.
-		w.Users = w.Conns
-	}
-	if w.Conns < 1 || w.Steps < 1 || w.Burst < 1 || w.Users < 1 {
-		return nil, fmt.Errorf("fleet: invalid run config %+v", w)
+	plan, err := cfg.Scenario.Plan()
+	if err != nil {
+		return nil, err
 	}
 	if cfg.MigrateEvery < 0 {
 		return nil, fmt.Errorf("fleet: negative migration cadence %d", cfg.MigrateEvery)
 	}
 
-	// Register the workload accounts fleet-wide (idempotence is not
+	// Register the scenario's accounts fleet-wide (idempotence is not
 	// needed: runs own their fleet).
-	for u := 0; u < w.Users; u++ {
-		err := f.AddUser(fmt.Sprintf("Load%d", u), "Traffic",
-			fmt.Sprintf("storm%d pw", u), multics.Secret)
-		if err != nil {
+	for _, a := range plan.Accounts {
+		if err := f.AddUser(a.Person, a.Project, a.Password, a.Clearance); err != nil {
 			return nil, err
 		}
 	}
 
+	scripts := plan.Scripts
 	n := f.Size()
-	rep := &RunReport{Kernels: n, Conns: w.Conns, Steps: w.Steps, PerKernel: make([]KernelLoad, n)}
+	rep := &RunReport{Kernels: n, Conns: len(scripts), Steps: plan.MaxSteps(), PerKernel: make([]KernelLoad, n)}
 	startCycles := make([]int64, n)
 	startProcessed := make([]int64, n)
 	for i := 0; i < n; i++ {
@@ -141,8 +131,6 @@ func Run(f *Fleet, cfg RunConfig) (*RunReport, error) {
 	}
 	migrationsBefore := f.mMigrations.Value()
 	migFailuresBefore := f.mMigrationFailures.Value()
-
-	scripts := workload.GenScripts(w)
 
 	// Attach in script order (deterministic routing trace), then hand
 	// each session to its own goroutine.
@@ -175,12 +163,11 @@ func Run(f *Fleet, cfg RunConfig) (*RunReport, error) {
 			sess, script := sessions[i], scripts[i]
 			h := sha256.New()
 			burstNo := 0
-			for base := 0; base < w.Steps && t.err == nil; base += w.Burst {
-				hi := base + w.Burst
-				if hi > w.Steps {
-					hi = w.Steps
+			for _, w := range plan.Windows[i] {
+				if t.err != nil {
+					break
 				}
-				for s := base; s < hi; s++ {
+				for s := w.Lo; s < w.Hi; s++ {
 					st := script.Steps[s]
 					err := sess.Conn().Send(st.Op, st.Arg)
 					switch {
@@ -269,7 +256,8 @@ func Run(f *Fleet, cfg RunConfig) (*RunReport, error) {
 
 	// The determinism witness: per-session digests folded in session
 	// order, nothing else — counters, kernel count, and migration
-	// cadence deliberately stay out so the digest compares across them.
+	// cadence deliberately stay out so the digest compares across them
+	// (and against workload.Report.SessionDigest).
 	h := sha256.New()
 	for i := range tallies {
 		fmt.Fprintf(h, "session %d %x\n", i, tallies[i].digest)

@@ -108,37 +108,32 @@ func (t *Transcript) Counts() (sent, received, throttled int64) {
 	return t.sent, t.received, t.throttled
 }
 
-// RunWindow replays steps [lo, hi) of cfg's scripted sessions against sys,
-// folding every reply into tr. Connections are dialed fresh for the
-// window and closed at its end — a window is a login session, which is
-// why a restored system (whose sessions died with the crash) can resume
-// at any window boundary. The reply values are pure functions of the
-// scripted requests, so transcripts are identical across crash-restore
-// and across Parallelism; the engine partitions connections over workers
-// exactly like Run.
-func RunWindow(sys *multics.System, cfg Config, tr *Transcript, lo, hi int) error {
-	if err := cfg.setDefaults(); err != nil {
+// RunWindow replays steps [lo, hi) of the scenario's scripted sessions
+// against sys, folding every reply into tr. Connections are dialed fresh
+// for the window and closed at its end — a window is a login session,
+// which is why a restored system (whose sessions died with the crash)
+// can resume at any window boundary. The reply values are pure functions
+// of the scripted requests, so transcripts are identical across
+// crash-restore and across Parallelism; the engine partitions
+// connections over workers exactly like Run. Each session fires the
+// slices of its compiled burst windows that intersect [lo, hi), so
+// personas with scripts shorter than the window simply sit the tail out.
+func RunWindow(sys *multics.System, sc *Scenario, tr *Transcript, lo, hi int) error {
+	plan, err := sc.Plan()
+	if err != nil {
 		return err
 	}
-	if lo < 0 || hi > cfg.Steps || lo > hi {
-		return fmt.Errorf("workload: window [%d, %d) outside script of %d steps", lo, hi, cfg.Steps)
+	if lo < 0 || hi > plan.MaxSteps() || lo > hi {
+		return fmt.Errorf("workload: window [%d, %d) outside script of %d steps", lo, hi, plan.MaxSteps())
 	}
-	if len(tr.hs) != cfg.Conns {
-		return fmt.Errorf("workload: transcript tracks %d connections, config has %d", len(tr.hs), cfg.Conns)
+	if len(tr.hs) != len(plan.Scripts) {
+		return fmt.Errorf("workload: transcript tracks %d connections, scenario has %d", len(tr.hs), len(plan.Scripts))
 	}
-	fe := sys.Frontend()
-	if fe == nil {
-		workers := 4
-		if cfg.Conns >= 64 {
-			workers = 8
-		}
-		var err error
-		fe, err = sys.Serve(netattach.Config{Workers: workers, MaxConns: cfg.Conns})
-		if err != nil {
-			return err
-		}
+	fe, err := frontend(sys, len(plan.Scripts))
+	if err != nil {
+		return err
 	}
-	scripts := GenScripts(cfg)
+	scripts := plan.Scripts
 	conns := make([]*netattach.Conn, len(scripts))
 	for i, s := range scripts {
 		c, err := fe.DialAsync(s.Person, s.Project, s.Password, s.Level)
@@ -159,12 +154,28 @@ func RunWindow(sys *multics.System, cfg Config, tr *Transcript, lo, hi int) erro
 	drive := func(owned []int) {
 		var sent, received, throttled int64
 		var err error
-		for base := lo; base < hi && err == nil; base += cfg.Burst {
-			top := base + cfg.Burst
-			if top > hi {
-				top = hi
-			}
+		next := make(map[int]int, len(owned))
+		for round := 0; round < plan.Rounds && err == nil; round++ {
+			active := false
 			for _, i := range owned {
+				ws := plan.Windows[i]
+				if next[i] >= len(ws) || ws[next[i]].Round != round {
+					continue
+				}
+				w := ws[next[i]]
+				next[i]++
+				// Clip the burst to the replay window.
+				base, top := w.Lo, w.Hi
+				if base < lo {
+					base = lo
+				}
+				if top > hi {
+					top = hi
+				}
+				if base >= top {
+					continue
+				}
+				active = true
 				for s := base; s < top; s++ {
 					st := scripts[i].Steps[s]
 					serr := conns[i].Send(st.Op, st.Arg)
@@ -177,6 +188,9 @@ func RunWindow(sys *multics.System, cfg Config, tr *Transcript, lo, hi int) erro
 						err = fmt.Errorf("workload: send %d/%d: %w", i, s, serr)
 					}
 				}
+			}
+			if !active {
+				continue
 			}
 			fe.Flush()
 			for _, i := range owned {
@@ -204,7 +218,7 @@ func RunWindow(sys *multics.System, cfg Config, tr *Transcript, lo, hi int) erro
 		mu.Unlock()
 	}
 
-	par := cfg.Parallelism
+	par := sc.par
 	if par > len(conns) {
 		par = len(conns)
 	}

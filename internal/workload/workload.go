@@ -1,13 +1,17 @@
 // Package workload replays scripted login→work→logout traffic against a
-// booted system's network attachment front-end. Scripts are generated
-// from a seed, the engine drives them in a fixed interleaving over
-// virtual time, and the transcript of every reply is folded into a
-// digest — so the same seed always produces the same digest, no matter
-// how many connections run concurrently. The report carries throughput,
-// attach-latency percentiles, peak buffer occupancy, and exact drop
-// counts, which is what lets cmd/loadgen show the legacy circular
-// buffers losing traffic under storm while the consolidated S5 path
-// loses none.
+// booted system's network attachment front-end. A Scenario composes
+// weighted Persona mixes (interactive editors, batch compilers,
+// long-lived daemons, MLS-labeled tenant pairs — or the classic storm
+// shape) under an open- or closed-loop arrival model; every script,
+// schedule and account is a pure function of the scenario seed, the
+// engine drives the sessions in a fixed round schedule over virtual
+// time, and the transcript of every reply is folded into a digest — so
+// the same seed always produces the same digest, no matter how many
+// worker goroutines replay it or how many kernels serve it. The report
+// carries throughput, per-persona outcome and attach-latency breakdowns,
+// peak buffer occupancy, and exact drop counts, which is what lets
+// cmd/loadgen show the legacy circular buffers losing traffic under
+// storm while the consolidated S5 path loses none.
 package workload
 
 import (
@@ -21,7 +25,6 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/mem"
 	"repro/internal/netattach"
 	"repro/internal/trace"
@@ -42,7 +45,12 @@ type Script struct {
 	Steps                     []Step
 }
 
-// Config shapes a traffic run.
+// Config is the old flat traffic shape, kept only as the argument to
+// the Legacy adapter: one stormer persona of Conns sessions × Steps
+// requests fired in bursts of Burst over Users accounts from Seed.
+// Everything that used to ride along in this struct (parallelism, trace
+// sinks, backing stores, fault plans) now lives on Scenario; new
+// callers should compose personas with NewScenario instead.
 type Config struct {
 	// Conns is the number of concurrent connections (default 8).
 	Conns int
@@ -58,32 +66,6 @@ type Config struct {
 	Users int
 	// Seed drives script generation. Same seed, same transcript digest.
 	Seed int64
-	// Parallelism is the number of real worker goroutines replaying the
-	// connections (default 1). Each connection is owned by exactly one
-	// worker; every reply is a pure function of its own connection's
-	// script and the per-connection transcripts are merged in fixed
-	// connection order, so the digest is identical at any Parallelism as
-	// long as no flow-control losses occur (keep Burst below the
-	// front-end's high-water mark). Parallelism > 1 is what drives the
-	// concurrent memory store from many goroutines at once.
-	Parallelism int
-	// TraceSink, when set, receives every attachment-lifecycle trace
-	// event (trace.StageNet) the front-end emits during the run, in
-	// emission order. The engine always collects these events itself to
-	// compute Report.TraceDigest; the sink is a tee for callers that
-	// want the raw stream.
-	TraceSink trace.Sink
-	// Backing, when set, is the durable backing store Boot threads under
-	// the memory hierarchy (mem.Config.Backing); nil keeps the volatile
-	// default. With a durable store, checkpoint/restore (core.Checkpoint,
-	// core.Restore) survives process death.
-	Backing mem.BackingStore
-	// Faults, when set, boots the system with a deterministic fault plan
-	// (see internal/faults) and switches the engine into survival mode:
-	// a connection whose session errors out is counted in Report.Failed
-	// instead of aborting the whole run. With Faults nil the engine
-	// keeps its historical fail-fast behavior.
-	Faults *faults.Spec
 }
 
 func (c *Config) setDefaults() error {
@@ -102,18 +84,41 @@ func (c *Config) setDefaults() error {
 			c.Users = 8
 		}
 	}
-	if c.Parallelism == 0 {
-		c.Parallelism = 1
-	}
-	if c.Conns < 1 || c.Steps < 1 || c.Burst < 1 || c.Users < 1 || c.Parallelism < 1 {
+	if c.Conns < 1 || c.Steps < 1 || c.Burst < 1 || c.Users < 1 {
 		return fmt.Errorf("workload: invalid config %+v", *c)
 	}
 	return nil
 }
 
+// PersonaReport is one persona's slice of a run.
+type PersonaReport struct {
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"`
+
+	Sent      int64 `json:"sent"`
+	Received  int64 `json:"received"`
+	Throttled int64 `json:"throttled"`
+	// Failed counts this persona's sessions that died (only under a
+	// fault plan).
+	Failed int64 `json:"failed"`
+
+	// AttachP50/AttachP99 are attach-latency percentiles over this
+	// persona's sessions, in virtual cycles. Attaches happen under the
+	// single-threaded login flush, so these are deterministic.
+	AttachP50 int64 `json:"attach_p50"`
+	AttachP99 int64 `json:"attach_p99"`
+
+	// Digest folds this persona's per-session transcript digests in
+	// session order.
+	Digest string `json:"digest"`
+}
+
 // Report is the outcome of one traffic run.
 type Report struct {
-	Conns int `json:"conns"`
+	// Scenario names the scenario that ran.
+	Scenario string `json:"scenario"`
+	Conns    int    `json:"conns"`
+	// Steps is the longest per-session script in the scenario.
 	Steps int `json:"steps"`
 
 	// Sent counts requests accepted by Send; Throttled counts sends
@@ -127,8 +132,8 @@ type Report struct {
 	Stats netattach.Stats `json:"stats"`
 
 	// Failed counts connections whose sessions errored out despite the
-	// recovery paths; zero unless the run injected faults (Config.Faults)
-	// and a session exhausted its retries.
+	// recovery paths; zero unless the run injected faults
+	// (Scenario.Faults) and a session exhausted its retries.
 	Failed int64 `json:"failed"`
 
 	// Cycles is the virtual time the run took.
@@ -136,9 +141,22 @@ type Report struct {
 	// Throughput is requests processed per thousand virtual cycles.
 	Throughput float64 `json:"throughput"`
 
+	// Personas breaks the outcome down per persona, sorted by name so
+	// the rendering is byte-identical across runs.
+	Personas []PersonaReport `json:"personas"`
+
 	// Digest is a sha256 over the full reply transcript and the final
 	// counters: the determinism witness.
 	Digest string `json:"digest"`
+	// SessionDigest folds the per-session reply transcripts in session
+	// order using exactly the fleet runner's encoding, so a
+	// single-kernel run and a fleet.Run of the same scenario can be
+	// compared digest-to-digest across kernel counts and migration
+	// cadences.
+	SessionDigest string `json:"session_digest"`
+	// ScheduleDigest folds the compiled burst schedule (see
+	// Plan.ScheduleDigest): the arrival-model determinism witness.
+	ScheduleDigest string `json:"schedule_digest"`
 	// TraceDigest is a sha256 over the front-end's attachment-lifecycle
 	// trace stream, folded per connection in ascending connection-id
 	// order. Each connection's events (attach → request* → drain →
@@ -150,24 +168,30 @@ type Report struct {
 
 // Format renders the report for the terminal.
 func (r Report) Format() string {
-	return fmt.Sprintf(
-		"conns %d  steps %d  sent %d  received %d  throttled %d  failed %d\n"+
+	s := fmt.Sprintf(
+		"scenario %s  conns %d  steps %d  sent %d  received %d  throttled %d  failed %d\n"+
 			"delivered %d  processed %d  replies %d  reply-drops %d\n"+
 			"input-lost %d  reply-lost %d  peak-in %d  peak-out %d\n"+
-			"attach p50 %d cy  p99 %d cy  cycles %d  throughput %.2f req/kcy\n"+
-			"digest %s\n"+
-			"trace-digest %s\n",
-		r.Conns, r.Steps, r.Sent, r.Received, r.Throttled, r.Failed,
+			"attach p50 %d cy  p99 %d cy  cycles %d  throughput %.2f req/kcy\n",
+		r.Scenario, r.Conns, r.Steps, r.Sent, r.Received, r.Throttled, r.Failed,
 		r.Stats.Delivered, r.Stats.Processed, r.Stats.Replies, r.Stats.ReplyDrops,
 		r.Stats.InputLost, r.Stats.ReplyLost, r.Stats.PeakInput, r.Stats.PeakOutput,
-		r.Stats.AttachP50, r.Stats.AttachP99, r.Cycles, r.Throughput,
-		r.Digest, r.TraceDigest)
+		r.Stats.AttachP50, r.Stats.AttachP99, r.Cycles, r.Throughput)
+	for _, p := range r.Personas {
+		s += fmt.Sprintf("persona %-10s sessions %-4d sent %-6d received %-6d throttled %-4d failed %-3d attach p50 %d cy p99 %d cy\n",
+			p.Name, p.Sessions, p.Sent, p.Received, p.Throttled, p.Failed, p.AttachP50, p.AttachP99)
+	}
+	s += fmt.Sprintf("digest %s\nsession-digest %s\nschedule-digest %s\ntrace-digest %s\n",
+		r.Digest, r.SessionDigest, r.ScheduleDigest, r.TraceDigest)
+	return s
 }
 
-// GenScripts deterministically generates n session scripts from the
-// seed. Work steps draw from the echo/sum/spin request mix; every reply
-// is a pure function of its arguments, so the transcript digest depends
-// only on which requests survive the buffers.
+// GenScripts deterministically generates the historical stormer scripts
+// from the legacy shape: one shared math/rand stream walked in session
+// order, echo/sum/spin work steps, every reply a pure function of its
+// arguments. The Legacy adapter and the Stormer persona route through
+// this generator, which is what keeps pre-scenario seeds producing the
+// same transcript digests they always did.
 func GenScripts(cfg Config) []Script {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	scripts := make([]Script, cfg.Conns)
@@ -195,89 +219,94 @@ func GenScripts(cfg Config) []Script {
 	return scripts
 }
 
-// MemConfig returns the memory geometry Boot gives a system serving cfg.
+// MemConfig returns the memory geometry Boot gives a system serving sc.
 // A restore of a checkpoint taken under this geometry must be handed the
 // same shape (core.Restore checks the page size; the frame counts govern
 // paging behavior, not correctness).
-func MemConfig(cfg Config) mem.Config {
-	_ = cfg.setDefaults()
-	frames := 4 * cfg.Conns
+func MemConfig(sc *Scenario) mem.Config {
+	frames := 4 * sc.sessions
 	if frames < 4096 {
 		frames = 4096
 	}
 	mc := mem.DefaultConfig()
 	mc.CoreFrames = frames
 	mc.BulkBlocks = frames
-	mc.Backing = cfg.Backing
+	mc.Backing = sc.backing
 	return mc
 }
 
-// RegisterUsers registers cfg's generated accounts with sys. Boot calls
-// it; a system restored from a checkpoint needs it again, because the
+// RegisterUsers registers sc's accounts with sys. Boot calls it; a
+// system restored from a checkpoint needs it again, because the
 // answering service's user registry is deliberately outside the
 // checkpoint.
-func RegisterUsers(sys *multics.System, cfg Config) error {
-	_ = cfg.setDefaults()
-	for u := 0; u < cfg.Users; u++ {
-		err := sys.AddUser(fmt.Sprintf("Load%d", u), "Traffic",
-			fmt.Sprintf("storm%d pw", u), multics.Secret)
-		if err != nil {
+func RegisterUsers(sys *multics.System, sc *Scenario) error {
+	plan, err := sc.Plan()
+	if err != nil {
+		return err
+	}
+	for _, a := range plan.Accounts {
+		if err := sys.AddUser(a.Person, a.Project, a.Password, a.Clearance); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Boot builds a system at the given stage with memory scaled for n
-// concurrent connections, and registers the generated accounts.
-func Boot(stage multics.Stage, cfg Config) (*multics.System, error) {
-	if err := cfg.setDefaults(); err != nil {
+// Boot builds a system at the given stage with memory scaled for the
+// scenario's session count, and registers its accounts.
+func Boot(stage multics.Stage, sc *Scenario) (*multics.System, error) {
+	if _, err := sc.Plan(); err != nil {
 		return nil, err
 	}
-	mc := MemConfig(cfg)
-	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc, Faults: cfg.Faults})
+	mc := MemConfig(sc)
+	sys, err := multics.NewWithConfig(core.Config{Stage: stage, Mem: &mc, Faults: sc.faults})
 	if err != nil {
 		return nil, err
 	}
-	if err := RegisterUsers(sys, cfg); err != nil {
+	if err := RegisterUsers(sys, sc); err != nil {
 		sys.Shutdown()
 		return nil, err
 	}
 	return sys, nil
 }
 
-// Run replays cfg against sys: dial every connection, fire the scripts
-// in bursts, drain replies between bursts, log every session out, and
-// report. Connections are partitioned over cfg.Parallelism real worker
-// goroutines; each worker runs the classic burst→flush→drain loop over
-// the connections it owns, so with Parallelism 1 the interleaving is
-// exactly the historical fixed round-robin. The reply transcript is
-// hashed per connection and the per-connection digests are folded
-// together in connection-table order, so the digest does not depend on
-// how workers interleave.
-func Run(sys *multics.System, cfg Config) (*Report, error) {
-	if err := cfg.setDefaults(); err != nil {
+// frontend returns sys's front-end, serving one if none is up.
+func frontend(sys *multics.System, conns int) (*netattach.Frontend, error) {
+	if fe := sys.Frontend(); fe != nil {
+		return fe, nil
+	}
+	workers := 4
+	if conns >= 64 {
+		workers = 8
+	}
+	return sys.Serve(netattach.Config{Workers: workers, MaxConns: conns})
+}
+
+// Run replays the scenario against sys: dial every session, fire the
+// compiled burst schedule round by round, drain replies between bursts,
+// log every session out, and report. Sessions are partitioned over
+// Scenario.Parallel real worker goroutines; each worker walks the round
+// schedule over the sessions it owns, so with Parallelism 1 the
+// interleaving is exactly the fixed round-robin. The reply transcript
+// is hashed per session and the per-session digests are folded together
+// in session order, so the digest does not depend on how workers
+// interleave.
+func Run(sys *multics.System, sc *Scenario) (*Report, error) {
+	plan, err := sc.Plan()
+	if err != nil {
 		return nil, err
 	}
-	fe := sys.Frontend()
-	if fe == nil {
-		workers := 4
-		if cfg.Conns >= 64 {
-			workers = 8
-		}
-		var err error
-		fe, err = sys.Serve(netattach.Config{Workers: workers, MaxConns: cfg.Conns})
-		if err != nil {
-			return nil, err
-		}
+	fe, err := frontend(sys, len(plan.Scripts))
+	if err != nil {
+		return nil, err
 	}
 	// The canonical trace collector sees every lifecycle event the run
-	// produces; a caller-supplied TraceSink rides along as a tee.
-	tc := &traceCollector{tee: cfg.TraceSink, byID: make(map[uint64][]trace.Event)}
+	// produces; a caller-supplied trace sink rides along as a tee.
+	tc := &traceCollector{tee: sc.sink, byID: make(map[uint64][]trace.Event)}
 	fe.SetSink(tc)
 	defer fe.SetSink(nil)
 
-	scripts := GenScripts(cfg)
+	scripts := plan.Scripts
 	start := sys.Kernel.Services().Clock.Now()
 
 	// Login storm: every dial is queued before the listener process runs
@@ -291,11 +320,11 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		conns[i] = c
 	}
 	fe.Flush()
-	rep := &Report{Conns: cfg.Conns, Steps: cfg.Steps}
+	rep := &Report{Scenario: sc.name, Conns: len(scripts), Steps: plan.MaxSteps()}
 	dead := make([]bool, len(conns))
 	for i, c := range conns {
 		if c.State() != netattach.StateAttached {
-			if cfg.Faults == nil {
+			if sc.faults == nil {
 				return nil, fmt.Errorf("workload: connection %d not attached: %v (%v)",
 					i, c.State(), c.Err())
 			}
@@ -315,34 +344,38 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	}
 	tallies := make([]connTally, len(conns))
 
-	// driveConns runs the classic engine loop — storm a burst on every
-	// owned connection, flush the simulation, drain the replies — over
-	// the subset of connections owned by one worker.
+	// driveConns runs the engine loop — walk the compiled round
+	// schedule, storm each due burst on every owned connection, flush
+	// the simulation, drain the replies — over the subset of
+	// connections owned by one worker.
 	driveConns := func(owned []int) {
 		hs := make(map[int]hash.Hash, len(owned))
+		next := make(map[int]int, len(owned))
 		for _, i := range owned {
 			hs[i] = sha256.New()
-		}
-		for _, i := range owned {
 			if dead[i] {
 				tallies[i].err = fmt.Errorf("workload: connection %d never attached", i)
 			}
 		}
-		for base := 0; base < cfg.Steps; base += cfg.Burst {
-			hi := base + cfg.Burst
-			if hi > cfg.Steps {
-				hi = cfg.Steps
-			}
-			// Storm phase: every owned connection fires its burst
-			// back-to-back. Nothing pumps the scheduler here, so requests
-			// pile up in the kernel buffers — the legacy rings overwrite,
-			// the S5 infinite buffers grow.
+		for round := 0; round < plan.Rounds; round++ {
+			// Storm phase: every owned connection with a window due this
+			// round fires it back-to-back. Nothing pumps the scheduler
+			// here, so requests pile up in the kernel buffers — the
+			// legacy rings overwrite, the S5 infinite buffers grow.
+			active := false
 			for _, i := range owned {
 				t := &tallies[i]
 				if t.err != nil {
 					continue
 				}
-				for s := base; s < hi; s++ {
+				ws := plan.Windows[i]
+				if next[i] >= len(ws) || ws[next[i]].Round != round {
+					continue
+				}
+				w := ws[next[i]]
+				next[i]++
+				active = true
+				for s := w.Lo; s < w.Hi; s++ {
 					st := scripts[i].Steps[s]
 					err := conns[i].Send(st.Op, st.Arg)
 					switch {
@@ -354,6 +387,9 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 						t.err = fmt.Errorf("workload: send %d/%d: %w", i, s, err)
 					}
 				}
+			}
+			if !active {
+				continue
 			}
 			// Service phase: let the multiplexer drain everything, then
 			// read the replies back in owned-table order.
@@ -382,7 +418,7 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		}
 	}
 
-	par := cfg.Parallelism
+	par := sc.par
 	if par > len(conns) {
 		par = len(conns)
 	}
@@ -409,7 +445,7 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	}
 	for i := range tallies {
 		if tallies[i].err != nil {
-			if cfg.Faults == nil {
+			if sc.faults == nil {
 				return nil, tallies[i].err
 			}
 			if !dead[i] {
@@ -428,7 +464,7 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	// Logout in table order.
 	for i, c := range conns {
 		if err := c.Close(); err != nil {
-			if cfg.Faults == nil {
+			if sc.faults == nil {
 				return nil, fmt.Errorf("workload: close %d: %w", i, err)
 			}
 			continue
@@ -451,7 +487,62 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 		rep.Sent, rep.Received, rep.Throttled, rep.Failed,
 		rep.Stats.InputLost, rep.Stats.ReplyLost, rep.Stats.ReplyDrops)
 	rep.Digest = hex.EncodeToString(h.Sum(nil))
+	// SessionDigest uses the fleet runner's exact fold, so the two
+	// engines' outputs compare byte-for-byte (E21's cross-kernel-count
+	// witness).
+	sh := sha256.New()
+	for i := range tallies {
+		fmt.Fprintf(sh, "session %d %x\n", i, tallies[i].digest)
+	}
+	rep.SessionDigest = hex.EncodeToString(sh.Sum(nil))
+	rep.ScheduleDigest = plan.ScheduleDigest()
 	rep.TraceDigest = tc.digest()
+
+	// Per-persona breakdown, folded single-threaded after the workers
+	// joined: sessions are grouped by plan persona, attach latencies
+	// (fixed under the single-threaded login flush) are ranked for
+	// percentiles, and the sections are sorted by name so the JSON and
+	// terminal renderings are byte-identical across runs.
+	byName := map[string]*PersonaReport{}
+	attach := map[string][]int64{}
+	for i := range tallies {
+		name := plan.Personas[i]
+		pr := byName[name]
+		if pr == nil {
+			pr = &PersonaReport{Name: name}
+			byName[name] = pr
+		}
+		pr.Sessions++
+		pr.Sent += tallies[i].sent
+		pr.Received += tallies[i].received
+		pr.Throttled += tallies[i].throttled
+		if dead[i] {
+			pr.Failed++
+		} else {
+			attach[name] = append(attach[name], conns[i].AttachLatency())
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pr := byName[name]
+		if ls := attach[name]; len(ls) > 0 {
+			sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+			pr.AttachP50 = ls[len(ls)*50/100]
+			pr.AttachP99 = ls[len(ls)*99/100]
+		}
+		ph := sha256.New()
+		for i := range tallies {
+			if plan.Personas[i] == name {
+				fmt.Fprintf(ph, "session %d %x\n", i, tallies[i].digest)
+			}
+		}
+		pr.Digest = hex.EncodeToString(ph.Sum(nil))
+		rep.Personas = append(rep.Personas, *pr)
+	}
 
 	// Fold the session outcomes into the kernel's unified metrics
 	// registry. This runs after the single-threaded tally fold above, so
@@ -462,6 +553,13 @@ func Run(sys *multics.System, cfg Config) (*Report, error) {
 	reg.Counter("workload.sent").Add(rep.Sent)
 	reg.Counter("workload.received").Add(rep.Received)
 	reg.Counter("workload.throttled").Add(rep.Throttled)
+	for _, pr := range rep.Personas {
+		prefix := "workload.persona." + pr.Name
+		reg.Counter(prefix + ".sessions").Add(int64(pr.Sessions))
+		reg.Counter(prefix + ".sent").Add(pr.Sent)
+		reg.Counter(prefix + ".received").Add(pr.Received)
+		reg.Counter(prefix + ".failed").Add(pr.Failed)
+	}
 	return rep, nil
 }
 
@@ -508,14 +606,14 @@ func (tc *traceCollector) digest() string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// RunAt boots a fresh system at the stage, runs the workload, shuts the
+// RunAt boots a fresh system at the stage, runs the scenario, shuts the
 // system down, and returns the report: the one-call form used by
 // cmd/loadgen and the experiments.
-func RunAt(stage multics.Stage, cfg Config) (*Report, error) {
-	sys, err := Boot(stage, cfg)
+func RunAt(stage multics.Stage, sc *Scenario) (*Report, error) {
+	sys, err := Boot(stage, sc)
 	if err != nil {
 		return nil, err
 	}
 	defer sys.Shutdown()
-	return Run(sys, cfg)
+	return Run(sys, sc)
 }

@@ -14,21 +14,27 @@ import (
 	"repro/multics"
 )
 
+// storm builds the classic single-persona storm scenario the historical
+// tests exercised.
+func storm(conns, steps, burst int, seed int64) *workload.Scenario {
+	return workload.NewScenario("storm", seed).
+		Mix(workload.Stormer(steps, burst, 0), 1).
+		Sessions(conns)
+}
+
 func TestDeterministicDigest(t *testing.T) {
-	cfg := workload.Config{Conns: 32, Steps: 6, Burst: 3, Seed: 75}
-	r1, err := workload.RunAt(multics.StageRestructured, cfg)
+	r1, err := workload.RunAt(multics.StageRestructured, storm(32, 6, 3, 75))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := workload.RunAt(multics.StageRestructured, cfg)
+	r2, err := workload.RunAt(multics.StageRestructured, storm(32, 6, 3, 75))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.Digest != r2.Digest {
 		t.Fatalf("same seed, different digests:\n%s\n%s", r1.Digest, r2.Digest)
 	}
-	cfg.Seed = 76
-	r3, err := workload.RunAt(multics.StageRestructured, cfg)
+	r3, err := workload.RunAt(multics.StageRestructured, storm(32, 6, 3, 76))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,21 +46,19 @@ func TestDeterministicDigest(t *testing.T) {
 func TestStormLegacyLosesConsolidatedDoesNot(t *testing.T) {
 	// A burst of 24 overruns the legacy 16-slot circular buffers but
 	// fits easily inside the S5 infinite buffers.
-	cfg := workload.Config{Conns: 8, Steps: 24, Burst: 24, Seed: 75}
-
-	legacy, err := workload.RunAt(multics.StageBaseline, cfg)
+	legacy, err := workload.RunAt(multics.StageBaseline, storm(8, 24, 24, 75))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if legacy.Stats.InputLost == 0 {
-		t.Fatalf("legacy path lost nothing under a %d-message storm", cfg.Burst)
+		t.Fatal("legacy path lost nothing under a 24-message storm")
 	}
 	if got := legacy.Stats.Delivered + legacy.Stats.InputLost; got != legacy.Sent {
 		t.Fatalf("legacy accounting: delivered %d + lost %d != sent %d",
 			legacy.Stats.Delivered, legacy.Stats.InputLost, legacy.Sent)
 	}
 
-	s5, err := workload.RunAt(multics.StageIOConsolidated, cfg)
+	s5, err := workload.RunAt(multics.StageIOConsolidated, storm(8, 24, 24, 75))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,8 +76,7 @@ func TestStormLegacyLosesConsolidatedDoesNot(t *testing.T) {
 }
 
 func Test500ConcurrentConnections(t *testing.T) {
-	cfg := workload.Config{Conns: 500, Steps: 2, Burst: 2, Seed: 75}
-	rep, err := workload.RunAt(multics.StageRestructured, cfg)
+	rep, err := workload.RunAt(multics.StageRestructured, storm(500, 2, 2, 75))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,13 +102,13 @@ func Test500ConcurrentConnections(t *testing.T) {
 func TestThrottleCounted(t *testing.T) {
 	// Burst far beyond the high-water mark: the surplus is refused,
 	// counted, and nothing is silently dropped on the S5 path.
-	sys, err := workload.Boot(multics.StageRestructured, workload.Config{Conns: 4})
+	sc := storm(4, 100, 100, 7)
+	sys, err := workload.Boot(multics.StageRestructured, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer sys.Shutdown()
-	cfg := workload.Config{Conns: 4, Steps: 100, Burst: 100, Seed: 7}
-	rep, err := workload.Run(sys, cfg)
+	rep, err := workload.Run(sys, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,9 +118,20 @@ func TestThrottleCounted(t *testing.T) {
 	if rep.Stats.InputLost != 0 {
 		t.Fatalf("throttling should prevent loss, got %d lost", rep.Stats.InputLost)
 	}
-	if rep.Sent+rep.Throttled != int64(cfg.Conns*cfg.Steps) {
-		t.Fatalf("sent %d + throttled %d != %d", rep.Sent, rep.Throttled, cfg.Conns*cfg.Steps)
+	if rep.Sent+rep.Throttled != int64(4*100) {
+		t.Fatalf("sent %d + throttled %d != %d", rep.Sent, rep.Throttled, 4*100)
 	}
+}
+
+// mixed builds the canonical four-persona scenario the arrival-model
+// tests replay.
+func mixed(seed int64) *workload.Scenario {
+	return workload.NewScenario("mixed", seed).
+		Mix(workload.InteractiveEditor(), 3).
+		Mix(workload.BatchCompiler(), 2).
+		Mix(workload.Daemon(), 1).
+		Mix(workload.TenantPair(), 2).
+		Sessions(24)
 }
 
 // TestParallelReplayDigestInvariant is the determinism guarantee of the
@@ -126,12 +140,9 @@ func TestThrottleCounted(t *testing.T) {
 // function of its own connection's script and the per-connection digests
 // fold in fixed table order.
 func TestParallelReplayDigestInvariant(t *testing.T) {
-	base := workload.Config{Conns: 24, Steps: 12, Burst: 12, Seed: 75}
-
 	run := func(par int) string {
-		cfg := base
-		cfg.Parallelism = par
-		r, err := workload.RunAt(multics.StageRestructured, cfg)
+		sc := storm(24, 12, 12, 75).Parallel(par)
+		r, err := workload.RunAt(multics.StageRestructured, sc)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -149,7 +160,101 @@ func TestParallelReplayDigestInvariant(t *testing.T) {
 	}
 }
 
-// countingSink counts trace events delivered through the Config.TraceSink
+// TestArrivalModelDeterminism is the arrival-model half of the
+// determinism guarantee: open- and closed-loop persona schedules — and
+// the transcripts they produce — are byte-identical at parallelism 1
+// and 8, and two compiles of the same scenario agree.
+func TestArrivalModelDeterminism(t *testing.T) {
+	shapes := map[string]func() *workload.Scenario{
+		"closed": func() *workload.Scenario { return mixed(75).ClosedLoop() },
+		"open":   func() *workload.Scenario { return mixed(75).OpenLoop(3) },
+	}
+	for name, build := range shapes {
+		t.Run(name, func(t *testing.T) {
+			plan1, err := build().Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan2, err := build().Plan()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan1.ScheduleDigest() != plan2.ScheduleDigest() {
+				t.Fatalf("two compiles of the same scenario disagree:\n%s\n%s",
+					plan1.ScheduleDigest(), plan2.ScheduleDigest())
+			}
+
+			run := func(par int) *workload.Report {
+				r, err := workload.RunAt(multics.StageRestructured, build().Parallel(par))
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				return r
+			}
+			r1, r8 := run(1), run(8)
+			if r1.ScheduleDigest != plan1.ScheduleDigest() {
+				t.Fatalf("report schedule digest %s != compiled %s", r1.ScheduleDigest, plan1.ScheduleDigest())
+			}
+			if r1.ScheduleDigest != r8.ScheduleDigest {
+				t.Errorf("schedule digest differs across parallelism:\n%s\n%s", r1.ScheduleDigest, r8.ScheduleDigest)
+			}
+			if r1.Digest != r8.Digest {
+				t.Errorf("transcript digest differs across parallelism:\n%s\n%s", r1.Digest, r8.Digest)
+			}
+			if r1.SessionDigest != r8.SessionDigest {
+				t.Errorf("session digest differs across parallelism:\n%s\n%s", r1.SessionDigest, r8.SessionDigest)
+			}
+			if r1.Throttled != 0 || r1.Failed != 0 {
+				t.Fatalf("persona mix throttled %d failed %d — bursts must stay under the high-water mark",
+					r1.Throttled, r1.Failed)
+			}
+			if len(r1.Personas) != 4 {
+				t.Fatalf("got %d persona sections, want 4: %+v", len(r1.Personas), r1.Personas)
+			}
+			for i, p := range r1.Personas {
+				if i > 0 && r1.Personas[i-1].Name >= p.Name {
+					t.Errorf("persona sections not sorted: %q before %q", r1.Personas[i-1].Name, p.Name)
+				}
+				if p.Sessions == 0 || p.Sent == 0 || p.Received != p.Sent {
+					t.Errorf("persona %q: sessions %d sent %d received %d", p.Name, p.Sessions, p.Sent, p.Received)
+				}
+				if p.Digest != r8.Personas[i].Digest {
+					t.Errorf("persona %q digest differs across parallelism", p.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestOpenLoopStaggersArrivals asserts the open-loop model actually
+// spreads session start rounds out (and the closed-loop model does not).
+func TestOpenLoopStaggersArrivals(t *testing.T) {
+	open, err := mixed(75).OpenLoop(3).Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := map[int]bool{}
+	for _, ws := range open.Windows {
+		starts[ws[0].Round] = true
+	}
+	if len(starts) < 4 {
+		t.Fatalf("open-loop arrivals landed on only %d distinct rounds", len(starts))
+	}
+	closed, err := mixed(75).ClosedLoop().Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ws := range closed.Windows {
+		if ws[0].Round != 0 {
+			t.Fatalf("closed-loop session %d starts at round %d, want 0", i, ws[0].Round)
+		}
+	}
+	if open.ScheduleDigest() == closed.ScheduleDigest() {
+		t.Fatal("open- and closed-loop schedules hash identically")
+	}
+}
+
+// countingSink counts trace events delivered through the Scenario.Trace
 // tee.
 type countingSink struct {
 	mu sync.Mutex
@@ -165,17 +270,15 @@ func (s *countingSink) Record(trace.Event) {
 // TestTraceStreamParallelismInvariant is the trace-spine half of the
 // determinism guarantee: the attachment-lifecycle trace stream, folded
 // per connection, is byte-identical at parallelism 1 and 8, and the
-// caller-supplied TraceSink tee sees the full stream (one attach, one
+// caller-supplied trace tee sees the full stream (one attach, one
 // event per request, one drain, one close per connection).
 func TestTraceStreamParallelismInvariant(t *testing.T) {
-	base := workload.Config{Conns: 24, Steps: 12, Burst: 12, Seed: 75}
+	const conns, steps = 24, 12
 
 	run := func(par int) (string, int) {
-		cfg := base
-		cfg.Parallelism = par
 		sink := &countingSink{}
-		cfg.TraceSink = sink
-		r, err := workload.RunAt(multics.StageRestructured, cfg)
+		sc := storm(conns, steps, steps, 75).Parallel(par).Trace(sink)
+		r, err := workload.RunAt(multics.StageRestructured, sc)
 		if err != nil {
 			t.Fatalf("parallelism %d: %v", par, err)
 		}
@@ -187,7 +290,7 @@ func TestTraceStreamParallelismInvariant(t *testing.T) {
 
 	d1, n1 := run(1)
 	// attach + one event per processed request + drain + close, per conn.
-	want := base.Conns*3 + base.Conns*base.Steps
+	want := conns*3 + conns*steps
 	if n1 != want {
 		t.Fatalf("tee saw %d events, want %d", n1, want)
 	}
@@ -206,13 +309,13 @@ func TestFaultPlanDigestAndSalvageParallelismInvariant(t *testing.T) {
 	// faults are a function of the plan, never of worker interleaving.
 	run := func(par int) (string, string) {
 		spec := faults.UniformSpec(4242, 0.01, 4)
-		cfg := workload.Config{Conns: 24, Steps: 10, Burst: 10, Seed: 31, Parallelism: par, Faults: &spec}
-		sys, err := workload.Boot(multics.StageIOConsolidated, cfg)
+		sc := storm(24, 10, 10, 31).Parallel(par).Faults(&spec)
+		sys, err := workload.Boot(multics.StageIOConsolidated, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer sys.Shutdown()
-		rep, err := workload.Run(sys, cfg)
+		rep, err := workload.Run(sys, sc)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -262,16 +365,15 @@ func TestFaultPlanDigestAndSalvageParallelismInvariant(t *testing.T) {
 }
 
 func TestFaultPlanSameSeedSameReport(t *testing.T) {
-	spec := faults.UniformSpec(777, 0.005, 0)
-	cfg := workload.Config{Conns: 16, Steps: 8, Burst: 8, Seed: 5, Faults: &spec}
-	r1, err := workload.RunAt(multics.StageIOConsolidated, cfg)
-	if err != nil {
-		t.Fatal(err)
+	run := func() *workload.Report {
+		spec := faults.UniformSpec(777, 0.005, 0)
+		r, err := workload.RunAt(multics.StageIOConsolidated, storm(16, 8, 8, 5).Faults(&spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
 	}
-	r2, err := workload.RunAt(multics.StageIOConsolidated, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	r1, r2 := run(), run()
 	if r1.Digest != r2.Digest {
 		t.Errorf("same plan, different digests: %s vs %s", r1.Digest, r2.Digest)
 	}

@@ -170,8 +170,12 @@ echo "== engine-determinism lint"
 # goroutines launched anywhere but the one barrier-protected site in
 # engineworkers.go. Tests may sleep to simulate stalls, but engine
 # sources themselves must be pure functions of the virtual clock.
+# The persona workload sources are held to the same bar: every persona
+# decision must be a pure seeded hash, or replay digests drift with
+# parallelism and kernel count.
 bad=""
-for f in internal/sched/engine.go internal/pagectl/batch.go; do
+for f in internal/sched/engine.go internal/pagectl/batch.go \
+	internal/workload/persona.go internal/workload/scenario.go; do
 	hits=$(grep -n 'time\.Now\|math/rand\|^\s*go \|[^a-zA-Z]go func' "$f" || true)
 	if [ -n "$hits" ]; then
 		bad="$bad
@@ -281,6 +285,24 @@ if ! echo "$out" | grep -q 'digests identical across engine workers 1/2/8: true'
 fi
 if ! echo "$out" | grep -q 'all workers active: true'; then
 	echo "E20: worker pool was not actually exercised in parallel" >&2
+	exit 1
+fi
+
+echo "== persona-workload smoke (E21: seeded persona mixes, fleet-invariant digests, fuzz storm)"
+out=$(go run ./cmd/experiments -run E21)
+echo "$out"
+case "$out" in
+*MISMATCH*)
+	echo "E21 persona workloads did not meet their claims" >&2
+	exit 1
+	;;
+esac
+if ! echo "$out" | grep -q 'fleet x1 == fleet x4+migration == single-kernel: true'; then
+	echo "E21: persona digests diverged across kernel counts" >&2
+	exit 1
+fi
+if ! echo "$out" | grep -q 'fuzz replay digest match: true'; then
+	echo "E21: adversarial fuzz storm was not reproducible" >&2
 	exit 1
 fi
 
